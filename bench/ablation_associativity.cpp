@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation over cache associativity: how much of the placement win
+ * survives as associativity absorbs conflicts (1/2/4/8-way at a fixed
+ * 8 KB capacity). The §6 motivation in one table: at 1-way placement
+ * matters most; higher associativity narrows the gap.
+ */
+
+#include "ablation_common.hh"
+
+#include "topo/placement/pettis_hansen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    using namespace topo::bench;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested()) {
+        std::cout << "ablation_associativity: sweep associativity.\n"
+                     "  --benchmark=NAME --trace-scale=F\n";
+        return 0;
+    }
+    const double trace_scale = opts.getDouble("trace-scale", 0.4);
+    TextTable table({"benchmark", "assoc", "default MR", "GBSC(DM) MR",
+                     "gap closed"});
+    for (const std::string &name : ablationBenchmarks(opts)) {
+        const BenchmarkCase bench = paperBenchmark(name, trace_scale);
+        // The layout is computed once for the direct-mapped cache and
+        // then *measured* at every associativity, isolating how the
+        // hardware forgives placement errors.
+        EvalOptions dm = evalOptionsFrom(opts);
+        dm.cache.associativity = 1;
+        const ProfileBundle bundle(bench, dm);
+        const Gbsc gbsc;
+        const DefaultPlacement def;
+        const PlacementContext ctx = bundle.makeContext();
+        const Layout gbsc_layout = gbsc.place(ctx);
+        const Layout def_layout = def.place(ctx);
+        for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+            std::cerr << name << " " << assoc << "-way ...\n";
+            CacheConfig cache = dm.cache;
+            cache.associativity = assoc;
+            cache.validate();
+            const double def_mr = layoutMissRate(
+                bundle.program(), def_layout, bundle.testStream(),
+                cache);
+            const double gbsc_mr = layoutMissRate(
+                bundle.program(), gbsc_layout, bundle.testStream(),
+                cache);
+            const std::string gap =
+                def_mr > 0.0
+                    ? fmtPercent((def_mr - gbsc_mr) / def_mr, 1)
+                    : "-";
+            table.addRow({name, std::to_string(assoc) + "-way",
+                          fmtPercent(def_mr), fmtPercent(gbsc_mr),
+                          gap});
+        }
+    }
+    table.render(std::cout,
+                 "Ablation: associativity at fixed 8KB capacity "
+                 "(layout optimised for 1-way)");
+    std::cout << "\nSection 6's motivation: associativity absorbs "
+                 "conflicts, shrinking (but not erasing) the benefit "
+                 "of conflict-aware placement.\n";
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Ablation of the TRG_place chunk size (Section 4.1: "a chunk size of
+ * 256 bytes works well"). Sweeps 64..1024 bytes.
+ */
+
+#include "ablation_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    using namespace topo::bench;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested()) {
+        std::cout << "ablation_chunksize: sweep the TRG_place chunk "
+                     "size.\n  --benchmark=NAME --trace-scale=F\n";
+        return 0;
+    }
+    const double trace_scale = opts.getDouble("trace-scale", 0.5);
+    TextTable table({"benchmark", "chunk bytes", "GBSC MR"});
+    for (const std::string &name : ablationBenchmarks(opts)) {
+        const BenchmarkCase bench = paperBenchmark(name, trace_scale);
+        for (std::uint32_t chunk : {64u, 128u, 256u, 512u, 1024u}) {
+            std::cerr << name << " chunk " << chunk << " ...\n";
+            EvalOptions eval = evalOptionsFrom(opts);
+            eval.chunk_bytes = chunk;
+            table.addRow({name, std::to_string(chunk),
+                          fmtPercent(gbscMissRate(bench, eval))});
+        }
+    }
+    table.render(std::cout,
+                 "Ablation: TRG_place chunk size (paper default: 256 "
+                 "bytes)");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation of the Q byte budget (Section 3: "a bound on Q of twice the
+ * cache size works quite well"). Sweeps the budget from 0.5x to 4x the
+ * cache size and reports GBSC miss rates.
+ */
+
+#include "ablation_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    using namespace topo::bench;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested()) {
+        std::cout << "ablation_qbound: sweep the Q byte budget.\n"
+                     "  --benchmark=NAME --trace-scale=F\n";
+        return 0;
+    }
+    const double trace_scale = opts.getDouble("trace-scale", 0.5);
+    TextTable table({"benchmark", "Q budget (x cache)", "GBSC MR"});
+    for (const std::string &name : ablationBenchmarks(opts)) {
+        const BenchmarkCase bench = paperBenchmark(name, trace_scale);
+        for (double factor : {0.5, 1.0, 2.0, 4.0}) {
+            std::cerr << name << " q-factor " << factor << " ...\n";
+            EvalOptions eval = evalOptionsFrom(opts);
+            eval.q_budget_factor = factor;
+            table.addRow({name, fmtDouble(factor, 1),
+                          fmtPercent(gbscMissRate(bench, eval))});
+        }
+    }
+    table.render(std::cout,
+                 "Ablation: TRG queue budget (paper default: 2x cache "
+                 "size)");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: metric-driven refinement on top of each initial placement.
+ *
+ * Figure 6 licenses optimising the TRG metric directly; this bench
+ * quantifies how much local search recovers from each starting point
+ * (the default layout, PH, and GBSC) — and how close greedy GBSC
+ * already is to a local optimum of its own metric.
+ */
+
+#include <iostream>
+
+#include "topo/eval/reports.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/placement/refine.hh"
+#include "topo/util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested()) {
+        std::cout << "ablation_refinement: local search over offsets.\n"
+                     "  --benchmark=NAME --trace-scale=F --passes=N\n";
+        return 0;
+    }
+    const EvalOptions eval = evalOptionsFrom(opts);
+    const double scale = opts.getDouble("trace-scale", 0.4);
+    RefineOptions refine_opts;
+    refine_opts.max_passes =
+        static_cast<std::size_t>(opts.getInt("passes", 4));
+    const std::string only = opts.getString("benchmark", "");
+
+    const DefaultPlacement def;
+    const PettisHansen ph;
+    const Gbsc gbsc;
+
+    TextTable table({"benchmark", "start", "metric before",
+                     "metric after", "moves", "test MR before",
+                     "test MR after"});
+    for (const BenchmarkCase &bench : paperSuite(scale)) {
+        if (!only.empty() && bench.name != only)
+            continue;
+        std::cerr << "running " << bench.name << " ...\n";
+        const ProfileBundle bundle(bench, eval);
+        const PlacementContext ctx = bundle.makeContext();
+        for (const PlacementAlgorithm *algo :
+             std::initializer_list<const PlacementAlgorithm *>{
+                 &def, &ph, &gbsc}) {
+            const Layout base = algo->place(ctx);
+            const RefineResult result =
+                refineLayout(ctx, base, refine_opts);
+            table.addRow({bench.name, algo->name(),
+                          fmtCount(static_cast<std::uint64_t>(
+                              result.initial_metric)),
+                          fmtCount(static_cast<std::uint64_t>(
+                              result.final_metric)),
+                          std::to_string(result.moves),
+                          fmtPercent(bundle.testMissRate(base)),
+                          fmtPercent(
+                              bundle.testMissRate(result.layout))});
+        }
+    }
+    table.render(std::cout,
+                 "Refinement ablation (best-improvement offset moves, "
+                 "up to " +
+                     std::to_string(refine_opts.max_passes) +
+                     " passes)");
+    std::cout << "\nGBSC rows show how close the paper's greedy "
+                 "algorithm already is to a local optimum of its own "
+                 "conflict metric; default/PH rows show how much of "
+                 "the gap pure metric descent can close without the "
+                 "TRG-driven selection order.\n";
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Multi-input profiles (Section 5.1's wish for "a large enough set of
+ * different inputs").
+ *
+ * For each benchmark we synthesise a *third* input unseen during
+ * training, then compare GBSC trained on (a) the standard training
+ * input alone and (b) the merged TRGs of the training *and* testing
+ * inputs. Merged profiles hedge against input drift — the effect is
+ * largest where single-input training is most brittle (m88ksim).
+ */
+
+#include <iostream>
+
+#include "topo/eval/reports.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/util/table.hh"
+#include "topo/workload/trace_synthesizer.hh"
+
+namespace
+{
+
+using namespace topo;
+
+struct Profile
+{
+    TraceStats stats;
+    PopularSet popular;
+    TrgBuildResult trgs;
+};
+
+Profile
+profileFor(const Program &program, const ChunkMap &chunks,
+           const Trace &trace, const EvalOptions &eval)
+{
+    Profile profile;
+    profile.stats = computeTraceStats(program, trace);
+    profile.popular =
+        selectPopular(program, profile.stats, eval.popularity);
+    TrgBuildOptions topts;
+    topts.byte_budget = static_cast<std::uint64_t>(
+        eval.q_budget_factor * eval.cache.size_bytes);
+    topts.popular = &profile.popular.mask;
+    profile.trgs = buildTrgs(program, chunks, trace, topts);
+    return profile;
+}
+
+double
+placeAndMeasure(const Program &program, const ChunkMap &chunks,
+                const Profile &profile, const FetchStream &target,
+                const EvalOptions &eval)
+{
+    PlacementContext ctx;
+    ctx.program = &program;
+    ctx.cache = eval.cache;
+    ctx.chunks = &chunks;
+    ctx.trg_select = &profile.trgs.select;
+    ctx.trg_place = &profile.trgs.place;
+    ctx.popular = profile.popular.mask;
+    ctx.heat.assign(program.procCount(), 0.0);
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        ctx.heat[i] =
+            static_cast<double>(profile.stats.bytes_fetched[i]);
+    const Gbsc gbsc;
+    return layoutMissRate(program, gbsc.place(ctx), target, eval.cache);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested()) {
+        std::cout << "extension_multiinput: single vs merged training "
+                     "profiles.\n  --benchmark=NAME --trace-scale=F\n";
+        return 0;
+    }
+    const EvalOptions eval = evalOptionsFrom(opts);
+    const double scale = opts.getDouble("trace-scale", 0.3);
+    const std::string only = opts.getString("benchmark", "");
+
+    TextTable table({"benchmark", "third-input MR (1 profile)",
+                     "third-input MR (2 merged)", "change"});
+    for (const BenchmarkCase &bench : paperSuite(scale)) {
+        if (!only.empty() && bench.name != only)
+            continue;
+        std::cerr << "running " << bench.name << " ...\n";
+        const Program &program = bench.model.program;
+        const ChunkMap chunks(program, eval.chunk_bytes);
+
+        const Trace train_a = synthesizeTrace(bench.model, bench.train);
+        const Trace train_b = synthesizeTrace(bench.model, bench.test);
+        // The unseen third input: fresh seed, neutral phase emphasis.
+        WorkloadInput third = bench.test;
+        third.name = "third";
+        third.seed = bench.test.seed * 31 + 17;
+        third.phase_emphasis.clear();
+        const Trace unseen = synthesizeTrace(bench.model, third);
+        const FetchStream target(program, unseen,
+                                 eval.cache.line_bytes);
+
+        const Profile single =
+            profileFor(program, chunks, train_a, eval);
+        const double single_mr =
+            placeAndMeasure(program, chunks, single, target, eval);
+
+        // Merge: second profile built independently, graphs and heat
+        // added together; popularity re-derived from combined stats.
+        Profile merged = profileFor(program, chunks, train_a, eval);
+        const Profile other = profileFor(program, chunks, train_b, eval);
+        merged.trgs.select.addGraph(other.trgs.select);
+        merged.trgs.place.addGraph(other.trgs.place);
+        for (std::size_t i = 0; i < program.procCount(); ++i) {
+            merged.stats.bytes_fetched[i] +=
+                other.stats.bytes_fetched[i];
+            merged.stats.run_count[i] += other.stats.run_count[i];
+        }
+        merged.stats.total_bytes += other.stats.total_bytes;
+        merged.stats.total_runs += other.stats.total_runs;
+        merged.popular =
+            selectPopular(program, merged.stats, eval.popularity);
+        const double merged_mr =
+            placeAndMeasure(program, chunks, merged, target, eval);
+
+        table.addRow(
+            {bench.name, fmtPercent(single_mr), fmtPercent(merged_mr),
+             fmtDouble((merged_mr - single_mr) * 100.0, 2) + " pts"});
+    }
+    table.render(std::cout,
+                 "Multi-input profiles: GBSC measured on an unseen "
+                 "third input (" + eval.cache.describe() + ")");
+    std::cout << "\nMerged profiles hedge against the single-input "
+                 "brittleness Section 5.1 describes. For GBSC the "
+                 "hedge is essentially free but also essentially "
+                 "unneeded at full trace lengths: one input's temporal "
+                 "profile already generalises (see the m88ksim rows "
+                 "of Figure 5, where GBSC is robust while the "
+                 "WCG-driven baselines swing wildly). Merging earns "
+                 "its keep when individual profiles are short — "
+                 "combine it with burst sampling "
+                 "(bench/ablation_sampling) rather than lengthening "
+                 "one run.\n";
+    return 0;
+}

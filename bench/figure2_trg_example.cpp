@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Figure 2: the TRG built from execution trace #2 of the
+ * Figure 1 program. The WCG edges survive with (nearly doubled)
+ * weights and two new sibling edges appear — (X,Z) and (Y,Z) — while
+ * (X,Y) stays (almost) absent because the phased trace never
+ * interleaves X with Y.
+ */
+
+#include <iostream>
+
+#include "topo/profile/trg_builder.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/util/table.hh"
+#include "topo/workload/figure1.hh"
+
+int
+main()
+{
+    using namespace topo;
+    const Figure1Example ex = makeFigure1Example();
+    const Trace t2 = ex.trace2();
+    const ChunkMap chunks(ex.program, 256);
+    TrgBuildOptions opts;
+    opts.byte_budget = 2 * ex.cache.size_bytes;
+    const TrgBuildResult trg = buildTrgs(ex.program, chunks, t2, opts);
+    const WeightedGraph wcg = buildWcg(ex.program, t2);
+
+    const char *names = "MXYZ";
+    TextTable table({"edge", "WCG weight", "TRG weight", "note"});
+    for (ProcId a = 0; a < 4; ++a) {
+        for (ProcId b = a + 1; b < 4; ++b) {
+            const double w_wcg = wcg.weight(a, b);
+            const double w_trg = trg.select.weight(a, b);
+            if (w_wcg == 0.0 && w_trg == 0.0)
+                continue;
+            std::string note;
+            if (w_wcg == 0.0 && w_trg > 0.0)
+                note = "sibling interleaving: TRG only";
+            table.addRow({std::string(1, names[a]) + "-" + names[b],
+                          fmtDouble(w_wcg, 0), fmtDouble(w_trg, 0),
+                          note});
+        }
+    }
+    table.render(std::cout, "Figure 2: TRG of trace #2 vs its WCG");
+    std::cout << "\nPaper: TRG weights are nearly double the classic "
+                 "call counts (our WCG column already counts both "
+                 "calls and returns, so TRG ~= WCG here, one less per "
+                 "edge since the first reference exploits no reuse); "
+                 "the extra edges show interleaving of (X,Z) and "
+                 "(Y,Z) but not (X,Y).\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Figure 3: a step-by-step walkthrough of the ordered set
+ * Q while the TRG is built from a prefix of trace #2. Each line shows
+ * the referenced procedure, whether a previous occurrence existed,
+ * the blocks found between the two occurrences (those whose edges are
+ * incremented), and the queue contents afterwards.
+ */
+
+#include <iostream>
+
+#include "topo/profile/trg_builder.hh"
+#include "topo/util/table.hh"
+#include "topo/workload/figure1.hh"
+
+int
+main()
+{
+    using namespace topo;
+    const Figure1Example ex = makeFigure1Example();
+
+    // A short prefix crossing the phase boundary so the walkthrough
+    // shows both the X phase, the first Z call, and the switch to Y.
+    Trace prefix(ex.program.procCount());
+    const std::uint32_t size = ex.program.proc(ex.m).size_bytes;
+    auto iteration = [&](ProcId leaf, bool call_z) {
+        prefix.append(ex.m, 0, size);
+        prefix.append(leaf, 0, size);
+        prefix.append(ex.m, 0, size);
+        if (call_z) {
+            prefix.append(ex.z, 0, size);
+            prefix.append(ex.m, 0, size);
+        }
+    };
+    for (int i = 0; i < 5; ++i)
+        iteration(ex.x, i % 4 == 3);
+    for (int i = 5; i < 9; ++i)
+        iteration(ex.y, i % 4 == 3);
+
+    const ChunkMap chunks(ex.program, 256);
+    const char *names = "MXYZ";
+    TextTable steps({"step", "ref", "prev in Q?", "edges incremented",
+                     "Q after (old -> new)"});
+    std::size_t step = 0;
+    TrgBuildOptions opts;
+    opts.byte_budget = 2 * ex.cache.size_bytes;
+    opts.observer = [&](ProcId p, bool had_prev,
+                        const std::vector<BlockId> &between,
+                        const TemporalQueue &q) {
+        std::string edges;
+        for (BlockId b : between) {
+            if (!edges.empty())
+                edges += ", ";
+            edges += std::string("(") + names[p] + "," + names[b] + ")";
+        }
+        if (edges.empty())
+            edges = had_prev ? "none (no interleaving)" : "none (first"
+                                                          " reference)";
+        std::string contents;
+        for (BlockId b : q.contents()) {
+            if (!contents.empty())
+                contents += " ";
+            contents += names[b];
+        }
+        steps.addRow({std::to_string(step++), std::string(1, names[p]),
+                      had_prev ? "yes" : "no", edges, contents});
+    };
+    const TrgBuildResult trg =
+        buildTrgs(ex.program, chunks, prefix, opts);
+
+    steps.render(std::cout,
+                 "Figure 3: Q processing during TRG construction "
+                 "(trace #2 prefix)");
+    std::cout << "\nResulting TRG edge weights:\n";
+    TextTable weights({"edge", "weight"});
+    for (ProcId a = 0; a < 4; ++a) {
+        for (ProcId b = a + 1; b < 4; ++b) {
+            if (trg.select.weight(a, b) > 0.0) {
+                weights.addRow(
+                    {std::string(1, names[a]) + "-" + names[b],
+                     fmtDouble(trg.select.weight(a, b), 0)});
+            }
+        }
+    }
+    weights.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the Section 4.4 practicality
+ * claims: TRG construction throughput, merge_nodes cost as P and C
+ * grow (the paper's crude P^3 C^2 bound), full GBSC placement time,
+ * and cache-simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "topo/cache/simulate.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/eval/experiment.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/util/rng.hh"
+#include "topo/workload/synthetic_program.hh"
+#include "topo/workload/trace_synthesizer.hh"
+
+namespace
+{
+
+using namespace topo;
+
+/** Build a reusable workload/trace of a given popular-set size. */
+struct Scenario
+{
+    WorkloadModel model;
+    Trace trace{0};
+
+    explicit Scenario(std::uint32_t popular, std::uint64_t runs)
+    {
+        SyntheticSpec spec;
+        spec.name = "bench";
+        spec.proc_count = popular * 3;
+        spec.popular_count = popular;
+        spec.popular_bytes = popular * 1200ULL;
+        spec.total_bytes = spec.popular_bytes * 4;
+        spec.phase_count = 4;
+        spec.ranks = 4;
+        spec.seed = 5;
+        model = buildSyntheticWorkload(spec);
+        WorkloadInput input;
+        input.seed = 6;
+        input.target_runs = runs;
+        trace = synthesizeTrace(model, input);
+    }
+};
+
+const Scenario &
+scenario(std::uint32_t popular)
+{
+    static std::map<std::uint32_t, std::unique_ptr<Scenario>> cache;
+    auto &slot = cache[popular];
+    if (!slot)
+        slot = std::make_unique<Scenario>(popular, 120000);
+    return *slot;
+}
+
+void
+BM_TrgBuild(benchmark::State &state)
+{
+    const Scenario &s = scenario(64);
+    const ChunkMap chunks(s.model.program, 256);
+    TrgBuildOptions opts;
+    opts.byte_budget = 16 * 1024;
+    for (auto _ : state) {
+        const TrgBuildResult trg =
+            buildTrgs(s.model.program, chunks, s.trace, opts);
+        benchmark::DoNotOptimize(trg.select.edgeCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(s.trace.size()));
+}
+BENCHMARK(BM_TrgBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_MergeNodes(benchmark::State &state)
+{
+    // Merge two half-populated nodes at a given cache-line count C:
+    // the inner offset scan is the paper's C^2 term.
+    const std::uint32_t cache_lines =
+        static_cast<std::uint32_t>(state.range(0));
+    const Scenario &s = scenario(64);
+    const ChunkMap chunks(s.model.program, 256);
+    TrgBuildOptions opts;
+    opts.byte_budget = 2ULL * cache_lines * 32ULL;
+    const TrgBuildResult trg =
+        buildTrgs(s.model.program, chunks, s.trace, opts);
+    PlacementContext ctx;
+    ctx.program = &s.model.program;
+    ctx.cache = CacheConfig{cache_lines * 32, 32, 1};
+    ctx.chunks = &chunks;
+    ctx.trg_select = &trg.select;
+    ctx.trg_place = &trg.place;
+    // Two nodes, each holding half of the hot procedures stacked at
+    // arbitrary offsets.
+    GbscNode n1, n2;
+    Rng rng(11);
+    for (ProcId p = 0; p < s.model.program.procCount(); ++p) {
+        if (s.model.program.proc(p).name.rfind("hot_", 0) != 0)
+            continue;
+        const auto offset =
+            static_cast<std::uint32_t>(rng.nextBelow(cache_lines));
+        ((p % 2) ? n1 : n2).procs.emplace_back(p, offset);
+    }
+    for (auto _ : state) {
+        const GbscNode merged = Gbsc::mergeNodes(ctx, n1, n2);
+        benchmark::DoNotOptimize(merged.procs.size());
+    }
+}
+BENCHMARK(BM_MergeNodes)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GbscPlacement(benchmark::State &state)
+{
+    // Whole-algorithm runtime as the popular-procedure count P grows;
+    // the paper reports tens of seconds to minutes for P in 30-150 on
+    // 1997 hardware.
+    const std::uint32_t popular =
+        static_cast<std::uint32_t>(state.range(0));
+    const Scenario &s = scenario(popular);
+    const ChunkMap chunks(s.model.program, 256);
+    TrgBuildOptions opts;
+    opts.byte_budget = 16 * 1024;
+    const TrgBuildResult trg =
+        buildTrgs(s.model.program, chunks, s.trace, opts);
+    PlacementContext ctx;
+    ctx.program = &s.model.program;
+    ctx.cache = CacheConfig::paperDefault();
+    ctx.chunks = &chunks;
+    ctx.trg_select = &trg.select;
+    ctx.trg_place = &trg.place;
+    const Gbsc gbsc;
+    for (auto _ : state) {
+        const Layout layout = gbsc.place(ctx);
+        benchmark::DoNotOptimize(layout.extent(s.model.program));
+    }
+}
+BENCHMARK(BM_GbscPlacement)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PettisHansenPlacement(benchmark::State &state)
+{
+    const Scenario &s = scenario(128);
+    const WeightedGraph wcg = buildWcg(s.model.program, s.trace);
+    PlacementContext ctx;
+    ctx.program = &s.model.program;
+    ctx.cache = CacheConfig::paperDefault();
+    ctx.wcg = &wcg;
+    const PettisHansen ph;
+    for (auto _ : state) {
+        const Layout layout = ph.place(ctx);
+        benchmark::DoNotOptimize(layout.extent(s.model.program));
+    }
+}
+BENCHMARK(BM_PettisHansenPlacement)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheSimulation(benchmark::State &state)
+{
+    const Scenario &s = scenario(64);
+    const CacheConfig cache = CacheConfig::paperDefault();
+    const FetchStream stream(s.model.program, s.trace,
+                             cache.line_bytes);
+    const Layout layout =
+        Layout::defaultOrder(s.model.program, cache.line_bytes);
+    for (auto _ : state) {
+        const SimResult result =
+            simulateLayout(s.model.program, layout, stream, cache);
+        benchmark::DoNotOptimize(result.misses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_CacheSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces the Section 5.1 padding anecdote: take an optimised
+ * layout of perl and pad every procedure by one cache line (32 bytes)
+ * of trailing empty space. In the paper this trivial change moved the
+ * miss rate from 3.8% to 5.4%. We sweep several pad amounts to show
+ * how discontinuous the optimisation target is.
+ */
+
+#include <iostream>
+
+#include "topo/eval/reports.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested()) {
+        std::cout << "section51_padding: per-procedure padding vs miss "
+                     "rate.\n  --benchmark=NAME --trace-scale=F\n";
+        return 0;
+    }
+    const EvalOptions eval = evalOptionsFrom(opts);
+    const std::string name = opts.getString("benchmark", "perl");
+    std::cerr << "profiling " << name << " ...\n";
+    const BenchmarkCase bench =
+        paperBenchmark(name, traceScaleFrom(opts));
+    const ProfileBundle bundle(bench, eval);
+    const Gbsc gbsc;
+    const DefaultPlacement def;
+    const Layout base = gbsc.place(bundle.makeContext());
+    const Layout default_layout = def.place(bundle.makeContext());
+    const double base_mr = bundle.testMissRate(base);
+    const double default_mr = bundle.testMissRate(default_layout);
+    // The placement-sensitive part of the miss rate is bounded by the
+    // default-vs-optimised gap; report the padding swing against it.
+    const double surface = default_mr - base_mr;
+
+    TextTable table({"layout", "pad bytes", "miss rate",
+                     "GBSC gain destroyed"});
+    table.addRow({"GBSC", "0", fmtPercent(base_mr), "0%"});
+    for (std::uint32_t pad : {32u, 64u, 96u, 128u}) {
+        const Layout padded =
+            Layout::withPadding(base, bundle.program(), pad,
+                                eval.cache.line_bytes);
+        const double mr = bundle.testMissRate(padded);
+        const std::string destroyed =
+            surface > 0.0
+                ? fmtPercent((mr - base_mr) / surface, 0)
+                : std::string("-");
+        table.addRow({"GBSC", std::to_string(pad), fmtPercent(mr),
+                      destroyed});
+    }
+    table.addRow({"default", "0", fmtPercent(default_mr), "100%"});
+    for (std::uint32_t pad : {32u, 64u}) {
+        const Layout padded = Layout::withPadding(
+            default_layout, bundle.program(), pad,
+            eval.cache.line_bytes);
+        table.addRow({"default", std::to_string(pad),
+                      fmtPercent(bundle.testMissRate(padded)), "-"});
+    }
+    table.render(std::cout,
+                 "Section 5.1: one-line padding swings the miss rate (" +
+                     name + ", " + eval.cache.describe() + ")");
+    std::cout << "\nPaper: perl went from 3.8% to 5.4% with a single "
+                 "32-byte pad after every procedure — a trivial layout "
+                 "change undoing the placement's careful alignments.\n";
+    return 0;
+}

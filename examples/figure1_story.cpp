@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A narrated walk through the paper's Section 1 motivating example,
+ * aimed at readers new to the library: why call counts are not enough
+ * and what temporal ordering information adds. Uses only the public
+ * API; see bench/figure1_wcg_ambiguity.cpp for the raw numbers.
+ */
+
+#include <iostream>
+
+#include "topo/cache/simulate.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/workload/figure1.hh"
+
+int
+main()
+{
+    using namespace topo;
+    const Figure1Example ex = makeFigure1Example();
+    const char *names = "MXYZ";
+
+    std::cout <<
+        "The Figure 1 program: M repeatedly calls X (when cond holds)\n"
+        "or Y (otherwise), and every fourth iteration also calls Z.\n"
+        "All four procedures are one cache line; the cache has three\n"
+        "lines. Two runs produce the same call counts:\n"
+        "  trace #1: cond alternates true/false each iteration\n"
+        "  trace #2: cond true for 40 iterations, then false for 40\n\n";
+
+    const Trace t1 = ex.trace1();
+    const Trace t2 = ex.trace2();
+    const WeightedGraph wcg = buildWcg(ex.program, t1);
+    std::cout << "Call-transition (WCG) weights, identical for both:\n";
+    for (ProcId a = 0; a < 4; ++a) {
+        for (ProcId b = a + 1; b < 4; ++b) {
+            if (wcg.weight(a, b) > 0.0) {
+                std::cout << "  " << names[a] << "-" << names[b]
+                          << ": " << wcg.weight(a, b) << "\n";
+            }
+        }
+    }
+
+    const ChunkMap chunks(ex.program, 256);
+    TrgBuildOptions opts;
+    opts.byte_budget = 2 * ex.cache.size_bytes;
+    const TrgBuildResult trg1 = buildTrgs(ex.program, chunks, t1, opts);
+    const TrgBuildResult trg2 = buildTrgs(ex.program, chunks, t2, opts);
+    std::cout << "\nTemporal (TRG) weight of the sibling pair X-Y:\n"
+              << "  trace #1 (alternating): "
+              << trg1.select.weight(ex.x, ex.y) << "\n"
+              << "  trace #2 (phased):      "
+              << trg2.select.weight(ex.x, ex.y) << "\n";
+    std::cout << "Only the TRG sees that trace #1 interleaves X and Y\n"
+                 "while trace #2 never does.\n\n";
+
+    auto place_and_measure = [&](const Trace &trace, const char *label) {
+        const TrgBuildResult trg =
+            buildTrgs(ex.program, chunks, trace, opts);
+        PlacementContext ctx;
+        ctx.program = &ex.program;
+        ctx.cache = ex.cache;
+        ctx.chunks = &chunks;
+        ctx.trg_select = &trg.select;
+        ctx.trg_place = &trg.place;
+        const Gbsc gbsc;
+        const Layout layout = gbsc.place(ctx);
+        const FetchStream stream(ex.program, trace,
+                                 ex.cache.line_bytes);
+        const SimResult result =
+            simulateLayout(ex.program, layout, stream, ex.cache);
+        std::cout << "GBSC layout for " << label << ": cache lines ";
+        for (ProcId p = 0; p < 4; ++p) {
+            std::cout << names[p] << "="
+                      << layout.startLine(p, ex.cache.line_bytes) % 3
+                      << (p == 3 ? "" : ", ");
+        }
+        std::cout << " -> " << result.misses << " misses / "
+                  << result.accesses << " accesses\n";
+    };
+    place_and_measure(t1, "trace #1");
+    place_and_measure(t2, "trace #2");
+    std::cout << "\nGBSC adapts the layout to the interleaving; a\n"
+                 "WCG-driven placement cannot tell the traces apart.\n";
+    return 0;
+}

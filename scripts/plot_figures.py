@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Render the paper's Figure 5 / Figure 6 plots from bench output.
+
+The bench binaries print machine-readable CSV blocks alongside their
+text tables. Pipe their output into files and point this script at
+them:
+
+    ./build/bench/figure5_missrates > fig5.txt
+    ./build/bench/figure6_metric_correlation > fig6.txt
+    python3 scripts/plot_figures.py --figure5 fig5.txt --figure6 fig6.txt
+
+Requires matplotlib; exits with a clear message when it is missing.
+"""
+
+import argparse
+import re
+import sys
+
+
+def require_matplotlib():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt  # noqa: F401
+
+        return matplotlib.pyplot
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def parse_figure5(path):
+    """Return {benchmark: {algorithm: [(miss_rate, fraction), ...]}}."""
+    panels = {}
+    benchmark = None
+    with open(path) as handle:
+        for line in handle:
+            header = re.match(r"^== (\S+) ==", line)
+            if header:
+                benchmark = header.group(1)
+                panels[benchmark] = {}
+                continue
+            row = re.match(r"^(\w[\w-]*),([\d.]+)%,([\d.]+)$", line)
+            if row and benchmark:
+                algo, mr, frac = row.groups()
+                panels[benchmark].setdefault(algo, []).append(
+                    (float(mr), float(frac)))
+    return panels
+
+
+def parse_figure6(path):
+    """Return list of (miss_rate, trg_metric, wcg_metric)."""
+    points = []
+    with open(path) as handle:
+        for line in handle:
+            row = re.match(
+                r"^\d+,\d+,([\d.]+)%,([\d.]+),([\d.]+)$", line)
+            if row:
+                mr, trg, wcg = row.groups()
+                points.append((float(mr), float(trg), float(wcg)))
+    return points
+
+
+def plot_figure5(plt, panels, out):
+    count = len(panels)
+    cols = 3
+    rows = (count + cols - 1) // cols
+    fig, axes = plt.subplots(rows, cols,
+                             figsize=(4.2 * cols, 3.2 * rows))
+    axes = axes.flatten() if count > 1 else [axes]
+    for ax, (benchmark, series) in zip(axes, sorted(panels.items())):
+        for algo, pts in sorted(series.items()):
+            xs = [p[0] for p in pts]
+            ys = [p[1] for p in pts]
+            ax.step(xs, ys, where="post", label=algo)
+        ax.set_title(benchmark)
+        ax.set_xlabel("cache miss rate (%)")
+        ax.set_ylabel("fraction <=")
+        ax.legend(fontsize=7)
+    for ax in axes[count:]:
+        ax.axis("off")
+    fig.suptitle("Figure 5: miss-rate distributions over perturbed "
+                 "profiles")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_figure6(plt, points, out):
+    fig, axes = plt.subplots(1, 2, figsize=(9, 4))
+    mrs = [p[0] for p in points]
+    axes[0].scatter([p[1] for p in points], mrs, s=12)
+    axes[0].set_xlabel("TRG_place conflict metric")
+    axes[0].set_ylabel("cache miss rate (%)")
+    axes[0].set_title("temporal metric (near-linear)")
+    axes[1].scatter([p[2] for p in points], mrs, s=12, color="tab:red")
+    axes[1].set_xlabel("WCG conflict metric")
+    axes[1].set_title("call-graph metric")
+    fig.suptitle("Figure 6: conflict metric vs cache misses")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure5", help="figure5_missrates output")
+    parser.add_argument("--figure6",
+                        help="figure6_metric_correlation output")
+    parser.add_argument("--out-prefix", default="",
+                        help="prefix for the generated PNGs")
+    args = parser.parse_args()
+    if not args.figure5 and not args.figure6:
+        parser.error("nothing to do: pass --figure5 and/or --figure6")
+    plt = require_matplotlib()
+    if args.figure5:
+        panels = parse_figure5(args.figure5)
+        if not panels:
+            sys.exit(f"no Figure 5 series found in {args.figure5}")
+        plot_figure5(plt, panels, args.out_prefix + "figure5.png")
+    if args.figure6:
+        points = parse_figure6(args.figure6)
+        if not points:
+            sys.exit(f"no Figure 6 points found in {args.figure6}")
+        plot_figure6(plt, points, args.out_prefix + "figure6.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#include "topo/cache/cache_config.hh"
+
+#include <sstream>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+void
+CacheConfig::validate() const
+{
+    require(line_bytes > 0, "CacheConfig: zero line size");
+    require(size_bytes > 0, "CacheConfig: zero cache size");
+    require(size_bytes % line_bytes == 0,
+            "CacheConfig: size must be a multiple of the line size");
+    require(associativity > 0, "CacheConfig: zero associativity");
+    require(lineCount() % associativity == 0,
+            "CacheConfig: line count must be divisible by associativity");
+    require(setCount() > 0, "CacheConfig: zero sets");
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::ostringstream oss;
+    if (size_bytes % 1024 == 0)
+        oss << size_bytes / 1024 << "KB ";
+    else
+        oss << size_bytes << "B ";
+    if (associativity == 1)
+        oss << "direct-mapped";
+    else
+        oss << associativity << "-way set-associative";
+    oss << ", " << line_bytes << "B lines";
+    return oss.str();
+}
+
+} // namespace topo

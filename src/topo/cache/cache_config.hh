@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Instruction cache configuration shared by the simulators and the
+ * placement algorithms (which need line size and line count to reason
+ * about cache-relative alignment).
+ */
+
+#ifndef TOPO_CACHE_CACHE_CONFIG_HH
+#define TOPO_CACHE_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace topo
+{
+
+/**
+ * Geometry of an instruction cache.
+ *
+ * Line counts are not required to be powers of two (the paper's
+ * Figure 1 example uses a 3-line cache); the simulators use general
+ * modulo indexing with a fast path for powers of two.
+ */
+struct CacheConfig
+{
+    std::uint32_t size_bytes = 8 * 1024;
+    std::uint32_t line_bytes = 32;
+    std::uint32_t associativity = 1;
+
+    /** Total number of lines (frames) in the cache. */
+    std::uint32_t
+    lineCount() const
+    {
+        return size_bytes / line_bytes;
+    }
+
+    /** Number of sets (lineCount / associativity). */
+    std::uint32_t
+    setCount() const
+    {
+        return lineCount() / associativity;
+    }
+
+    /** Validate geometry; throws TopoError on nonsense. */
+    void validate() const;
+
+    /** Human-readable description, e.g. "8KB direct-mapped, 32B lines". */
+    std::string describe() const;
+
+    /** The paper's evaluation cache: 8 KB direct-mapped, 32 B lines. */
+    static CacheConfig
+    paperDefault()
+    {
+        return CacheConfig{8 * 1024, 32, 1};
+    }
+
+    /** The Section 6 cache: 8 KB 2-way set-associative, 32 B lines. */
+    static CacheConfig
+    paperTwoWay()
+    {
+        return CacheConfig{8 * 1024, 32, 2};
+    }
+};
+
+} // namespace topo
+
+#endif // TOPO_CACHE_CACHE_CONFIG_HH

@@ -1,0 +1,69 @@
+#include "topo/cache/simulate.hh"
+
+#include "topo/cache/direct_mapped_cache.hh"
+#include "topo/cache/set_associative_cache.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/**
+ * Shared replay loop; Cache is DirectMappedCache or
+ * SetAssociativeCache, both exposing bool access(uint64).
+ */
+template <typename Cache>
+SimResult
+replay(const Program &program, const Layout &layout,
+       const FetchStream &stream, Cache &cache, bool attribute)
+{
+    // Precompute each procedure's base line so the hot loop is a single
+    // add + cache probe per reference.
+    std::vector<std::uint64_t> base_line(program.procCount());
+    for (std::size_t i = 0; i < program.procCount(); ++i) {
+        base_line[i] =
+            layout.startLine(static_cast<ProcId>(i), stream.lineBytes());
+    }
+
+    SimResult result;
+    if (attribute)
+        result.misses_by_proc.assign(program.procCount(), 0);
+    result.accesses = stream.size();
+    for (const FetchRef &ref : stream.refs()) {
+        const std::uint64_t line_addr = base_line[ref.proc] + ref.line;
+        if (!cache.access(line_addr)) {
+            ++result.misses;
+            if (attribute)
+                ++result.misses_by_proc[ref.proc];
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+SimResult
+simulateLayout(const Program &program, const Layout &layout,
+               const FetchStream &stream, const CacheConfig &config,
+               bool attribute)
+{
+    require(stream.lineBytes() == config.line_bytes,
+            "simulateLayout: stream line size does not match cache config");
+    if (config.associativity == 1) {
+        DirectMappedCache cache(config);
+        return replay(program, layout, stream, cache, attribute);
+    }
+    SetAssociativeCache cache(config);
+    return replay(program, layout, stream, cache, attribute);
+}
+
+double
+layoutMissRate(const Program &program, const Layout &layout,
+               const FetchStream &stream, const CacheConfig &config)
+{
+    return simulateLayout(program, layout, stream, config).missRate();
+}
+
+} // namespace topo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Layout miss-rate simulation: replay a FetchStream against a layout.
+ *
+ * This is the measurement instrument of every experiment in the paper:
+ * given a layout (procedure base addresses) and the line-granularity
+ * reference stream, count instruction-cache misses.
+ */
+
+#ifndef TOPO_CACHE_SIMULATE_HH
+#define TOPO_CACHE_SIMULATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/program/layout.hh"
+#include "topo/trace/fetch_stream.hh"
+
+namespace topo
+{
+
+/** Result of a cache simulation. */
+struct SimResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Per-procedure miss attribution (empty unless requested). */
+    std::vector<std::uint64_t> misses_by_proc;
+
+    /** Miss rate in [0, 1]; 0 when there were no accesses. */
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Simulate a fetch stream against a layout.
+ *
+ * @param program       Procedure inventory.
+ * @param layout        Complete layout (validated by the caller or not;
+ *                      base addresses are read directly).
+ * @param stream        Line-granularity reference stream; its line size
+ *                      must match @p config.
+ * @param config        Cache geometry (any associativity).
+ * @param attribute     When true, fill SimResult::misses_by_proc.
+ */
+SimResult simulateLayout(const Program &program, const Layout &layout,
+                         const FetchStream &stream, const CacheConfig &config,
+                         bool attribute = false);
+
+/**
+ * Miss rate shortcut for harness code.
+ */
+double layoutMissRate(const Program &program, const Layout &layout,
+                      const FetchStream &stream, const CacheConfig &config);
+
+} // namespace topo
+
+#endif // TOPO_CACHE_SIMULATE_HH

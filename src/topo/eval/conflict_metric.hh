@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Whole-layout conflict metrics (Section 3's requirement; evaluated in
+ * Figure 6). Both metrics sum relationship-graph weight over code
+ * blocks that share cache lines; the TRG metric uses chunk-granularity
+ * temporal weights, the WCG metric call-transition weights.
+ */
+
+#ifndef TOPO_EVAL_CONFLICT_METRIC_HH
+#define TOPO_EVAL_CONFLICT_METRIC_HH
+
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/placement/placement.hh"
+#include "topo/program/layout.hh"
+
+namespace topo
+{
+
+/**
+ * TRG_place conflict metric of a layout: for every cache line, the sum
+ * of TRG_place weights over chunk pairs mapped to that line. When the
+ * context carries a popularity mask, only popular procedures count
+ * (matching what GBSC can influence).
+ */
+double trgConflictMetric(const PlacementContext &ctx, const Layout &layout);
+
+/**
+ * WCG conflict metric of a layout: for every cache line, the sum of
+ * WCG weights over procedure pairs occupying that line.
+ */
+double wcgConflictMetric(const PlacementContext &ctx, const Layout &layout);
+
+} // namespace topo
+
+#endif // TOPO_EVAL_CONFLICT_METRIC_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Page-locality metrics of a layout.
+ *
+ * Section 4.3 notes that the spatial and temporal locality of code
+ * pages also matters and that the final-linear-list step could be
+ * altered to reduce paging problems. These metrics quantify that
+ * dimension so layouts can be compared on it: the static page
+ * footprint of the hot code, the dynamic page working set, page
+ * switches (TLB pressure proxy), and faults of an LRU page cache.
+ */
+
+#ifndef TOPO_EVAL_PAGE_METRIC_HH
+#define TOPO_EVAL_PAGE_METRIC_HH
+
+#include <cstdint>
+
+#include "topo/program/layout.hh"
+#include "topo/trace/fetch_stream.hh"
+
+namespace topo
+{
+
+/** Page-locality measurements of one layout under one trace. */
+struct PageStats
+{
+    /** Pages touched at least once (dynamic code footprint). */
+    std::uint64_t pages_touched = 0;
+    /** Transitions between different pages (TLB-pressure proxy). */
+    std::uint64_t page_switches = 0;
+    /** Total line fetches observed. */
+    std::uint64_t accesses = 0;
+    /** Faults of a fully-associative LRU page cache. */
+    std::uint64_t lru_faults = 0;
+
+    /** Page switches per thousand accesses. */
+    double
+    switchesPerKiloAccess() const
+    {
+        return accesses ? 1000.0 * static_cast<double>(page_switches) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Measure the page behaviour of a layout.
+ *
+ * @param program     Procedure inventory.
+ * @param layout      Complete layout.
+ * @param stream      Line-granularity reference stream.
+ * @param page_bytes  Page size (default 4 KiB); must be a multiple of
+ *                    the stream's line size.
+ * @param resident_pages Size of the LRU page cache used for
+ *                    lru_faults (default 16 pages).
+ */
+PageStats measurePageStats(const Program &program, const Layout &layout,
+                           const FetchStream &stream,
+                           std::uint32_t page_bytes = 4096,
+                           std::uint32_t resident_pages = 16);
+
+} // namespace topo
+
+#endif // TOPO_EVAL_PAGE_METRIC_HH

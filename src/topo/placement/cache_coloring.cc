@@ -1,0 +1,313 @@
+#include "topo/placement/cache_coloring.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "topo/placement/gap_fill.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+constexpr std::uint32_t kNoUnit = ~std::uint32_t{0};
+
+/** A compound of placed procedures with unit-relative line offsets. */
+struct Unit
+{
+    std::vector<std::pair<ProcId, std::uint64_t>> procs;
+    std::uint64_t len_lines = 0;
+    bool alive = false;
+};
+
+/** Working state of one HKC run. */
+struct Coloring
+{
+    const Program &program;
+    const WeightedGraph &wcg;
+    std::uint32_t line_bytes;
+    std::uint32_t cache_lines;
+    std::vector<Unit> units;
+    std::vector<std::uint32_t> unit_of;
+    std::vector<std::uint64_t> start_line; // unit-relative, per proc
+    std::vector<bool> popular;
+
+    Coloring(const PlacementContext &ctx)
+        : program(*ctx.program),
+          wcg(*ctx.wcg),
+          line_bytes(ctx.cache.line_bytes),
+          cache_lines(ctx.cache.lineCount()),
+          unit_of(ctx.program->procCount(), kNoUnit),
+          start_line(ctx.program->procCount(), 0)
+    {
+        popular.assign(program.procCount(), true);
+        if (!ctx.popular.empty())
+            popular = ctx.popular;
+    }
+
+    std::uint64_t
+    lines(ProcId p) const
+    {
+        return program.sizeInLines(p, line_bytes);
+    }
+
+    /**
+     * Accumulate, for every candidate start colour s of procedure
+     * @p q, the weighted number of colour collisions with procedure
+     * @p p (already placed; colours derived from its unit-relative
+     * start line). Sparse accumulation: one increment per line pair.
+     */
+    void
+    accumulateConflicts(std::vector<double> &cost, ProcId p, double weight,
+                        std::uint64_t q_lines) const
+    {
+        const std::uint64_t p_start = start_line[p];
+        const std::uint64_t p_len = lines(p);
+        for (std::uint64_t lp = 0; lp < p_len; ++lp) {
+            const std::uint64_t cp = (p_start + lp) % cache_lines;
+            for (std::uint64_t lq = 0; lq < q_lines; ++lq) {
+                const std::uint64_t s =
+                    (cp + cache_lines - lq % cache_lines) % cache_lines;
+                cost[s] += weight;
+            }
+        }
+    }
+
+    /** Create a fresh unit holding procedures u then v, adjacent. */
+    void
+    createUnit(ProcId u, ProcId v)
+    {
+        Unit unit;
+        unit.alive = true;
+        unit.procs.emplace_back(u, 0);
+        start_line[u] = 0;
+        unit.procs.emplace_back(v, lines(u));
+        start_line[v] = lines(u);
+        unit.len_lines = lines(u) + lines(v);
+        units.push_back(std::move(unit));
+        unit_of[u] = unit_of[v] =
+            static_cast<std::uint32_t>(units.size() - 1);
+    }
+
+    /**
+     * Attach unplaced procedure @p q to the unit holding @p anchor,
+     * at the tail, with the colour-conflict-minimising gap against
+     * q's already-placed call-graph neighbours in that unit.
+     */
+    void
+    attach(ProcId q, ProcId anchor)
+    {
+        const std::uint32_t ui = unit_of[anchor];
+        Unit &unit = units[ui];
+        const std::uint64_t q_lines = lines(q);
+
+        std::vector<double> cost(cache_lines, 0.0);
+        for (const auto &[n, w] : wcg.neighbors(q)) {
+            if (unit_of[n] == ui)
+                accumulateConflicts(cost, n, w, q_lines);
+        }
+        // Choose the start colour with the least conflict; among
+        // equals, the one needing the smallest gap past the tail.
+        const std::uint64_t tail_color = unit.len_lines % cache_lines;
+        std::uint64_t best_gap = 0;
+        double best_cost = cost[tail_color];
+        for (std::uint64_t g = 1; g < cache_lines; ++g) {
+            const std::uint64_t s = (tail_color + g) % cache_lines;
+            if (cost[s] < best_cost) {
+                best_cost = cost[s];
+                best_gap = g;
+            }
+        }
+        const std::uint64_t start = unit.len_lines + best_gap;
+        unit.procs.emplace_back(q, start);
+        start_line[q] = start;
+        unit.len_lines = start + q_lines;
+        unit_of[q] = ui;
+    }
+
+    /**
+     * Merge the unit of @p v after the unit of @p u, choosing the gap
+     * that minimises weighted colour conflicts across all call-graph
+     * edges crossing the two units ("already mapped procedures may
+     * move as long as they do not conflict with prior decisions").
+     */
+    void
+    mergeUnits(ProcId u, ProcId v)
+    {
+        const std::uint32_t ua = unit_of[u];
+        const std::uint32_t ub = unit_of[v];
+        Unit &a = units[ua];
+        Unit &b = units[ub];
+
+        std::vector<double> cost(cache_lines, 0.0);
+        // For every cross edge (p in a, q in b, w): a collision occurs
+        // when colour(p-line) == colour(q-line) after b is shifted to
+        // start at colour s; accumulate w at the offending s.
+        for (const auto &[q, q_off] : b.procs) {
+            for (const auto &[p, w] : wcg.neighbors(q)) {
+                if (unit_of[p] != ua)
+                    continue;
+                const std::uint64_t p_start = start_line[p];
+                const std::uint64_t p_len = lines(p);
+                const std::uint64_t q_len = lines(q);
+                for (std::uint64_t lp = 0; lp < p_len; ++lp) {
+                    const std::uint64_t cp =
+                        (p_start + lp) % cache_lines;
+                    for (std::uint64_t lq = 0; lq < q_len; ++lq) {
+                        const std::uint64_t qline =
+                            (q_off + lq) % cache_lines;
+                        const std::uint64_t s =
+                            (cp + cache_lines - qline) % cache_lines;
+                        cost[s] += w;
+                    }
+                }
+            }
+        }
+        const std::uint64_t tail_color = a.len_lines % cache_lines;
+        std::uint64_t best_gap = 0;
+        double best_cost = cost[tail_color];
+        for (std::uint64_t g = 1; g < cache_lines; ++g) {
+            const std::uint64_t s = (tail_color + g) % cache_lines;
+            if (cost[s] < best_cost) {
+                best_cost = cost[s];
+                best_gap = g;
+            }
+        }
+        const std::uint64_t shift = a.len_lines + best_gap;
+        for (const auto &[q, q_off] : b.procs) {
+            a.procs.emplace_back(q, q_off + shift);
+            start_line[q] = q_off + shift;
+            unit_of[q] = ua;
+        }
+        a.len_lines = shift + b.len_lines;
+        b.alive = false;
+        b.procs.clear();
+        b.len_lines = 0;
+    }
+};
+
+} // namespace
+
+Layout
+CacheColoring::place(const PlacementContext &ctx) const
+{
+    ctx.requireBasics("CacheColoring");
+    require(ctx.wcg != nullptr, "CacheColoring: context has no WCG");
+    require(ctx.wcg->nodeCount() == ctx.program->procCount(),
+            "CacheColoring: WCG node count mismatch");
+
+    const Program &program = *ctx.program;
+    Coloring state(ctx);
+
+    // Popular-procedure WCG edges, heaviest first (ties: smaller pair).
+    std::vector<WeightedGraph::Edge> edges;
+    for (const WeightedGraph::Edge &e : ctx.wcg->edges()) {
+        if (state.popular[e.u] && state.popular[e.v])
+            edges.push_back(e);
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const WeightedGraph::Edge &x, const WeightedGraph::Edge &y) {
+                  if (x.weight != y.weight)
+                      return x.weight > y.weight;
+                  if (x.u != y.u)
+                      return x.u < y.u;
+                  return x.v < y.v;
+              });
+
+    for (const WeightedGraph::Edge &e : edges) {
+        const bool u_placed = state.unit_of[e.u] != kNoUnit;
+        const bool v_placed = state.unit_of[e.v] != kNoUnit;
+        if (!u_placed && !v_placed) {
+            state.createUnit(e.u, e.v);
+        } else if (u_placed && !v_placed) {
+            state.attach(e.v, e.u);
+        } else if (!u_placed && v_placed) {
+            state.attach(e.u, e.v);
+        } else if (state.unit_of[e.u] != state.unit_of[e.v]) {
+            state.mergeUnits(e.u, e.v);
+        }
+        // Both in the same unit: alignment already decided; skip.
+    }
+
+    // Popular procedures with no popular edge each get their own unit.
+    for (std::size_t i = 0; i < program.procCount(); ++i) {
+        const auto id = static_cast<ProcId>(i);
+        if (!state.popular[id] || state.unit_of[id] != kNoUnit)
+            continue;
+        Unit unit;
+        unit.alive = true;
+        unit.procs.emplace_back(id, 0);
+        unit.len_lines = state.lines(id);
+        state.units.push_back(std::move(unit));
+        state.unit_of[id] = static_cast<std::uint32_t>(
+            state.units.size() - 1);
+        state.start_line[id] = 0;
+    }
+
+    // --- Emission: units ordered by hottest member; internal gaps are
+    // preserved (intra-unit colours shift uniformly with the base, so
+    // conflict decisions survive) and filled with unpopular code.
+    std::vector<std::uint32_t> unit_order;
+    for (std::uint32_t uidx = 0; uidx < state.units.size(); ++uidx) {
+        if (state.units[uidx].alive)
+            unit_order.push_back(uidx);
+    }
+    auto unit_heat = [&](std::uint32_t uidx) {
+        double h = 0.0;
+        for (const auto &[p, off] : state.units[uidx].procs)
+            h = std::max(h, ctx.heatOf(p));
+        return h;
+    };
+    std::stable_sort(unit_order.begin(), unit_order.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                         const double hx = unit_heat(x);
+                         const double hy = unit_heat(y);
+                         if (hx != hy)
+                             return hx > hy;
+                         return x < y;
+                     });
+
+    std::vector<ProcId> fillers;
+    for (ProcId id : procsByHeat(ctx)) {
+        if (!state.popular.empty() && !state.popular[id])
+            fillers.push_back(id);
+    }
+    GapFiller filler(program, fillers, ctx.cache.line_bytes);
+
+    Layout layout(program.procCount());
+    const std::uint32_t line_bytes = ctx.cache.line_bytes;
+    std::uint64_t cursor = 0; // in lines
+    for (std::uint32_t uidx : unit_order) {
+        Unit &unit = state.units[uidx];
+        std::sort(unit.procs.begin(), unit.procs.end(),
+                  [](const auto &x, const auto &y) {
+                      if (x.second != y.second)
+                          return x.second < y.second;
+                      return x.first < y.first;
+                  });
+        std::uint64_t local = 0; // next free line within the unit
+        for (const auto &[p, off] : unit.procs) {
+            if (off > local) {
+                // Internal gap: best-fit unpopular fillers.
+                for (const auto &[f, rel] : filler.fill(off - local)) {
+                    layout.setAddress(f, (cursor + local + rel) *
+                                             line_bytes);
+                }
+            }
+            layout.setAddress(p, (cursor + off) * line_bytes);
+            local = off + state.lines(p);
+        }
+        cursor += unit.len_lines;
+    }
+    // Remaining unpopular procedures, hottest first.
+    for (ProcId rest : filler.remaining()) {
+        layout.setAddress(rest, cursor * line_bytes);
+        cursor += state.lines(rest);
+    }
+    layout.validate(program, line_bytes);
+    return layout;
+}
+
+} // namespace topo

@@ -1,0 +1,96 @@
+#include "topo/placement/exhaustive.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "topo/placement/gbsc.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+ExhaustivePlacement::ExhaustivePlacement(Objective objective,
+                                         const FetchStream *stream,
+                                         ExhaustiveOptions options)
+    : objective_(objective), stream_(stream), options_(options)
+{
+    if (objective_ == Objective::SimulatedMisses) {
+        require(stream_ != nullptr,
+                "ExhaustivePlacement: SimulatedMisses needs a stream");
+    }
+}
+
+Layout
+ExhaustivePlacement::place(const PlacementContext &ctx) const
+{
+    ctx.requireBasics("ExhaustivePlacement");
+    if (objective_ == Objective::TrgMetric) {
+        require(ctx.chunks != nullptr && ctx.trg_place != nullptr,
+                "ExhaustivePlacement: TrgMetric needs chunks and "
+                "TRG_place");
+    }
+    const Program &program = *ctx.program;
+    const std::size_t n = program.procCount();
+    require(n >= 1, "ExhaustivePlacement: empty program");
+    require(n <= options_.max_procs,
+            "ExhaustivePlacement: too many procedures for exhaustive "
+            "search");
+    const std::uint32_t lines = ctx.cache.lineCount();
+    const double width = std::pow(static_cast<double>(lines),
+                                  static_cast<double>(n - 1));
+    require(width <= static_cast<double>(options_.max_combinations),
+            "ExhaustivePlacement: search space exceeds the combination "
+            "limit");
+
+    // Emission order: procedures by id; offsets realised via
+    // fromCacheOffsets, so candidate layouts are always valid.
+    std::vector<ProcId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    auto evaluate = [&](const std::vector<std::uint32_t> &offsets,
+                        Layout *out_layout) {
+        const Layout layout = Layout::fromCacheOffsets(
+            program, order, offsets, ctx.cache.line_bytes, lines);
+        double value = 0.0;
+        if (objective_ == Objective::TrgMetric) {
+            value = Gbsc::conflictMetric(ctx, offsets);
+        } else {
+            value = static_cast<double>(
+                simulateLayout(program, layout, *stream_, ctx.cache)
+                    .misses);
+        }
+        if (out_layout)
+            *out_layout = layout;
+        return value;
+    };
+
+    std::vector<std::uint32_t> offsets(n, 0);
+    std::vector<std::uint32_t> best_offsets(n, 0);
+    double best = evaluate(offsets, nullptr);
+    // Odometer over offsets[1..n-1]; offsets[0] stays pinned at 0.
+    while (true) {
+        std::size_t digit = n - 1;
+        for (; digit >= 1; --digit) {
+            if (++offsets[digit] < lines)
+                break;
+            offsets[digit] = 0;
+            if (digit == 1) {
+                digit = 0;
+                break;
+            }
+        }
+        if (digit == 0 || n == 1)
+            break;
+        const double value = evaluate(offsets, nullptr);
+        if (value < best) {
+            best = value;
+            best_offsets = offsets;
+        }
+    }
+    best_objective_ = best;
+    Layout layout(0);
+    evaluate(best_offsets, &layout);
+    return layout;
+}
+
+} // namespace topo

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Exhaustive (optimal) placement for tiny procedure sets.
+ *
+ * Enumerates every joint assignment of cache-relative offsets and
+ * keeps the best under either the TRG_place conflict metric or real
+ * simulated misses. Exponential in the procedure count — this is a
+ * test oracle and a quality upper bound for the greedy algorithms
+ * (used on the Figure 1 example and small synthetic cases), not a
+ * production placer.
+ */
+
+#ifndef TOPO_PLACEMENT_EXHAUSTIVE_HH
+#define TOPO_PLACEMENT_EXHAUSTIVE_HH
+
+#include "topo/cache/simulate.hh"
+#include "topo/placement/placement.hh"
+#include "topo/trace/fetch_stream.hh"
+
+namespace topo
+{
+
+/** Limits guarding the exponential search. */
+struct ExhaustiveOptions
+{
+    /** Refuse programs with more procedures than this. */
+    std::size_t max_procs = 8;
+    /** Refuse searches wider than this many offset combinations. */
+    std::uint64_t max_combinations = 2000000;
+};
+
+/**
+ * Brute-force offset search. The first procedure is pinned at offset
+ * zero (offsets only matter relative to each other).
+ */
+class ExhaustivePlacement : public PlacementAlgorithm
+{
+  public:
+    /** What the search minimises. */
+    enum class Objective
+    {
+        /** Sum of TRG_place weights over same-line chunk pairs. */
+        TrgMetric,
+        /** Real misses of a fetch stream replayed on each layout. */
+        SimulatedMisses,
+    };
+
+    /**
+     * @param objective Minimisation target.
+     * @param stream    Fetch stream for SimulatedMisses (must outlive
+     *                  the placer; ignored for TrgMetric).
+     * @param options   Search limits.
+     */
+    explicit ExhaustivePlacement(Objective objective,
+                                 const FetchStream *stream = nullptr,
+                                 ExhaustiveOptions options = {});
+
+    std::string name() const override { return "optimal"; }
+
+    /** Search; throws TopoError when the limits are exceeded. */
+    Layout place(const PlacementContext &ctx) const override;
+
+    /** Objective value of the best layout found by the last place(). */
+    double bestObjective() const { return best_objective_; }
+
+  private:
+    Objective objective_;
+    const FetchStream *stream_;
+    ExhaustiveOptions options_;
+    mutable double best_objective_ = 0.0;
+};
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_EXHAUSTIVE_HH

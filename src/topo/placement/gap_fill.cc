@@ -1,0 +1,51 @@
+#include "topo/placement/gap_fill.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+GapFiller::GapFiller(const Program &program, const std::vector<ProcId> &pool,
+                     std::uint32_t line_bytes)
+    : program_(program), line_bytes_(line_bytes)
+{
+    require(line_bytes > 0, "GapFiller: zero line size");
+    for (ProcId id : pool) {
+        const std::uint64_t lines =
+            program.sizeInLines(id, line_bytes);
+        by_lines_.emplace(lines, id);
+    }
+}
+
+std::vector<std::pair<ProcId, std::uint64_t>>
+GapFiller::fill(std::uint64_t gap_lines)
+{
+    std::vector<std::pair<ProcId, std::uint64_t>> placed;
+    std::uint64_t cursor = 0;
+    while (gap_lines > 0 && !by_lines_.empty()) {
+        // Largest candidate with size <= gap_lines.
+        auto it = by_lines_.upper_bound(gap_lines);
+        if (it == by_lines_.begin())
+            break; // nothing fits
+        --it;
+        const std::uint64_t lines = it->first;
+        const ProcId id = it->second;
+        by_lines_.erase(it);
+        placed.emplace_back(id, cursor);
+        cursor += lines;
+        gap_lines -= lines;
+    }
+    return placed;
+}
+
+std::vector<ProcId>
+GapFiller::remaining() const
+{
+    std::vector<ProcId> out;
+    out.reserve(by_lines_.size());
+    for (auto it = by_lines_.rbegin(); it != by_lines_.rend(); ++it)
+        out.push_back(it->second);
+    return out;
+}
+
+} // namespace topo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Greedy best-fit filling of layout gaps with unpopular procedures
+ * (Section 4.3: "we search the unpopular procedures for one or more
+ * that fill the gap"). Shared by the GBSC and HKC emitters.
+ */
+
+#ifndef TOPO_PLACEMENT_GAP_FILL_HH
+#define TOPO_PLACEMENT_GAP_FILL_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/**
+ * Consumes a pool of filler procedures, handing out best-fit subsets
+ * for successive gaps.
+ */
+class GapFiller
+{
+  public:
+    /**
+     * @param program    Procedure inventory.
+     * @param pool       Candidate fillers (each consumed at most once).
+     * @param line_bytes Cache line size for size rounding.
+     */
+    GapFiller(const Program &program, const std::vector<ProcId> &pool,
+              std::uint32_t line_bytes);
+
+    /**
+     * Fill a gap of @p gap_lines cache lines: repeatedly take the
+     * largest remaining candidate that still fits. Returns the chosen
+     * procedures with their line offsets relative to the gap start.
+     */
+    std::vector<std::pair<ProcId, std::uint64_t>>
+    fill(std::uint64_t gap_lines);
+
+    /** Candidates not yet consumed, largest first. */
+    std::vector<ProcId> remaining() const;
+
+  private:
+    const Program &program_;
+    std::uint32_t line_bytes_;
+    /** size-in-lines -> procedure ids of that size (FIFO per size). */
+    std::multimap<std::uint64_t, ProcId> by_lines_;
+};
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_GAP_FILL_HH

@@ -1,0 +1,197 @@
+#include "topo/placement/gbsc_setassoc.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/** Sorted unique set indices covered by a placed procedure. */
+std::vector<std::uint32_t>
+setsCovered(const PlacementContext &ctx, ProcId proc, std::uint32_t offset)
+{
+    const std::uint32_t sets = ctx.cache.setCount();
+    const std::uint32_t len =
+        ctx.program->sizeInLines(proc, ctx.cache.line_bytes);
+    std::vector<std::uint32_t> covered;
+    if (len >= sets) {
+        covered.resize(sets);
+        for (std::uint32_t s = 0; s < sets; ++s)
+            covered[s] = s;
+        return covered;
+    }
+    covered.reserve(len);
+    for (std::uint32_t line = 0; line < len; ++line)
+        covered.push_back((offset + line) % sets);
+    std::sort(covered.begin(), covered.end());
+    covered.erase(std::unique(covered.begin(), covered.end()),
+                  covered.end());
+    return covered;
+}
+
+using SetMap = std::unordered_map<ProcId, std::vector<std::uint32_t>>;
+
+SetMap
+nodeSets(const PlacementContext &ctx, const GbscNode &node)
+{
+    SetMap map;
+    for (const auto &[proc, offset] : node.procs)
+        map.emplace(proc, setsCovered(ctx, proc, offset));
+    return map;
+}
+
+/** Sorted-vector intersection. */
+std::vector<std::uint32_t>
+intersect(const std::vector<std::uint32_t> &a,
+          const std::vector<std::uint32_t> &b)
+{
+    std::vector<std::uint32_t> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+/** Per-set line-occupancy histogram of a node. */
+std::vector<std::uint64_t>
+setOccupancy(const PlacementContext &ctx, const GbscNode &node)
+{
+    const std::uint32_t sets = ctx.cache.setCount();
+    std::vector<std::uint64_t> occ(sets, 0);
+    for (const auto &[proc, offset] : node.procs) {
+        const std::uint32_t len =
+            ctx.program->sizeInLines(proc, ctx.cache.line_bytes);
+        for (std::uint32_t line = 0; line < len; ++line)
+            ++occ[(offset + line) % sets];
+    }
+    return occ;
+}
+
+} // namespace
+
+void
+GbscSetAssoc::validateInputs(const PlacementContext &ctx) const
+{
+    require(ctx.pairs != nullptr,
+            "GbscSetAssoc: context has no pair database");
+    require(ctx.cache.associativity >= 2,
+            "GbscSetAssoc: cache must be set-associative");
+    require(ctx.chunks != nullptr && ctx.trg_place != nullptr,
+            "GbscSetAssoc: context needs chunks and TRG_place for the "
+            "inherited machinery");
+}
+
+GbscNode
+GbscSetAssoc::doMerge(const PlacementContext &ctx, const GbscNode &n1,
+                      const GbscNode &n2) const
+{
+    const std::uint32_t sets = ctx.cache.setCount();
+    const std::uint32_t cache_lines = ctx.cache.lineCount();
+
+    const SetMap sets1 = nodeSets(ctx, n1);
+    const SetMap sets2 = nodeSets(ctx, n2);
+
+    // D(p,{r,s}) is charged at every alignment mapping the victim p and
+    // both displacing blocks r, s to one set. Constant terms (all three
+    // blocks in the same node) cannot influence the choice and are
+    // skipped; every mixed membership is charged:
+    //   one block moving with n2  -> the two fixed blocks must already
+    //   share a set c; alignment i = c - set(moving block);
+    //   two blocks moving with n2 -> they must share a set c2 in n2's
+    //   frame; alignment i = set(fixed block) - c2.
+    std::vector<double> cost(sets, 0.0);
+    for (const PairDatabase::Entry &e : ctx.pairs->entries()) {
+        const std::vector<std::uint32_t> *in1[3] = {nullptr, nullptr,
+                                                    nullptr};
+        const std::vector<std::uint32_t> *in2[3] = {nullptr, nullptr,
+                                                    nullptr};
+        const BlockId ids[3] = {e.p, e.r, e.s};
+        bool involved = true;
+        int moving = 0;
+        for (int k = 0; k < 3; ++k) {
+            auto it1 = sets1.find(ids[k]);
+            auto it2 = sets2.find(ids[k]);
+            if (it1 != sets1.end()) {
+                in1[k] = &it1->second;
+            } else if (it2 != sets2.end()) {
+                in2[k] = &it2->second;
+                ++moving;
+            } else {
+                involved = false;
+                break;
+            }
+        }
+        if (!involved || moving == 0 || moving == 3)
+            continue;
+        if (moving == 1) {
+            // Two fixed blocks, one moving.
+            int m = 0;
+            while (in2[m] == nullptr)
+                ++m;
+            const int f1 = (m + 1) % 3, f2 = (m + 2) % 3;
+            for (std::uint32_t c : intersect(*in1[f1], *in1[f2])) {
+                for (std::uint32_t x : *in2[m])
+                    cost[(c + sets - x) % sets] += e.weight;
+            }
+        } else {
+            // Two moving blocks, one fixed.
+            int f = 0;
+            while (in1[f] == nullptr)
+                ++f;
+            const int m1 = (f + 1) % 3, m2 = (f + 2) % 3;
+            for (std::uint32_t c2 : intersect(*in2[m1], *in2[m2])) {
+                for (std::uint32_t y : *in1[f])
+                    cost[(y + sets - c2) % sets] += e.weight;
+            }
+        }
+    }
+
+    // The pair database is sparse (window cap, pruning), so many
+    // alignments tie at the same D cost. Secondary criterion: the
+    // chunk-granularity TRG_place cost evaluated at set granularity —
+    // a single-interleaver collision cannot evict in a 2-way set, but
+    // among equal-D alignments avoiding hot co-residency is strictly
+    // safer. Tertiary: raw line overlap (occupancy spreading).
+    const std::vector<double> chunk_cost =
+        Gbsc::alignmentCost(ctx, n1, n2, sets);
+    const std::vector<std::uint64_t> occ1 = setOccupancy(ctx, n1);
+    const std::vector<std::uint64_t> occ2 = setOccupancy(ctx, n2);
+    std::vector<std::uint64_t> overlap(sets, 0);
+    for (std::uint32_t s1 = 0; s1 < sets; ++s1) {
+        if (occ1[s1] == 0)
+            continue;
+        for (std::uint32_t s2 = 0; s2 < sets; ++s2) {
+            if (occ2[s2] == 0)
+                continue;
+            overlap[(s1 + sets - s2) % sets] += occ1[s1] * occ2[s2];
+        }
+    }
+
+    std::uint32_t best_offset = 0;
+    auto better = [&](std::uint32_t a, std::uint32_t b) {
+        if (cost[a] != cost[b])
+            return cost[a] < cost[b];
+        if (chunk_cost[a] != chunk_cost[b])
+            return chunk_cost[a] < chunk_cost[b];
+        return overlap[a] < overlap[b];
+    };
+    for (std::uint32_t i = 1; i < sets; ++i) {
+        if (better(i, best_offset))
+            best_offset = i;
+    }
+
+    GbscNode merged;
+    merged.procs = n1.procs;
+    merged.procs.reserve(n1.procs.size() + n2.procs.size());
+    for (const auto &[proc, offset] : n2.procs) {
+        merged.procs.emplace_back(proc,
+                                  (offset + best_offset) % cache_lines);
+    }
+    return merged;
+}
+
+} // namespace topo

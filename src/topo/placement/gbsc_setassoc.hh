@@ -1,0 +1,42 @@
+/**
+ * @file
+ * GBSC extension for set-associative caches (Section 6).
+ *
+ * In a 2-way LRU set one intervening block cannot evict p; two can.
+ * The merge cost therefore consults the pair database D(p,{r,s}): an
+ * alignment is charged D(p,{r,s}) whenever it maps p (in one node) and
+ * both r and s (in the other node) to the same set. Selection and
+ * final-list emission are inherited from Gbsc.
+ *
+ * Implementation notes (documented substitutions, see DESIGN.md):
+ * the database is built at procedure granularity with a bounded pair
+ * window, and mixed triples with r and s in different nodes are not
+ * charged — matching the paper's "a code block in n1 against all
+ * pairs of code blocks in n2 and vice-versa" description.
+ */
+
+#ifndef TOPO_PLACEMENT_GBSC_SETASSOC_HH
+#define TOPO_PLACEMENT_GBSC_SETASSOC_HH
+
+#include "topo/placement/gbsc.hh"
+
+namespace topo
+{
+
+/** Set-associative GBSC (Section 6); requires ctx.pairs. */
+class GbscSetAssoc : public Gbsc
+{
+  public:
+    using Gbsc::Gbsc;
+
+    std::string name() const override { return "GBSC-SA"; }
+
+  protected:
+    void validateInputs(const PlacementContext &ctx) const override;
+    GbscNode doMerge(const PlacementContext &ctx, const GbscNode &n1,
+                     const GbscNode &n2) const override;
+};
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_GBSC_SETASSOC_HH

@@ -1,0 +1,114 @@
+#include "topo/placement/merge_graph.hh"
+
+#include <algorithm>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+MergeGraph::MergeGraph(const WeightedGraph &base,
+                       const std::vector<bool> *mask)
+    : adjacency_(base.nodeCount()), alive_(base.nodeCount(), true)
+{
+    if (mask) {
+        require(mask->size() == base.nodeCount(),
+                "MergeGraph: mask size mismatch");
+    }
+    for (const WeightedGraph::Edge &e : base.edges()) {
+        if (mask && (!(*mask)[e.u] || !(*mask)[e.v]))
+            continue;
+        adjacency_[e.u][e.v] = e.weight;
+        adjacency_[e.v][e.u] = e.weight;
+        ++edge_count_;
+    }
+    if (mask) {
+        for (std::size_t i = 0; i < alive_.size(); ++i)
+            alive_[i] = (*mask)[i];
+    }
+}
+
+MergeGraph::Edge
+MergeGraph::maxEdge() const
+{
+    Edge best;
+    // Reservoir count for uniform random tie breaking when enabled.
+    std::uint64_t ties = 0;
+    for (std::size_t u = 0; u < adjacency_.size(); ++u) {
+        if (!alive_[u])
+            continue;
+        for (const auto &[v, w] : adjacency_[u]) {
+            if (static_cast<BlockId>(u) > v)
+                continue; // consider each edge once
+            const BlockId a = static_cast<BlockId>(u);
+            bool take = false;
+            if (!best.valid || w > best.weight) {
+                take = true;
+                ties = 1;
+            } else if (w == best.weight) {
+                if (tie_rng_) {
+                    // Reservoir sampling over equal-weight edges. Note
+                    // the candidate order is hash-map order, but the
+                    // selection is uniform over the tie set regardless.
+                    ++ties;
+                    take = tie_rng_->nextBelow(ties) == 0;
+                } else {
+                    take = a < best.u || (a == best.u && v < best.v);
+                }
+            }
+            if (take) {
+                best.u = a;
+                best.v = v;
+                best.weight = w;
+                best.valid = true;
+            }
+        }
+    }
+    return best;
+}
+
+void
+MergeGraph::setTieBreaker(std::uint64_t seed)
+{
+    tie_rng_ = std::make_unique<Rng>(seed);
+}
+
+void
+MergeGraph::mergeInto(BlockId u, BlockId v)
+{
+    require(u < adjacency_.size() && v < adjacency_.size(),
+            "MergeGraph::mergeInto: node out of range");
+    require(u != v, "MergeGraph::mergeInto: cannot merge a node into "
+                    "itself");
+    require(alive_[u] && alive_[v], "MergeGraph::mergeInto: dead node");
+
+    // Remove the direct edge if present.
+    auto direct = adjacency_[u].find(v);
+    if (direct != adjacency_[u].end()) {
+        adjacency_[u].erase(direct);
+        adjacency_[v].erase(u);
+        --edge_count_;
+    }
+    // Fold v's remaining edges into u.
+    for (const auto &[r, w] : adjacency_[v]) {
+        auto [it, inserted] = adjacency_[u].try_emplace(r, 0.0);
+        it->second += w;
+        adjacency_[r].erase(v);
+        adjacency_[r][u] = it->second;
+        if (!inserted)
+            --edge_count_; // parallel edge folded
+    }
+    adjacency_[v].clear();
+    alive_[v] = false;
+}
+
+double
+MergeGraph::weightBetween(BlockId u, BlockId v) const
+{
+    require(u < adjacency_.size() && v < adjacency_.size(),
+            "MergeGraph::weightBetween: node out of range");
+    auto it = adjacency_[u].find(v);
+    return it == adjacency_[u].end() ? 0.0 : it->second;
+}
+
+} // namespace topo

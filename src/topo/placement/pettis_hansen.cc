@@ -1,0 +1,200 @@
+#include "topo/placement/pettis_hansen.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "topo/placement/merge_graph.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/** Chain of procedures with cached line-aligned byte positions. */
+struct Chain
+{
+    std::vector<ProcId> procs;
+    /** Line-aligned start offset of each procedure within the chain. */
+    std::vector<std::uint64_t> starts;
+    std::uint64_t length = 0; // line-aligned total bytes
+};
+
+std::uint64_t
+alignedSize(const Program &program, ProcId id, std::uint32_t line_bytes)
+{
+    const std::uint64_t size = program.proc(id).size_bytes;
+    return (size + line_bytes - 1) / line_bytes * line_bytes;
+}
+
+/** Rebuild the cached positions of a chain. */
+void
+reindex(Chain &chain, const Program &program, std::uint32_t line_bytes)
+{
+    chain.starts.resize(chain.procs.size());
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < chain.procs.size(); ++i) {
+        chain.starts[i] = cursor;
+        cursor += alignedSize(program, chain.procs[i], line_bytes);
+    }
+    chain.length = cursor;
+}
+
+} // namespace
+
+Layout
+PettisHansen::place(const PlacementContext &ctx) const
+{
+    ctx.requireBasics("PettisHansen");
+    require(ctx.wcg != nullptr, "PettisHansen: context has no WCG");
+    const Program &program = *ctx.program;
+    const WeightedGraph &wcg = *ctx.wcg;
+    require(wcg.nodeCount() == program.procCount(),
+            "PettisHansen: WCG node count mismatch");
+    const std::uint32_t line_bytes = ctx.cache.line_bytes;
+
+    // One chain per procedure to start; chain_of maps procedures to
+    // their current chain (chains are merged in place, losers emptied).
+    std::vector<Chain> chains(program.procCount());
+    std::vector<std::uint32_t> chain_of(program.procCount());
+    for (std::size_t i = 0; i < program.procCount(); ++i) {
+        chains[i].procs = {static_cast<ProcId>(i)};
+        reindex(chains[i], program, line_bytes);
+        chain_of[i] = static_cast<std::uint32_t>(i);
+    }
+
+    MergeGraph working(wcg);
+    if (has_tie_seed_)
+        working.setTieBreaker(tie_seed_);
+    while (!working.done()) {
+        const MergeGraph::Edge heaviest = working.maxEdge();
+        require(heaviest.valid, "PettisHansen: inconsistent working graph");
+        const std::uint32_t ca = chain_of[heaviest.u];
+        const std::uint32_t cb = chain_of[heaviest.v];
+        require(ca != cb, "PettisHansen: edge inside one chain");
+        Chain &a = chains[ca];
+        Chain &b = chains[cb];
+
+        // Find the strongest original-graph edge crossing the chains
+        // (Section 2: "queries the original graph").
+        ProcId best_p = kInvalidProc, best_q = kInvalidProc;
+        double best_w = -1.0;
+        const Chain &smaller = a.procs.size() <= b.procs.size() ? a : b;
+        const std::uint32_t other = (&smaller == &a) ? cb : ca;
+        for (ProcId p : smaller.procs) {
+            for (const auto &[q, w] : wcg.neighbors(p)) {
+                if (chain_of[q] != other)
+                    continue;
+                if (w > best_w || (w == best_w && (p < best_p ||
+                                                   (p == best_p &&
+                                                    q < best_q)))) {
+                    best_w = w;
+                    best_p = p;
+                    best_q = q;
+                }
+            }
+        }
+        require(best_p != kInvalidProc,
+                "PettisHansen: no original edge between merged chains");
+        // Normalise so best_p lives in chain a and best_q in chain b.
+        if (chain_of[best_p] != ca)
+            std::swap(best_p, best_q);
+
+        // Evaluate the four concatenations AB, AB', A'B, A'B' by the
+        // byte distance between best_p and best_q.
+        const std::size_t ip = static_cast<std::size_t>(
+            std::find(a.procs.begin(), a.procs.end(), best_p) -
+            a.procs.begin());
+        const std::size_t iq = static_cast<std::size_t>(
+            std::find(b.procs.begin(), b.procs.end(), best_q) -
+            b.procs.begin());
+        const std::uint64_t size_p = alignedSize(program, best_p,
+                                                 line_bytes);
+        const std::uint64_t size_q = alignedSize(program, best_q,
+                                                 line_bytes);
+        // Position of p in A and in reversed A (A'), likewise for q.
+        const std::uint64_t p_fwd = a.starts[ip];
+        const std::uint64_t p_rev = a.length - a.starts[ip] - size_p;
+        const std::uint64_t q_fwd = b.starts[iq];
+        const std::uint64_t q_rev = b.length - b.starts[iq] - size_q;
+
+        auto distance = [&](std::uint64_t p_pos, std::uint64_t q_pos) {
+            // q is in the second chain, shifted by the length of the
+            // first; measure the gap between the two procedures.
+            const std::uint64_t q_abs = a.length + q_pos;
+            return q_abs > p_pos + size_p ? q_abs - (p_pos + size_p)
+                                          : 0;
+        };
+        struct Option
+        {
+            bool rev_a;
+            bool rev_b;
+            std::uint64_t dist;
+        };
+        const Option options[4] = {
+            {false, false, distance(p_fwd, q_fwd)}, // AB
+            {false, true, distance(p_fwd, q_rev)},  // AB'
+            {true, false, distance(p_rev, q_fwd)},  // A'B
+            {true, true, distance(p_rev, q_rev)},   // A'B'
+        };
+        const Option *best_opt = &options[0];
+        for (const Option &opt : options) {
+            if (opt.dist < best_opt->dist)
+                best_opt = &opt;
+        }
+
+        // Build the merged chain in place (into chain a).
+        std::vector<ProcId> merged;
+        merged.reserve(a.procs.size() + b.procs.size());
+        if (best_opt->rev_a)
+            merged.assign(a.procs.rbegin(), a.procs.rend());
+        else
+            merged.assign(a.procs.begin(), a.procs.end());
+        if (best_opt->rev_b)
+            merged.insert(merged.end(), b.procs.rbegin(), b.procs.rend());
+        else
+            merged.insert(merged.end(), b.procs.begin(), b.procs.end());
+        a.procs = std::move(merged);
+        reindex(a, program, line_bytes);
+        for (ProcId moved : b.procs)
+            chain_of[moved] = ca;
+        b.procs.clear();
+        b.starts.clear();
+        b.length = 0;
+
+        working.mergeInto(heaviest.u, heaviest.v);
+        chain_of[heaviest.v] = ca; // representative bookkeeping
+    }
+
+    // Emit: chains ordered by their hottest member, then singleton
+    // procedures that never took part in a call edge.
+    std::vector<std::uint32_t> chain_ids;
+    for (std::uint32_t c = 0; c < chains.size(); ++c) {
+        if (!chains[c].procs.empty())
+            chain_ids.push_back(c);
+    }
+    auto chain_heat = [&](std::uint32_t c) {
+        double h = 0.0;
+        for (ProcId p : chains[c].procs)
+            h = std::max(h, ctx.heatOf(p));
+        return h;
+    };
+    std::stable_sort(chain_ids.begin(), chain_ids.end(),
+                     [&](std::uint32_t x, std::uint32_t y) {
+                         const double hx = chain_heat(x);
+                         const double hy = chain_heat(y);
+                         if (hx != hy)
+                             return hx > hy;
+                         return x < y;
+                     });
+    std::vector<ProcId> order;
+    order.reserve(program.procCount());
+    for (std::uint32_t c : chain_ids) {
+        for (ProcId p : chains[c].procs)
+            order.push_back(p);
+    }
+    return Layout::fromOrder(program, order, line_bytes);
+}
+
+} // namespace topo

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Pettis-Hansen procedure-placement algorithm (Section 2).
+ *
+ * PH greedily merges the two nodes joined by the heaviest edge of the
+ * working graph. Node contents are kept as linear *chains*; when two
+ * chains merge, the four concatenations AB, AB', A'B, A'B' are scored
+ * by the byte distance between the endpoints of the strongest
+ * original-graph edge crossing the chains, and the closest wins. The
+ * final layout concatenates the surviving chains.
+ */
+
+#ifndef TOPO_PLACEMENT_PETTIS_HANSEN_HH
+#define TOPO_PLACEMENT_PETTIS_HANSEN_HH
+
+#include "topo/placement/placement.hh"
+
+namespace topo
+{
+
+/** Pettis-Hansen placement driven by the context's WCG. */
+class PettisHansen : public PlacementAlgorithm
+{
+  public:
+    PettisHansen() = default;
+
+    /**
+     * Construct with a random tie breaker for equal-weight working
+     * edges (Section 5.1 sensitivity experiments). The default breaks
+     * ties deterministically.
+     */
+    explicit PettisHansen(std::uint64_t tie_seed)
+        : tie_seed_(tie_seed), has_tie_seed_(true)
+    {}
+
+    std::string name() const override { return "PH"; }
+
+    /**
+     * Place using ctx.wcg. Requires program and wcg; popularity is not
+     * used (PH operates on every procedure with call activity, as in
+     * the original paper).
+     */
+    Layout place(const PlacementContext &ctx) const override;
+
+  private:
+    std::uint64_t tie_seed_ = 0;
+    bool has_tie_seed_ = false;
+};
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_PETTIS_HANSEN_HH

@@ -1,0 +1,61 @@
+#include "topo/placement/placement.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "topo/util/error.hh"
+#include "topo/util/rng.hh"
+
+namespace topo
+{
+
+void
+PlacementContext::requireBasics(const std::string &who) const
+{
+    require(program != nullptr, who + ": context has no program");
+    cache.validate();
+    if (!popular.empty()) {
+        require(popular.size() == program->procCount(),
+                who + ": popularity mask size mismatch");
+    }
+    if (!heat.empty()) {
+        require(heat.size() == program->procCount(),
+                who + ": heat vector size mismatch");
+    }
+}
+
+Layout
+DefaultPlacement::place(const PlacementContext &ctx) const
+{
+    ctx.requireBasics("DefaultPlacement");
+    return Layout::defaultOrder(*ctx.program, ctx.cache.line_bytes);
+}
+
+Layout
+RandomPlacement::place(const PlacementContext &ctx) const
+{
+    ctx.requireBasics("RandomPlacement");
+    std::vector<ProcId> order(ctx.program->procCount());
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed_);
+    rng.shuffle(order);
+    return Layout::fromOrder(*ctx.program, order, ctx.cache.line_bytes);
+}
+
+std::vector<ProcId>
+procsByHeat(const PlacementContext &ctx)
+{
+    std::vector<ProcId> order(ctx.program->procCount());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&ctx](ProcId a, ProcId b) {
+                         const double ha = ctx.heatOf(a);
+                         const double hb = ctx.heatOf(b);
+                         if (ha != hb)
+                             return ha > hb;
+                         return a < b;
+                     });
+    return order;
+}
+
+} // namespace topo

@@ -1,0 +1,54 @@
+#include "topo/placement/popularity.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+PopularSet
+selectPopular(const Program &program, const TraceStats &stats,
+              const PopularityOptions &options)
+{
+    require(stats.bytes_fetched.size() == program.procCount(),
+            "selectPopular: stats/program mismatch");
+    require(options.coverage > 0.0 && options.coverage <= 1.0,
+            "selectPopular: coverage must be in (0, 1]");
+
+    std::vector<ProcId> order(program.procCount());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&stats](ProcId a, ProcId b) {
+                         return stats.bytes_fetched[a] >
+                                stats.bytes_fetched[b];
+                     });
+
+    PopularSet set;
+    set.mask.assign(program.procCount(), false);
+    const double total = static_cast<double>(stats.total_bytes);
+    std::uint64_t covered_bytes = 0;
+    for (ProcId id : order) {
+        if (stats.bytes_fetched[id] == 0)
+            break; // untouched procedures are never popular
+        const bool coverage_met =
+            total > 0.0 &&
+            static_cast<double>(covered_bytes) >= options.coverage * total;
+        const bool above_min = set.count >= options.min_procs;
+        if (coverage_met && above_min)
+            break;
+        if (options.max_procs != 0 && set.count >= options.max_procs)
+            break;
+        set.mask[id] = true;
+        ++set.count;
+        set.bytes += program.proc(id).size_bytes;
+        covered_bytes += stats.bytes_fetched[id];
+    }
+    set.covered = total > 0.0
+                      ? static_cast<double>(covered_bytes) / total
+                      : 0.0;
+    return set;
+}
+
+} // namespace topo

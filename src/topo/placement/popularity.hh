@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Popular-procedure selection (Section 4, after Hashemi et al.).
+ *
+ * GBSC and HKC restrict their relationship graphs to frequently
+ * executed procedures. This module selects the smallest set of
+ * procedures that covers a given fraction of all dynamically fetched
+ * bytes.
+ */
+
+#ifndef TOPO_PLACEMENT_POPULARITY_HH
+#define TOPO_PLACEMENT_POPULARITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/program/program.hh"
+#include "topo/trace/trace_stats.hh"
+
+namespace topo
+{
+
+/** Options for popularity selection. */
+struct PopularityOptions
+{
+    /** Fraction of dynamic bytes the popular set must cover. */
+    double coverage = 0.999;
+    /** Upper bound on the popular set size; 0 means unbounded. */
+    std::size_t max_procs = 0;
+    /** Lower bound on the popular set size (when enough are touched). */
+    std::size_t min_procs = 1;
+};
+
+/** Result of popularity selection. */
+struct PopularSet
+{
+    /** Per-procedure mask. */
+    std::vector<bool> mask;
+    /** Number of popular procedures. */
+    std::size_t count = 0;
+    /** Total static size of the popular procedures in bytes. */
+    std::uint64_t bytes = 0;
+    /** Fraction of dynamic bytes actually covered. */
+    double covered = 0.0;
+};
+
+/**
+ * Select popular procedures by dynamic-byte coverage.
+ *
+ * Procedures are ranked by bytes fetched; the popular set is the
+ * shortest prefix covering @p options.coverage of the total, clamped
+ * by min/max bounds. Untouched procedures are never popular.
+ */
+PopularSet selectPopular(const Program &program, const TraceStats &stats,
+                         const PopularityOptions &options = {});
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_POPULARITY_HH

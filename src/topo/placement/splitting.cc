@@ -1,0 +1,211 @@
+#include "topo/placement/splitting.hh"
+
+#include <algorithm>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+std::vector<std::uint64_t>
+chunkHeat(const Program &program, const ChunkMap &chunks,
+          const Trace &trace)
+{
+    require(trace.procCount() == program.procCount(),
+            "chunkHeat: program/trace mismatch");
+    std::vector<std::uint64_t> heat(chunks.chunkCount(), 0);
+    const std::uint32_t chunk_bytes = chunks.chunkBytes();
+    for (const TraceEvent &ev : trace.events()) {
+        const std::uint32_t end = ev.offset + ev.length;
+        std::uint32_t pos = ev.offset;
+        while (pos < end) {
+            const std::uint32_t idx = pos / chunk_bytes;
+            const std::uint32_t chunk_end =
+                std::min(end, (idx + 1) * chunk_bytes);
+            heat[chunks.chunkId(ev.proc, idx)] += chunk_end - pos;
+            pos = chunk_end;
+        }
+    }
+    return heat;
+}
+
+const SplitProgram::ProcSplit &
+SplitProgram::splitOf(ProcId original) const
+{
+    require(original < splits_.size(), "SplitProgram: invalid original "
+                                       "procedure id");
+    return splits_[original];
+}
+
+Trace
+SplitProgram::transform(const Trace &original) const
+{
+    require(original.procCount() == original_proc_count_,
+            "SplitProgram::transform: trace was recorded against a "
+            "different program");
+    Trace out(program_.procCount());
+    out.reserve(original.size());
+
+    // Pending run being coalesced.
+    ProcId cur_proc = kInvalidProc;
+    std::uint32_t cur_begin = 0;
+    std::uint32_t cur_end = 0;
+    auto flush = [&]() {
+        if (cur_proc != kInvalidProc && cur_end > cur_begin)
+            out.append(cur_proc, cur_begin, cur_end - cur_begin);
+        cur_proc = kInvalidProc;
+    };
+
+    for (const TraceEvent &ev : original.events()) {
+        const std::uint32_t end = ev.offset + ev.length;
+        std::uint32_t pos = ev.offset;
+        while (pos < end) {
+            const std::uint32_t idx = pos / chunk_bytes_;
+            const std::uint32_t chunk_begin = idx * chunk_bytes_;
+            const std::uint32_t piece_end =
+                std::min(end, chunk_begin + chunk_bytes_);
+            const ChunkId chunk = first_chunk_[ev.proc] + idx;
+            const ProcId dst = chunk_proc_[chunk];
+            const std::uint32_t dst_off =
+                chunk_offset_[chunk] + (pos - chunk_begin);
+            const std::uint32_t dst_end = dst_off + (piece_end - pos);
+            if (dst == cur_proc && dst_off == cur_end) {
+                cur_end = dst_end; // contiguous: coalesce
+            } else {
+                flush();
+                cur_proc = dst;
+                cur_begin = dst_off;
+                cur_end = dst_end;
+            }
+            pos = piece_end;
+        }
+    }
+    flush();
+    return out;
+}
+
+SplitProgram
+splitProcedures(const Program &program, const Trace &training,
+                const SplitOptions &options)
+{
+    require(options.chunk_bytes > 0, "splitProcedures: zero chunk size");
+    require(options.min_fetched_bytes > 0,
+            "splitProcedures: zero hot threshold");
+    const ChunkMap chunks(program, options.chunk_bytes);
+    const std::vector<std::uint64_t> heat =
+        chunkHeat(program, chunks, training);
+
+    SplitProgram split;
+    split.program_ = Program(program.name() + ".split");
+    split.splits_.resize(program.procCount());
+    split.chunk_proc_.assign(chunks.chunkCount(), kInvalidProc);
+    split.chunk_offset_.assign(chunks.chunkCount(), 0);
+    split.chunk_bytes_ = options.chunk_bytes;
+    split.original_proc_count_ = program.procCount();
+    split.first_chunk_.resize(program.procCount());
+    for (std::size_t p = 0; p < program.procCount(); ++p) {
+        split.first_chunk_[p] =
+            chunks.chunkId(static_cast<ProcId>(p), 0);
+    }
+
+    // Cold parts are appended after all hot parts so the derived
+    // "source order" keeps hot code together even before placement.
+    struct PendingCold
+    {
+        ProcId original;
+        std::vector<ChunkId> chunks;
+        std::uint32_t bytes;
+    };
+    std::vector<PendingCold> pending_cold;
+
+    for (std::size_t p = 0; p < program.procCount(); ++p) {
+        const auto original = static_cast<ProcId>(p);
+        const std::uint32_t count = chunks.chunksOf(original);
+        std::vector<ChunkId> hot_chunks, cold_chunks;
+        std::uint32_t hot_bytes = 0, cold_bytes = 0;
+        for (std::uint32_t c = 0; c < count; ++c) {
+            const ChunkId chunk = chunks.chunkId(original, c);
+            if (heat[chunk] >= options.min_fetched_bytes) {
+                hot_chunks.push_back(chunk);
+                hot_bytes += chunks.chunkSizeBytes(chunk);
+            } else {
+                cold_chunks.push_back(chunk);
+                cold_bytes += chunks.chunkSizeBytes(chunk);
+            }
+        }
+        SplitProgram::ProcSplit &entry = split.splits_[original];
+        const std::string &name = program.proc(original).name;
+        if (!hot_chunks.empty()) {
+            const bool whole = cold_chunks.empty();
+            entry.hot = split.program_.addProcedure(
+                whole ? name : name + ".hot", hot_bytes);
+            std::uint32_t offset = 0;
+            for (ChunkId chunk : hot_chunks) {
+                split.chunk_proc_[chunk] = entry.hot;
+                split.chunk_offset_[chunk] = offset;
+                offset += chunks.chunkSizeBytes(chunk);
+            }
+        }
+        if (!cold_chunks.empty()) {
+            pending_cold.push_back(
+                PendingCold{original, std::move(cold_chunks),
+                            cold_bytes});
+        }
+        if (!hot_chunks.empty() && !pending_cold.empty() &&
+            pending_cold.back().original == original) {
+            ++split.split_count_;
+        }
+    }
+    for (const PendingCold &cold : pending_cold) {
+        SplitProgram::ProcSplit &entry = split.splits_[cold.original];
+        const std::string &name = program.proc(cold.original).name;
+        const bool whole = entry.hot == kInvalidProc;
+        entry.cold = split.program_.addProcedure(
+            whole ? name : name + ".cold", cold.bytes);
+        std::uint32_t offset = 0;
+        for (ChunkId chunk : cold.chunks) {
+            split.chunk_proc_[chunk] = entry.cold;
+            split.chunk_offset_[chunk] = offset;
+            offset += chunks.chunkSizeBytes(chunk);
+        }
+        split.cold_bytes_ += cold.bytes;
+    }
+    return split;
+}
+
+SplitProgram
+explodeProcedures(const Program &program, std::uint32_t chunk_bytes)
+{
+    require(chunk_bytes > 0, "explodeProcedures: zero chunk size");
+    const ChunkMap chunks(program, chunk_bytes);
+
+    SplitProgram split;
+    split.program_ = Program(program.name() + ".exploded");
+    split.splits_.resize(program.procCount());
+    split.chunk_proc_.assign(chunks.chunkCount(), kInvalidProc);
+    split.chunk_offset_.assign(chunks.chunkCount(), 0);
+    split.chunk_bytes_ = chunk_bytes;
+    split.original_proc_count_ = program.procCount();
+    split.first_chunk_.resize(program.procCount());
+
+    for (std::size_t p = 0; p < program.procCount(); ++p) {
+        const auto original = static_cast<ProcId>(p);
+        split.first_chunk_[p] = chunks.chunkId(original, 0);
+        const std::uint32_t count = chunks.chunksOf(original);
+        for (std::uint32_t c = 0; c < count; ++c) {
+            const ChunkId chunk = chunks.chunkId(original, c);
+            const ProcId derived = split.program_.addProcedure(
+                program.proc(original).name + "." + std::to_string(c),
+                chunks.chunkSizeBytes(chunk));
+            split.chunk_proc_[chunk] = derived;
+            split.chunk_offset_[chunk] = 0;
+            if (c == 0)
+                split.splits_[original].hot = derived;
+        }
+        if (count > 1)
+            ++split.split_count_;
+    }
+    return split;
+}
+
+} // namespace topo

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Procedure splitting (Pettis & Hansen's "fluff" separation).
+ *
+ * Section 8 of the paper notes that procedure splitting is orthogonal
+ * to whole-procedure placement and can be combined with GBSC for
+ * further improvement. This module implements it at chunk granularity:
+ * chunks of a procedure that the training trace never (or rarely)
+ * executes are moved into a separate cold procedure, so the hot part
+ * packs densely and the placement algorithms only have to lay out the
+ * code that actually runs.
+ *
+ * The split is a program transformation: it produces a derived Program
+ * (hot and cold parts as separate procedures), a mapping from original
+ * code positions to derived ones, and a trace transformer so existing
+ * traces can be replayed against the derived program.
+ */
+
+#ifndef TOPO_PLACEMENT_SPLITTING_HH
+#define TOPO_PLACEMENT_SPLITTING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/profile/chunk_map.hh"
+#include "topo/program/program.hh"
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** Options of a splitting transformation. */
+struct SplitOptions
+{
+    /** Split granularity in bytes (chunk size). */
+    std::uint32_t chunk_bytes = 256;
+    /**
+     * A chunk is hot when the training trace fetched at least this
+     * many bytes from it. 1 keeps everything that ever ran.
+     */
+    std::uint64_t min_fetched_bytes = 1;
+};
+
+/**
+ * The derived program and the mapping back to the original.
+ */
+class SplitProgram
+{
+  public:
+    /** Per-original-procedure derived ids. */
+    struct ProcSplit
+    {
+        /** Derived procedure holding the hot chunks (kInvalidProc if
+         *  the original had no executed chunk). */
+        ProcId hot = kInvalidProc;
+        /** Derived procedure holding the cold chunks (kInvalidProc if
+         *  every chunk was hot). */
+        ProcId cold = kInvalidProc;
+        bool wasSplit() const
+        {
+            return hot != kInvalidProc && cold != kInvalidProc;
+        }
+    };
+
+    /** The derived program (hot parts first aids nothing; order is
+     *  original order with cold parts appended). */
+    const Program &program() const { return program_; }
+
+    /** Derived ids of an original procedure. */
+    const ProcSplit &splitOf(ProcId original) const;
+
+    /** Number of original procedures that were actually split. */
+    std::size_t splitCount() const { return split_count_; }
+
+    /** Total bytes moved into cold procedures. */
+    std::uint64_t coldBytes() const { return cold_bytes_; }
+
+    /**
+     * Remap a trace recorded against the original program onto the
+     * derived program. Runs crossing hot/cold boundaries are divided;
+     * contiguous pieces within one derived procedure are coalesced.
+     */
+    Trace transform(const Trace &original) const;
+
+  private:
+    friend SplitProgram splitProcedures(const Program &, const Trace &,
+                                        const SplitOptions &);
+    friend SplitProgram explodeProcedures(const Program &,
+                                          std::uint32_t);
+
+    Program program_{"split"};
+    std::vector<ProcSplit> splits_;
+    /** First original chunk id of each original procedure. */
+    std::vector<ChunkId> first_chunk_;
+    /** Per original chunk: derived procedure and byte offset. */
+    std::vector<ProcId> chunk_proc_;
+    std::vector<std::uint32_t> chunk_offset_;
+    std::uint32_t chunk_bytes_ = 0;
+    std::size_t original_proc_count_ = 0;
+    std::size_t split_count_ = 0;
+    std::uint64_t cold_bytes_ = 0;
+};
+
+/**
+ * Split every procedure of @p program into hot and cold parts based on
+ * per-chunk fetch counts from @p training trace.
+ */
+SplitProgram splitProcedures(const Program &program, const Trace &training,
+                             const SplitOptions &options = {});
+
+/**
+ * Per-chunk fetched-byte counts of a trace (helper, also useful for
+ * diagnostics).
+ */
+std::vector<std::uint64_t> chunkHeat(const Program &program,
+                                     const ChunkMap &chunks,
+                                     const Trace &trace);
+
+/**
+ * Explode every procedure into one derived procedure *per chunk* —
+ * the granularity limit of the paper's Section 1 remark that the
+ * techniques apply to code blocks of any size. Placing the exploded
+ * program gives an upper bound on what any whole-procedure placement
+ * could achieve (each chunk's cache line is chosen freely). splitOf()
+ * reports the first chunk's derived procedure as `hot` and leaves
+ * `cold` invalid.
+ */
+SplitProgram explodeProcedures(const Program &program,
+                               std::uint32_t chunk_bytes = 256);
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_SPLITTING_HH

@@ -1,0 +1,102 @@
+#include "topo/profile/pair_database.hh"
+
+#include <algorithm>
+
+#include "topo/profile/temporal_queue.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+std::uint64_t
+PairDatabase::key(BlockId p, BlockId r, BlockId s)
+{
+    require(p != r && p != s && r != s, "PairDatabase: ids must be distinct");
+    require(p < (1u << 21) && r < (1u << 21) && s < (1u << 21),
+            "PairDatabase: block id exceeds 21 bits");
+    const BlockId lo = std::min(r, s);
+    const BlockId hi = std::max(r, s);
+    return (static_cast<std::uint64_t>(p) << 42) |
+           (static_cast<std::uint64_t>(lo) << 21) |
+           static_cast<std::uint64_t>(hi);
+}
+
+void
+PairDatabase::add(BlockId p, BlockId r, BlockId s, double w)
+{
+    table_[key(p, r, s)] += w;
+}
+
+double
+PairDatabase::get(BlockId p, BlockId r, BlockId s) const
+{
+    auto it = table_.find(key(p, r, s));
+    return it == table_.end() ? 0.0 : it->second;
+}
+
+void
+PairDatabase::prune(double min_weight)
+{
+    for (auto it = table_.begin(); it != table_.end();) {
+        if (it->second < min_weight)
+            it = table_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::vector<PairDatabase::Entry>
+PairDatabase::entries() const
+{
+    std::vector<Entry> out;
+    out.reserve(table_.size());
+    for (const auto &[packed, weight] : table_) {
+        Entry e;
+        e.p = static_cast<BlockId>(packed >> 42);
+        e.r = static_cast<BlockId>((packed >> 21) & ((1u << 21) - 1));
+        e.s = static_cast<BlockId>(packed & ((1u << 21) - 1));
+        e.weight = weight;
+        out.push_back(e);
+    }
+    return out;
+}
+
+PairDatabase
+buildPairDatabase(const Program &program, const Trace &trace,
+                  const PairBuildOptions &options)
+{
+    require(trace.procCount() == program.procCount(),
+            "buildPairDatabase: program/trace mismatch");
+    require(options.pair_window >= 2,
+            "buildPairDatabase: pair window must be at least 2");
+
+    std::vector<std::uint32_t> sizes(program.procCount());
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        sizes[i] = program.proc(static_cast<ProcId>(i)).size_bytes;
+    TemporalQueue q(std::move(sizes), options.byte_budget);
+
+    PairDatabase db;
+    std::vector<BlockId> between;
+    ProcId last = kInvalidProc;
+    for (const TraceEvent &ev : trace.events()) {
+        if (options.popular && !(*options.popular)[ev.proc])
+            continue;
+        if (ev.proc == last)
+            continue;
+        last = ev.proc;
+        if (!q.reference(ev.proc, between))
+            continue;
+        // Keep only the most recent pair_window distinct blocks; those
+        // are nearest the new reference and most likely still resident.
+        const std::size_t count =
+            std::min<std::size_t>(between.size(), options.pair_window);
+        const std::size_t start = between.size() - count;
+        for (std::size_t i = start; i < between.size(); ++i) {
+            for (std::size_t j = i + 1; j < between.size(); ++j)
+                db.add(ev.proc, between[i], between[j], 1.0);
+        }
+    }
+    return db;
+}
+
+} // namespace topo

@@ -1,0 +1,132 @@
+#include "topo/profile/trg_accumulator.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+std::vector<std::uint32_t>
+procSizes(const Program &program)
+{
+    std::vector<std::uint32_t> sizes(program.procCount());
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        sizes[i] = program.proc(static_cast<ProcId>(i)).size_bytes;
+    return sizes;
+}
+
+std::vector<std::uint32_t>
+chunkSizes(const ChunkMap &chunks)
+{
+    std::vector<std::uint32_t> sizes(chunks.chunkCount());
+    for (std::size_t c = 0; c < chunks.chunkCount(); ++c)
+        sizes[c] = chunks.chunkSizeBytes(static_cast<ChunkId>(c));
+    return sizes;
+}
+
+} // namespace
+
+TrgAccumulator::TrgAccumulator(const Program &program,
+                               const ChunkMap &chunks,
+                               const TrgBuildOptions &options)
+    : program_(program),
+      chunks_(chunks),
+      options_(options),
+      proc_q_(procSizes(program), options.byte_budget),
+      chunk_q_(chunkSizes(chunks), options.byte_budget),
+      last_chunk_(static_cast<ChunkId>(~0u))
+{
+    require(options_.byte_budget > 0, "TrgAccumulator: zero byte budget");
+    if (options_.popular) {
+        require(options_.popular->size() == program.procCount(),
+                "TrgAccumulator: popularity mask size mismatch");
+    }
+    reset();
+}
+
+void
+TrgAccumulator::reset()
+{
+    result_ = TrgBuildResult{};
+    result_.select = WeightedGraph(options_.build_select
+                                       ? program_.procCount()
+                                       : 0);
+    result_.place =
+        WeightedGraph(options_.build_place ? chunks_.chunkCount() : 0);
+    proc_q_.clear();
+    chunk_q_.clear();
+    queue_size_sum_ = 0;
+    last_proc_ = kInvalidProc;
+    last_chunk_ = static_cast<ChunkId>(~0u);
+}
+
+void
+TrgAccumulator::onRun(ProcId proc, std::uint32_t offset,
+                      std::uint32_t length)
+{
+    require(proc < program_.procCount(), "TrgAccumulator: invalid proc");
+    require(length > 0, "TrgAccumulator: zero-length run");
+    require(static_cast<std::uint64_t>(offset) + length <=
+                program_.proc(proc).size_bytes,
+            "TrgAccumulator: run exceeds procedure bounds");
+    if (options_.popular && !(*options_.popular)[proc])
+        return;
+
+    const bool need_proc_pass = options_.build_select ||
+                                static_cast<bool>(options_.observer);
+    if (need_proc_pass && proc != last_proc_) {
+        const bool had_prev = proc_q_.reference(proc, between_);
+        if (had_prev && options_.build_select) {
+            for (BlockId q : between_)
+                result_.select.addWeight(proc, q, 1.0);
+        }
+        ++result_.proc_steps;
+        queue_size_sum_ += proc_q_.size();
+        if (options_.observer)
+            options_.observer(proc, had_prev, between_, proc_q_);
+    }
+    last_proc_ = proc;
+
+    if (options_.build_place) {
+        const std::uint32_t chunk_bytes = chunks_.chunkBytes();
+        const std::uint32_t first = offset / chunk_bytes;
+        const std::uint32_t last = (offset + length - 1) / chunk_bytes;
+        for (std::uint32_t idx = first; idx <= last; ++idx) {
+            const ChunkId chunk = chunks_.chunkId(proc, idx);
+            if (chunk == last_chunk_)
+                continue;
+            const bool had_prev = chunk_q_.reference(chunk, between_);
+            if (had_prev) {
+                for (BlockId q : between_)
+                    result_.place.addWeight(chunk, q, 1.0);
+            }
+            last_chunk_ = chunk;
+        }
+    }
+}
+
+void
+TrgAccumulator::onTrace(const Trace &trace)
+{
+    require(trace.procCount() == program_.procCount(),
+            "TrgAccumulator: program/trace mismatch");
+    for (const TraceEvent &ev : trace.events())
+        onRun(ev.proc, ev.offset, ev.length);
+}
+
+TrgBuildResult
+TrgAccumulator::take()
+{
+    result_.avg_queue_procs =
+        result_.proc_steps
+            ? static_cast<double>(queue_size_sum_) /
+                  static_cast<double>(result_.proc_steps)
+            : 0.0;
+    TrgBuildResult out = std::move(result_);
+    reset();
+    return out;
+}
+
+} // namespace topo

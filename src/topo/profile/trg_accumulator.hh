@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Streaming TRG construction.
+ *
+ * Section 4.4: "instead of processing traces we generate the TRGs
+ * during program execution using instrumentation techniques". The
+ * TrgAccumulator is that path — it consumes execution runs one at a
+ * time (e.g. from an instrumentation callback) and produces exactly
+ * the graphs the batch builder produces from a stored trace. The batch
+ * buildTrgs() is a thin wrapper over it.
+ */
+
+#ifndef TOPO_PROFILE_TRG_ACCUMULATOR_HH
+#define TOPO_PROFILE_TRG_ACCUMULATOR_HH
+
+#include "topo/profile/trg_builder.hh"
+
+namespace topo
+{
+
+/** Incremental TRG builder; one instance per profiling session. */
+class TrgAccumulator
+{
+  public:
+    /**
+     * @param program Procedure inventory (must outlive the
+     *                accumulator).
+     * @param chunks  Chunk map (must outlive the accumulator).
+     * @param options Build options; the observer hook, popularity
+     *                filter, and graph selection behave exactly as in
+     *                buildTrgs().
+     */
+    TrgAccumulator(const Program &program, const ChunkMap &chunks,
+                   const TrgBuildOptions &options);
+
+    /** Feed one execution run (the instrumentation callback). */
+    void onRun(ProcId proc, std::uint32_t offset, std::uint32_t length);
+
+    /** Feed every run of a stored trace. */
+    void onTrace(const Trace &trace);
+
+    /** Number of procedure-granularity steps processed so far. */
+    std::uint64_t procSteps() const { return result_.proc_steps; }
+
+    /**
+     * Finish the session and surrender the graphs. The accumulator is
+     * left empty; further onRun calls start a fresh session.
+     */
+    TrgBuildResult take();
+
+  private:
+    const Program &program_;
+    const ChunkMap &chunks_;
+    TrgBuildOptions options_;
+    TrgBuildResult result_;
+    TemporalQueue proc_q_;
+    TemporalQueue chunk_q_;
+    std::vector<BlockId> between_;
+    std::uint64_t queue_size_sum_ = 0;
+    ProcId last_proc_ = kInvalidProc;
+    ChunkId last_chunk_;
+
+    void reset();
+};
+
+} // namespace topo
+
+#endif // TOPO_PROFILE_TRG_ACCUMULATOR_HH

@@ -1,0 +1,20 @@
+#include "topo/profile/trg_builder.hh"
+
+#include "topo/profile/trg_accumulator.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+TrgBuildResult
+buildTrgs(const Program &program, const ChunkMap &chunks, const Trace &trace,
+          const TrgBuildOptions &options)
+{
+    require(trace.procCount() == program.procCount(),
+            "buildTrgs: program/trace mismatch");
+    TrgAccumulator accumulator(program, chunks, options);
+    accumulator.onTrace(trace);
+    return accumulator.take();
+}
+
+} // namespace topo

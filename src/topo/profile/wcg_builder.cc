@@ -1,0 +1,23 @@
+#include "topo/profile/wcg_builder.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+WeightedGraph
+buildWcg(const Program &program, const Trace &trace)
+{
+    require(trace.procCount() == program.procCount(),
+            "buildWcg: program/trace mismatch");
+    WeightedGraph wcg(program.procCount());
+    ProcId last = kInvalidProc;
+    for (const TraceEvent &ev : trace.events()) {
+        if (last != kInvalidProc && ev.proc != last)
+            wcg.addWeight(last, ev.proc, 1.0);
+        last = ev.proc;
+    }
+    return wcg;
+}
+
+} // namespace topo

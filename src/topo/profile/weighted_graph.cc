@@ -1,0 +1,105 @@
+#include "topo/profile/weighted_graph.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+WeightedGraph::WeightedGraph(std::size_t node_count)
+    : adjacency_(node_count)
+{
+}
+
+void
+WeightedGraph::checkNode(BlockId id) const
+{
+    require(id < adjacency_.size(), "WeightedGraph: node id out of range");
+}
+
+void
+WeightedGraph::addWeight(BlockId u, BlockId v, double w)
+{
+    checkNode(u);
+    checkNode(v);
+    require(u != v, "WeightedGraph::addWeight: self edge");
+    auto [it_u, inserted] = adjacency_[u].try_emplace(v, 0.0);
+    it_u->second += w;
+    adjacency_[v][u] = it_u->second;
+    if (inserted)
+        ++edge_count_;
+}
+
+void
+WeightedGraph::setWeight(BlockId u, BlockId v, double w)
+{
+    checkNode(u);
+    checkNode(v);
+    require(u != v, "WeightedGraph::setWeight: self edge");
+    auto it = adjacency_[u].find(v);
+    require(it != adjacency_[u].end(),
+            "WeightedGraph::setWeight: edge does not exist");
+    it->second = w;
+    adjacency_[v][u] = w;
+}
+
+double
+WeightedGraph::weight(BlockId u, BlockId v) const
+{
+    checkNode(u);
+    checkNode(v);
+    auto it = adjacency_[u].find(v);
+    return it == adjacency_[u].end() ? 0.0 : it->second;
+}
+
+bool
+WeightedGraph::hasEdge(BlockId u, BlockId v) const
+{
+    checkNode(u);
+    checkNode(v);
+    return adjacency_[u].find(v) != adjacency_[u].end();
+}
+
+const std::unordered_map<BlockId, double> &
+WeightedGraph::neighbors(BlockId u) const
+{
+    checkNode(u);
+    return adjacency_[u];
+}
+
+std::vector<WeightedGraph::Edge>
+WeightedGraph::edges() const
+{
+    std::vector<Edge> all;
+    all.reserve(edge_count_);
+    for (std::size_t u = 0; u < adjacency_.size(); ++u) {
+        for (const auto &[v, w] : adjacency_[u]) {
+            if (static_cast<BlockId>(u) < v)
+                all.push_back(Edge{static_cast<BlockId>(u), v, w});
+        }
+    }
+    return all;
+}
+
+void
+WeightedGraph::addGraph(const WeightedGraph &other, double factor)
+{
+    require(other.nodeCount() == nodeCount(),
+            "WeightedGraph::addGraph: node count mismatch");
+    for (const Edge &e : other.edges())
+        addWeight(e.u, e.v, e.weight * factor);
+}
+
+double
+WeightedGraph::totalWeight() const
+{
+    double total = 0.0;
+    for (std::size_t u = 0; u < adjacency_.size(); ++u) {
+        for (const auto &[v, w] : adjacency_[u]) {
+            if (static_cast<BlockId>(u) < v)
+                total += w;
+        }
+    }
+    return total;
+}
+
+} // namespace topo

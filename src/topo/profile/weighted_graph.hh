@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Undirected weighted graph over code-block ids.
+ *
+ * This one data structure represents all three relationship graphs the
+ * paper uses: the WCG of Section 2, TRG_select (procedure granularity)
+ * and TRG_place (chunk granularity) of Sections 3-4. Weights are
+ * doubles because the Section 5.1 perturbation is multiplicative
+ * log-normal noise.
+ */
+
+#ifndef TOPO_PROFILE_WEIGHTED_GRAPH_HH
+#define TOPO_PROFILE_WEIGHTED_GRAPH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace topo
+{
+
+/** Generic code-block identifier (procedure id or global chunk id). */
+using BlockId = std::uint32_t;
+
+/** Undirected weighted graph with O(1) expected weight lookup. */
+class WeightedGraph
+{
+  public:
+    /** An undirected edge; u < v in enumerations. */
+    struct Edge
+    {
+        BlockId u;
+        BlockId v;
+        double weight;
+    };
+
+    WeightedGraph() = default;
+
+    /** Construct with a fixed node count. */
+    explicit WeightedGraph(std::size_t node_count);
+
+    /** Number of nodes. */
+    std::size_t nodeCount() const { return adjacency_.size(); }
+
+    /** Number of distinct edges. */
+    std::size_t edgeCount() const { return edge_count_; }
+
+    /**
+     * Add @p w to the weight of edge {u, v}; creates the edge when
+     * absent. Self-edges are rejected.
+     */
+    void addWeight(BlockId u, BlockId v, double w);
+
+    /** Overwrite the weight of edge {u, v} (edge must exist). */
+    void setWeight(BlockId u, BlockId v, double w);
+
+    /** Weight of edge {u, v}; 0 when the edge does not exist. */
+    double weight(BlockId u, BlockId v) const;
+
+    /** True when an edge {u, v} exists. */
+    bool hasEdge(BlockId u, BlockId v) const;
+
+    /** Neighbors of @p u with edge weights. */
+    const std::unordered_map<BlockId, double> &neighbors(BlockId u) const;
+
+    /** All edges with u < v (unspecified order). */
+    std::vector<Edge> edges() const;
+
+    /** Sum of all edge weights (each edge counted once). */
+    double totalWeight() const;
+
+    /**
+     * Element-wise addition of another graph's edges, scaled by
+     * @p factor. Node counts must match. This is how profiles from
+     * several training inputs are combined (Section 5.1 wishes for
+     * "a large enough set of different inputs"; merged profiles are
+     * the practical approximation).
+     */
+    void addGraph(const WeightedGraph &other, double factor = 1.0);
+
+  private:
+    void checkNode(BlockId id) const;
+
+    std::vector<std::unordered_map<BlockId, double>> adjacency_;
+    std::size_t edge_count_ = 0;
+};
+
+} // namespace topo
+
+#endif // TOPO_PROFILE_WEIGHTED_GRAPH_HH

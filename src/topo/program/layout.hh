@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Layout: the address map that a placement algorithm produces.
+ *
+ * A layout assigns every procedure of a Program a starting byte address
+ * in the text segment. The paper manipulates two degrees of freedom —
+ * procedure order and inter-procedure gaps — and both are expressible
+ * here. Addresses are required to be cache-line aligned (placement
+ * operates in line units; real linkers align functions anyway).
+ */
+
+#ifndef TOPO_PROGRAM_LAYOUT_HH
+#define TOPO_PROGRAM_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/**
+ * Address map: procedure id -> starting byte address.
+ */
+class Layout
+{
+  public:
+    Layout() = default;
+
+    /** Construct with one address slot per procedure, all unassigned. */
+    explicit Layout(std::size_t proc_count);
+
+    /** Sentinel for an unassigned address. */
+    static constexpr std::uint64_t kUnassigned = ~std::uint64_t{0};
+
+    /** Number of procedure slots. */
+    std::size_t procCount() const { return address_.size(); }
+
+    /** True once every procedure has an address. */
+    bool complete() const;
+
+    /** Assign the starting address of a procedure. */
+    void setAddress(ProcId id, std::uint64_t address);
+
+    /** Starting address of a procedure; fails if unassigned. */
+    std::uint64_t address(ProcId id) const;
+
+    /** True if the procedure has an address. */
+    bool assigned(ProcId id) const;
+
+    /**
+     * Starting cache line index (address / line_bytes).
+     *
+     * @param id         Procedure id.
+     * @param line_bytes Cache line size in bytes.
+     */
+    std::uint64_t startLine(ProcId id, std::uint32_t line_bytes) const;
+
+    /** One past the last used byte across all assigned procedures. */
+    std::uint64_t extent(const Program &program) const;
+
+    /** Procedure ids sorted by assigned address (assigned only). */
+    std::vector<ProcId> orderByAddress() const;
+
+    /**
+     * Validate against a program: every procedure assigned, all
+     * addresses line-aligned, no two procedures overlapping in the
+     * address space. Throws TopoError with a description on failure.
+     */
+    void validate(const Program &program, std::uint32_t line_bytes) const;
+
+    /**
+     * Build the default ("source order") layout: procedures packed in
+     * inventory order, each aligned up to a line boundary, with
+     * @p pad_bytes of additional empty space after every procedure
+     * (used by the Section 5.1 padding experiment).
+     */
+    static Layout defaultOrder(const Program &program,
+                               std::uint32_t line_bytes,
+                               std::uint32_t pad_bytes = 0);
+
+    /**
+     * Pack procedures in an explicit order, line-aligned, no gaps.
+     * Procedures absent from @p order are appended in id order.
+     */
+    static Layout fromOrder(const Program &program,
+                            const std::vector<ProcId> &order,
+                            std::uint32_t line_bytes);
+
+    /**
+     * Lay out procedures in @p order such that each starts at a cache
+     * line congruent to its entry of @p target_line_offsets modulo
+     * @p cache_lines, inserting the minimal gap to achieve it. Used to
+     * realize cache-relative placement decisions as a linear layout and
+     * by the Figure 6 randomisation experiment.
+     *
+     * @param program             Procedure inventory.
+     * @param order               Emission order (must cover all procs).
+     * @param target_line_offsets Per-procedure target line mod cache.
+     * @param line_bytes          Line size in bytes.
+     * @param cache_lines         Number of lines in the target cache.
+     */
+    static Layout fromCacheOffsets(
+        const Program &program, const std::vector<ProcId> &order,
+        const std::vector<std::uint32_t> &target_line_offsets,
+        std::uint32_t line_bytes, std::uint32_t cache_lines);
+
+    /**
+     * Copy of @p base with @p pad_bytes inserted after every procedure
+     * (in address order), preserving existing relative gaps; the
+     * Section 5.1 experiment.
+     */
+    static Layout withPadding(const Layout &base, const Program &program,
+                              std::uint32_t pad_bytes,
+                              std::uint32_t line_bytes);
+
+  private:
+    std::vector<std::uint64_t> address_;
+};
+
+} // namespace topo
+
+#endif // TOPO_PROGRAM_LAYOUT_HH

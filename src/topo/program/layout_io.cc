@@ -1,0 +1,74 @@
+#include "topo/program/layout_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "topo/util/error.hh"
+#include "topo/util/string_utils.hh"
+
+namespace topo
+{
+
+void
+writeLayout(std::ostream &os, const Program &program, const Layout &layout)
+{
+    os << "topo-layout v1\n";
+    for (ProcId id : layout.orderByAddress())
+        os << program.proc(id).name << ' ' << layout.address(id) << '\n';
+}
+
+Layout
+readLayout(std::istream &is, const Program &program)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(is, line)),
+            "readLayout: missing header");
+    require(trim(line) == "topo-layout v1",
+            "readLayout: bad header '" + line + "'");
+    Layout layout(program.procCount());
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        std::istringstream fields(body);
+        std::string name;
+        std::uint64_t address = 0;
+        fields >> name >> address;
+        require(!fields.fail() && !name.empty(),
+                "readLayout: malformed entry at line " +
+                    std::to_string(line_no));
+        const ProcId id = program.findProc(name);
+        require(id != kInvalidProc, "readLayout: unknown procedure '" +
+                                        name + "' at line " +
+                                        std::to_string(line_no));
+        require(!layout.assigned(id),
+                "readLayout: duplicate procedure '" + name +
+                    "' at line " + std::to_string(line_no));
+        layout.setAddress(id, address);
+    }
+    require(layout.complete(),
+            "readLayout: layout does not cover every procedure");
+    return layout;
+}
+
+void
+saveLayout(const std::string &path, const Program &program,
+           const Layout &layout)
+{
+    std::ofstream os(path);
+    require(os.good(), "saveLayout: cannot open '" + path + "'");
+    writeLayout(os, program, layout);
+    require(os.good(), "saveLayout: write failed for '" + path + "'");
+}
+
+Layout
+loadLayout(const std::string &path, const Program &program)
+{
+    std::ifstream is(path);
+    require(is.good(), "loadLayout: cannot open '" + path + "'");
+    return readLayout(is, program);
+}
+
+} // namespace topo

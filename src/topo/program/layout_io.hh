@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text serialisation of a Layout.
+ *
+ * Format: header "topo-layout v1", then one line per procedure:
+ * "<name> <address>". '#' starts a comment. Together with the program
+ * format this lets the CLI tools pass placements between runs (e.g.
+ * place once, simulate under many cache geometries).
+ */
+
+#ifndef TOPO_PROGRAM_LAYOUT_IO_HH
+#define TOPO_PROGRAM_LAYOUT_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/program/layout.hh"
+
+namespace topo
+{
+
+/** Write a complete layout in the text format (address order). */
+void writeLayout(std::ostream &os, const Program &program,
+                 const Layout &layout);
+
+/**
+ * Read a layout for @p program; every procedure must appear exactly
+ * once. Throws TopoError on malformed or incomplete input.
+ */
+Layout readLayout(std::istream &is, const Program &program);
+
+/** Write a layout to a file path. */
+void saveLayout(const std::string &path, const Program &program,
+                const Layout &layout);
+
+/** Read a layout from a file path. */
+Layout loadLayout(const std::string &path, const Program &program);
+
+} // namespace topo
+
+#endif // TOPO_PROGRAM_LAYOUT_IO_HH

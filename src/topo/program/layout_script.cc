@@ -1,0 +1,55 @@
+#include "topo/program/layout_script.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+void
+writeLinkerScript(std::ostream &os, const Program &program,
+                  const Layout &layout, std::uint32_t line_bytes)
+{
+    layout.validate(program, line_bytes);
+    os << "/* libtopo placement for '" << program.name() << "' */\n";
+    os << "SECTIONS\n{\n  .text 0x0 :\n  {\n";
+    std::uint64_t cursor = 0;
+    for (ProcId id : layout.orderByAddress()) {
+        const std::uint64_t addr = layout.address(id);
+        if (addr > cursor) {
+            os << "    . = . + 0x" << std::hex << (addr - cursor) << std::dec
+               << "; /* gap */\n";
+        }
+        os << "    *(.text." << program.proc(id).name << ")\n";
+        cursor = addr + program.proc(id).size_bytes;
+    }
+    os << "  }\n}\n";
+}
+
+void
+writePlacementMap(std::ostream &os, const Program &program,
+                  const Layout &layout, std::uint32_t line_bytes,
+                  std::uint32_t cache_lines)
+{
+    require(line_bytes > 0 && cache_lines > 0,
+            "writePlacementMap: zero line size or cache lines");
+    os << "# placement map for '" << program.name() << "'\n";
+    os << "# address  size  cache_line  name\n";
+    std::uint64_t cursor = 0;
+    for (ProcId id : layout.orderByAddress()) {
+        const std::uint64_t addr = layout.address(id);
+        if (addr > cursor) {
+            os << "# gap of " << (addr - cursor) << " bytes ("
+               << (addr - cursor) / line_bytes << " lines)\n";
+        }
+        os << std::setw(8) << addr << "  " << std::setw(6)
+           << program.proc(id).size_bytes << "  " << std::setw(6)
+           << (addr / line_bytes) % cache_lines << "  "
+           << program.proc(id).name << '\n';
+        cursor = addr + program.proc(id).size_bytes;
+    }
+}
+
+} // namespace topo

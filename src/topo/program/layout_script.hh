@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Emission of a layout as a GNU-ld style linker script fragment.
+ *
+ * In the paper the placement tool's output is consumed by the linker;
+ * this writer produces the equivalent artifact so a layout can be
+ * inspected, diffed, or applied to a real link.
+ */
+
+#ifndef TOPO_PROGRAM_LAYOUT_SCRIPT_HH
+#define TOPO_PROGRAM_LAYOUT_SCRIPT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/program/layout.hh"
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/**
+ * Write a linker-script fragment placing each procedure's input section
+ * at its layout address (procedures in address order, explicit '.'
+ * advances for gaps).
+ *
+ * @param os         Destination stream.
+ * @param program    Procedure inventory.
+ * @param layout     Complete, validated layout.
+ * @param line_bytes Cache line size used for validation.
+ */
+void writeLinkerScript(std::ostream &os, const Program &program,
+                       const Layout &layout, std::uint32_t line_bytes);
+
+/**
+ * Write a human-readable placement map: one line per procedure with
+ * address, size, and target cache line, plus gap annotations.
+ *
+ * @param os          Destination stream.
+ * @param program     Procedure inventory.
+ * @param layout      Complete layout.
+ * @param line_bytes  Cache line size in bytes.
+ * @param cache_lines Number of lines in the cache (for the mod column).
+ */
+void writePlacementMap(std::ostream &os, const Program &program,
+                       const Layout &layout, std::uint32_t line_bytes,
+                       std::uint32_t cache_lines);
+
+} // namespace topo
+
+#endif // TOPO_PROGRAM_LAYOUT_SCRIPT_HH

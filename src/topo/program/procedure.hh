@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Procedure: the code block whose placement the library optimizes.
+ */
+
+#ifndef TOPO_PROGRAM_PROCEDURE_HH
+#define TOPO_PROGRAM_PROCEDURE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace topo
+{
+
+/** Index of a procedure within its Program. */
+using ProcId = std::uint32_t;
+
+/** Sentinel for "no procedure". */
+inline constexpr ProcId kInvalidProc = ~ProcId{0};
+
+/**
+ * A procedure in the program's text segment.
+ *
+ * Only the properties relevant to placement are modelled: a name (for
+ * reporting and linker-script emission) and a size in bytes. Addresses
+ * are *not* a property of the procedure; they live in a Layout.
+ */
+struct Procedure
+{
+    std::string name;
+    std::uint32_t size_bytes = 0;
+};
+
+} // namespace topo
+
+#endif // TOPO_PROGRAM_PROCEDURE_HH

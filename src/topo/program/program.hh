@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Program: the inventory of procedures making up a text segment.
+ */
+
+#ifndef TOPO_PROGRAM_PROGRAM_HH
+#define TOPO_PROGRAM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/program/procedure.hh"
+
+namespace topo
+{
+
+/**
+ * The set of procedures of one application, in "source order".
+ *
+ * Source order is the order procedures appeared in the object files fed
+ * to the linker; the paper's *default layout* simply concatenates
+ * procedures in this order. Procedure ids are stable indices into this
+ * inventory and are used throughout the library.
+ */
+class Program
+{
+  public:
+    /** Construct an empty program with a display name. */
+    explicit Program(std::string name = "program");
+
+    /**
+     * Append a procedure and return its id.
+     *
+     * @param name       Unique symbol name.
+     * @param size_bytes Code size; must be non-zero.
+     */
+    ProcId addProcedure(const std::string &name, std::uint32_t size_bytes);
+
+    /** Display name of the program. */
+    const std::string &name() const { return name_; }
+
+    /** Number of procedures. */
+    std::size_t procCount() const { return procs_.size(); }
+
+    /** Access a procedure by id (bounds-checked). */
+    const Procedure &proc(ProcId id) const;
+
+    /** All procedures in source order. */
+    const std::vector<Procedure> &procs() const { return procs_; }
+
+    /** Sum of all procedure sizes in bytes. */
+    std::uint64_t totalSize() const { return total_size_; }
+
+    /** Look up a procedure id by name; kInvalidProc when absent. */
+    ProcId findProc(const std::string &name) const;
+
+    /**
+     * Size of a procedure in cache lines, rounded up.
+     *
+     * @param id         Procedure id.
+     * @param line_bytes Cache line size in bytes (non-zero).
+     */
+    std::uint32_t sizeInLines(ProcId id, std::uint32_t line_bytes) const;
+
+  private:
+    std::string name_;
+    std::vector<Procedure> procs_;
+    std::uint64_t total_size_ = 0;
+};
+
+} // namespace topo
+
+#endif // TOPO_PROGRAM_PROGRAM_HH

@@ -1,0 +1,78 @@
+#include "topo/program/program_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "topo/util/error.hh"
+#include "topo/util/string_utils.hh"
+
+namespace topo
+{
+
+void
+writeProgram(std::ostream &os, const Program &program)
+{
+    os << "topo-program v1\n";
+    os << "# " << program.procCount() << " procedures, "
+       << program.totalSize() << " bytes\n";
+    for (const Procedure &proc : program.procs())
+        os << proc.name << ' ' << proc.size_bytes << '\n';
+}
+
+Program
+readProgram(std::istream &is, const std::string &name)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(is, line)),
+            "readProgram: missing header");
+    require(trim(line) == "topo-program v1",
+            "readProgram: bad header '" + line + "'");
+    Program program(name);
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        std::istringstream fields(body);
+        std::string proc_name;
+        std::uint64_t size = 0;
+        fields >> proc_name >> size;
+        require(!fields.fail() && !proc_name.empty(),
+                "readProgram: malformed procedure at line " +
+                    std::to_string(line_no));
+        require(size > 0 && size <= ~std::uint32_t{0},
+                "readProgram: bad size at line " +
+                    std::to_string(line_no));
+        require(program.findProc(proc_name) == kInvalidProc,
+                "readProgram: duplicate procedure '" + proc_name +
+                    "' at line " + std::to_string(line_no));
+        program.addProcedure(proc_name,
+                             static_cast<std::uint32_t>(size));
+    }
+    return program;
+}
+
+void
+saveProgram(const std::string &path, const Program &program)
+{
+    std::ofstream os(path);
+    require(os.good(), "saveProgram: cannot open '" + path + "'");
+    writeProgram(os, program);
+    require(os.good(), "saveProgram: write failed for '" + path + "'");
+}
+
+Program
+loadProgram(const std::string &path)
+{
+    std::ifstream is(path);
+    require(is.good(), "loadProgram: cannot open '" + path + "'");
+    // Derive a display name from the file name.
+    std::string name = path;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return readProgram(is, name);
+}
+
+} // namespace topo

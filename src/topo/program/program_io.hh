@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text serialisation of a Program (procedure inventory).
+ *
+ * Format: header "topo-program v1", then one line per procedure:
+ * "<name> <size_bytes>" in source order. '#' starts a comment. This is
+ * the interchange format of the CLI tools: a build system can emit it
+ * from `nm --print-size` output and feed it to topo_place.
+ */
+
+#ifndef TOPO_PROGRAM_PROGRAM_IO_HH
+#define TOPO_PROGRAM_PROGRAM_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/** Write a program in the text format. */
+void writeProgram(std::ostream &os, const Program &program);
+
+/** Read a program; throws TopoError on malformed input. */
+Program readProgram(std::istream &is, const std::string &name = "program");
+
+/** Write a program to a file path. */
+void saveProgram(const std::string &path, const Program &program);
+
+/** Read a program from a file path. */
+Program loadProgram(const std::string &path);
+
+} // namespace topo
+
+#endif // TOPO_PROGRAM_PROGRAM_IO_HH

@@ -1,0 +1,30 @@
+#include "topo/trace/fetch_stream.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+FetchStream::FetchStream(const Program &program, const Trace &trace,
+                         std::uint32_t line_bytes)
+    : line_bytes_(line_bytes)
+{
+    require(line_bytes > 0, "FetchStream: zero line size");
+    // Estimate: most runs span a couple of lines.
+    refs_.reserve(trace.size() * 2);
+    for (const TraceEvent &ev : trace.events()) {
+        require(ev.proc < program.procCount(),
+                "FetchStream: invalid procedure id in trace");
+        const std::uint64_t end =
+            static_cast<std::uint64_t>(ev.offset) + ev.length;
+        require(end <= program.proc(ev.proc).size_bytes,
+                "FetchStream: run exceeds procedure bounds");
+        const std::uint32_t first = ev.offset / line_bytes;
+        const std::uint32_t last =
+            static_cast<std::uint32_t>((end - 1) / line_bytes);
+        for (std::uint32_t line = first; line <= last; ++line)
+            refs_.push_back(FetchRef{ev.proc, line});
+    }
+}
+
+} // namespace topo

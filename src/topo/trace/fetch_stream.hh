@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FetchStream: the line-granularity expansion of a trace.
+ *
+ * The cache simulator consumes (procedure, line-within-procedure)
+ * references. Expanding a trace once and reusing the stream for every
+ * candidate layout is the key performance lever of the evaluation
+ * harness: a layout only changes the *mapping* of each reference, not
+ * the reference sequence itself.
+ */
+
+#ifndef TOPO_TRACE_FETCH_STREAM_HH
+#define TOPO_TRACE_FETCH_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/program/program.hh"
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** One cache-line fetch: a line index within a procedure. */
+struct FetchRef
+{
+    ProcId proc;
+    std::uint32_t line; // line index within the procedure
+
+    bool
+    operator==(const FetchRef &other) const
+    {
+        return proc == other.proc && line == other.line;
+    }
+};
+
+/**
+ * Immutable line-granularity reference stream for one trace.
+ */
+class FetchStream
+{
+  public:
+    /**
+     * Expand a trace into line fetches.
+     *
+     * Consecutive references to the same line (within one run) are
+     * emitted once per line of the run; a run touching bytes
+     * [off, off+len) emits lines floor(off/L) .. floor((off+len-1)/L).
+     *
+     * @param program    Procedure inventory (for bounds checking).
+     * @param trace      The run trace.
+     * @param line_bytes Cache line size in bytes.
+     */
+    FetchStream(const Program &program, const Trace &trace,
+                std::uint32_t line_bytes);
+
+    /** Line size the stream was expanded at. */
+    std::uint32_t lineBytes() const { return line_bytes_; }
+
+    /** All line references in execution order. */
+    const std::vector<FetchRef> &refs() const { return refs_; }
+
+    /** Number of line references. */
+    std::size_t size() const { return refs_.size(); }
+
+  private:
+    std::uint32_t line_bytes_;
+    std::vector<FetchRef> refs_;
+};
+
+} // namespace topo
+
+#endif // TOPO_TRACE_FETCH_STREAM_HH

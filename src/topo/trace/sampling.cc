@@ -1,0 +1,53 @@
+#include "topo/trace/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+Trace
+burstSample(const Trace &trace, const BurstSamplingOptions &options)
+{
+    require(options.burst_runs > 0, "burstSample: zero burst length");
+    require(options.period_runs >= options.burst_runs,
+            "burstSample: period must be at least the burst length");
+    require(options.phase + options.burst_runs <= options.period_runs,
+            "burstSample: phase pushes the burst outside the period");
+    Trace sampled(trace.procCount());
+    sampled.reserve(static_cast<std::size_t>(
+        static_cast<double>(trace.size()) * options.fraction() + 16));
+    const std::uint64_t period = options.period_runs;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const std::uint64_t pos = i % period;
+        if (pos >= options.phase &&
+            pos < options.phase + options.burst_runs) {
+            const TraceEvent &ev = trace.events()[i];
+            sampled.append(ev.proc, ev.offset, ev.length);
+        }
+    }
+    return sampled;
+}
+
+Trace
+burstSampleFraction(const Trace &trace, double fraction)
+{
+    require(fraction > 0.0 && fraction <= 1.0,
+            "burstSampleFraction: fraction must be in (0, 1]");
+    if (fraction >= 1.0) {
+        BurstSamplingOptions all;
+        all.burst_runs = all.period_runs = 1;
+        return burstSample(trace, all);
+    }
+    BurstSamplingOptions options;
+    options.burst_runs = 2000;
+    options.period_runs = std::max<std::uint64_t>(
+        options.burst_runs,
+        static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(options.burst_runs) / fraction)));
+    return burstSample(trace, options);
+}
+
+} // namespace topo

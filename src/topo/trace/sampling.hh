@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace sampling.
+ *
+ * Section 4.4 reports a ~25x slowdown for instrumented executables;
+ * the standard mitigation is to profile only a fraction of the
+ * execution. Because the TRG is built from *interleaving*, per-run
+ * (Bernoulli) sampling would destroy exactly the information the
+ * placement needs; burst sampling — keeping contiguous windows of
+ * runs at a regular period — preserves local interleaving inside each
+ * window while skipping the bulk of the execution. The ablation bench
+ * quantifies how little profile is actually needed.
+ */
+
+#ifndef TOPO_TRACE_SAMPLING_HH
+#define TOPO_TRACE_SAMPLING_HH
+
+#include <cstdint>
+
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** Burst-sampling parameters. */
+struct BurstSamplingOptions
+{
+    /** Runs kept per burst (window length). */
+    std::uint64_t burst_runs = 2000;
+    /** Distance between burst starts, in runs (>= burst_runs). */
+    std::uint64_t period_runs = 20000;
+    /** Offset of the first burst within the first period. */
+    std::uint64_t phase = 0;
+
+    /** Fraction of the trace retained. */
+    double
+    fraction() const
+    {
+        return period_runs
+                   ? static_cast<double>(burst_runs) /
+                         static_cast<double>(period_runs)
+                   : 1.0;
+    }
+};
+
+/**
+ * Keep contiguous bursts of runs at a regular period; everything
+ * between bursts is dropped. Deterministic.
+ */
+Trace burstSample(const Trace &trace, const BurstSamplingOptions &options);
+
+/**
+ * Keep every k-th *burst-aligned* window such that roughly
+ * @p fraction of the trace survives, with a standard window of 2000
+ * runs (convenience wrapper).
+ */
+Trace burstSampleFraction(const Trace &trace, double fraction);
+
+} // namespace topo
+
+#endif // TOPO_TRACE_SAMPLING_HH

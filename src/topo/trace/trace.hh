@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Execution traces: the profile input of every placement algorithm.
+ *
+ * A trace is a sequence of *runs*. A run records that execution entered
+ * procedure p at byte offset off and fetched len consecutive bytes
+ * before control left (a call, return, or taken branch out of the
+ * region). This is the same information content as the paper's ATOM
+ * basic-block traces at the granularity the algorithms consume: it
+ * expands deterministically to a cache-line fetch stream, and its
+ * procedure/chunk reference sequence drives WCG/TRG construction.
+ */
+
+#ifndef TOPO_TRACE_TRACE_HH
+#define TOPO_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/** One run of straight-line execution inside a procedure. */
+struct TraceEvent
+{
+    ProcId proc = kInvalidProc;
+    /** First byte fetched, relative to the procedure start. */
+    std::uint32_t offset = 0;
+    /** Number of bytes fetched; always > 0. */
+    std::uint32_t length = 0;
+
+    bool
+    operator==(const TraceEvent &other) const
+    {
+        return proc == other.proc && offset == other.offset &&
+               length == other.length;
+    }
+};
+
+/**
+ * In-memory trace bound to a Program.
+ */
+class Trace
+{
+  public:
+    /** Construct an empty trace for a program with @p proc_count procs. */
+    explicit Trace(std::size_t proc_count = 0);
+
+    /** Append a run; validated against the bound procedure count. */
+    void append(ProcId proc, std::uint32_t offset, std::uint32_t length);
+
+    /** Append a whole-procedure touch starting at offset zero. */
+    void
+    appendWhole(ProcId proc, std::uint32_t size_bytes)
+    {
+        append(proc, 0, size_bytes);
+    }
+
+    /** Number of runs. */
+    std::size_t size() const { return events_.size(); }
+
+    /** True when the trace has no runs. */
+    bool empty() const { return events_.empty(); }
+
+    /** All runs in order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Procedure count the trace was constructed against. */
+    std::size_t procCount() const { return proc_count_; }
+
+    /** Reserve capacity for roughly @p n runs. */
+    void reserve(std::size_t n) { events_.reserve(n); }
+
+    /**
+     * Check every run against a program: valid procedure ids, runs
+     * inside procedure bounds. Throws TopoError on violation.
+     */
+    void validate(const Program &program) const;
+
+  private:
+    std::size_t proc_count_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace topo
+
+#endif // TOPO_TRACE_TRACE_HH

@@ -1,0 +1,145 @@
+#include "topo/trace/trace_binary.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "topo/trace/trace_io.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'T', 'O', 'P', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+putVarint(std::ostream &os, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        os.put(static_cast<char>(0x80 | (value & 0x7f)));
+        value >>= 7;
+    }
+    os.put(static_cast<char>(value));
+}
+
+std::uint64_t
+getVarint(std::istream &is)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+        const int byte = is.get();
+        require(byte != std::char_traits<char>::eof(),
+                "readBinaryTrace: truncated varint");
+        require(shift < 64, "readBinaryTrace: varint overflow");
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+    }
+}
+
+std::uint64_t
+zigzag(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+} // namespace
+
+void
+writeBinaryTrace(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putVarint(os, kVersion);
+    putVarint(os, trace.procCount());
+    putVarint(os, trace.size());
+    std::int64_t prev_proc = 0;
+    for (const TraceEvent &ev : trace.events()) {
+        putVarint(os, zigzag(static_cast<std::int64_t>(ev.proc) -
+                             prev_proc));
+        putVarint(os, ev.offset);
+        putVarint(os, ev.length);
+        prev_proc = static_cast<std::int64_t>(ev.proc);
+    }
+    require(os.good(), "writeBinaryTrace: stream failure");
+}
+
+Trace
+readBinaryTrace(std::istream &is)
+{
+    char magic[4] = {};
+    is.read(magic, sizeof(magic));
+    require(is.good() && std::equal(magic, magic + 4, kMagic),
+            "readBinaryTrace: bad magic");
+    const std::uint64_t version = getVarint(is);
+    require(version == kVersion, "readBinaryTrace: unsupported version");
+    const std::uint64_t proc_count = getVarint(is);
+    const std::uint64_t run_count = getVarint(is);
+    Trace trace(proc_count);
+    trace.reserve(run_count);
+    std::int64_t prev_proc = 0;
+    for (std::uint64_t i = 0; i < run_count; ++i) {
+        const std::int64_t proc = prev_proc + unzigzag(getVarint(is));
+        require(proc >= 0 &&
+                    proc < static_cast<std::int64_t>(proc_count),
+                "readBinaryTrace: procedure id out of range");
+        const std::uint64_t offset = getVarint(is);
+        const std::uint64_t length = getVarint(is);
+        require(offset <= ~std::uint32_t{0} &&
+                    length <= ~std::uint32_t{0},
+                "readBinaryTrace: field overflow");
+        trace.append(static_cast<ProcId>(proc),
+                     static_cast<std::uint32_t>(offset),
+                     static_cast<std::uint32_t>(length));
+        prev_proc = proc;
+    }
+    return trace;
+}
+
+void
+saveBinaryTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    require(os.good(), "saveBinaryTrace: cannot open '" + path + "'");
+    writeBinaryTrace(os, trace);
+    require(os.good(), "saveBinaryTrace: write failed for '" + path +
+                           "'");
+}
+
+Trace
+loadBinaryTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "loadBinaryTrace: cannot open '" + path + "'");
+    return readBinaryTrace(is);
+}
+
+Trace
+loadAnyTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "loadAnyTrace: cannot open '" + path + "'");
+    char head[4] = {};
+    is.read(head, sizeof(head));
+    require(is.gcount() == 4, "loadAnyTrace: file too short");
+    is.seekg(0);
+    if (std::equal(head, head + 4, kMagic))
+        return readBinaryTrace(is);
+    return readTrace(is);
+}
+
+} // namespace topo

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Compact binary trace format.
+ *
+ * Real profiling traces are tens of millions of runs (Table 1 inputs
+ * are 17M-146M basic blocks); the text format is convenient but
+ * bulky. The binary format stores runs as LEB128 varints with
+ * delta-coded procedure ids, typically 2-4 bytes per run:
+ *
+ *   magic "TOPB" u32 version=1
+ *   varint proc_count
+ *   varint run_count
+ *   per run: varint zigzag(proc - prev_proc), varint offset,
+ *            varint length
+ */
+
+#ifndef TOPO_TRACE_TRACE_BINARY_HH
+#define TOPO_TRACE_TRACE_BINARY_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** Write a trace in the binary format. */
+void writeBinaryTrace(std::ostream &os, const Trace &trace);
+
+/** Read a binary trace; throws TopoError on malformed input. */
+Trace readBinaryTrace(std::istream &is);
+
+/** Write a binary trace to a file path. */
+void saveBinaryTrace(const std::string &path, const Trace &trace);
+
+/** Read a binary trace from a file path. */
+Trace loadBinaryTrace(const std::string &path);
+
+/**
+ * Load a trace from a path, auto-detecting text ("topo-trace") vs
+ * binary ("TOPB") by the leading magic.
+ */
+Trace loadAnyTrace(const std::string &path);
+
+} // namespace topo
+
+#endif // TOPO_TRACE_TRACE_BINARY_HH

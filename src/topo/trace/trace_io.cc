@@ -1,0 +1,71 @@
+#include "topo/trace/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "topo/util/error.hh"
+#include "topo/util/string_utils.hh"
+
+namespace topo
+{
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << "topo-trace v1 " << trace.procCount() << '\n';
+    for (const TraceEvent &ev : trace.events())
+        os << ev.proc << ' ' << ev.offset << ' ' << ev.length << '\n';
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    std::string line;
+    require(static_cast<bool>(std::getline(is, line)),
+            "readTrace: missing header");
+    std::istringstream header(line);
+    std::string magic, version;
+    std::size_t proc_count = 0;
+    header >> magic >> version >> proc_count;
+    require(magic == "topo-trace" && version == "v1",
+            "readTrace: bad header '" + line + "'");
+    Trace trace(proc_count);
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        std::istringstream fields(body);
+        std::uint64_t proc = 0, offset = 0, length = 0;
+        fields >> proc >> offset >> length;
+        require(!fields.fail(),
+                "readTrace: malformed run at line " + std::to_string(line_no));
+        require(proc < proc_count,
+                "readTrace: procedure id out of range at line " +
+                    std::to_string(line_no));
+        trace.append(static_cast<ProcId>(proc),
+                     static_cast<std::uint32_t>(offset),
+                     static_cast<std::uint32_t>(length));
+    }
+    return trace;
+}
+
+void
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path);
+    require(os.good(), "saveTrace: cannot open '" + path + "'");
+    writeTrace(os, trace);
+    require(os.good(), "saveTrace: write failed for '" + path + "'");
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    require(is.good(), "loadTrace: cannot open '" + path + "'");
+    return readTrace(is);
+}
+
+} // namespace topo

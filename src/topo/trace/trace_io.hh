@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text serialisation of traces.
+ *
+ * Format: one header line "topo-trace v1 <proc_count>", then one line
+ * per run: "<proc> <offset> <length>". Lines beginning with '#' are
+ * comments. The format is deliberately simple so externally collected
+ * traces (e.g. from a Pin/valgrind tool) can be fed to the library.
+ */
+
+#ifndef TOPO_TRACE_TRACE_IO_HH
+#define TOPO_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** Write a trace in the text format. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/** Read a trace; throws TopoError on malformed input. */
+Trace readTrace(std::istream &is);
+
+/** Write a trace to a file path. */
+void saveTrace(const std::string &path, const Trace &trace);
+
+/** Read a trace from a file path. */
+Trace loadTrace(const std::string &path);
+
+} // namespace topo
+
+#endif // TOPO_TRACE_TRACE_IO_HH

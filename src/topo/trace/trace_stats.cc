@@ -1,0 +1,29 @@
+#include "topo/trace/trace_stats.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+TraceStats
+computeTraceStats(const Program &program, const Trace &trace)
+{
+    require(program.procCount() == trace.procCount(),
+            "computeTraceStats: program/trace mismatch");
+    TraceStats stats;
+    stats.run_count.assign(program.procCount(), 0);
+    stats.bytes_fetched.assign(program.procCount(), 0);
+    for (const TraceEvent &ev : trace.events()) {
+        stats.run_count[ev.proc] += 1;
+        stats.bytes_fetched[ev.proc] += ev.length;
+        stats.total_runs += 1;
+        stats.total_bytes += ev.length;
+    }
+    for (std::uint64_t runs : stats.run_count) {
+        if (runs > 0)
+            ++stats.procs_touched;
+    }
+    return stats;
+}
+
+} // namespace topo

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Summary statistics over a trace: dynamic reference counts per
+ * procedure, bytes fetched, distinct procedures touched. Feeds the
+ * popularity selection and the Table 1 report.
+ */
+
+#ifndef TOPO_TRACE_TRACE_STATS_HH
+#define TOPO_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/program/program.hh"
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** Per-trace summary. */
+struct TraceStats
+{
+    /** Runs per procedure. */
+    std::vector<std::uint64_t> run_count;
+    /** Bytes fetched per procedure. */
+    std::vector<std::uint64_t> bytes_fetched;
+    /** Total number of runs. */
+    std::uint64_t total_runs = 0;
+    /** Total bytes fetched. */
+    std::uint64_t total_bytes = 0;
+    /** Number of procedures referenced at least once. */
+    std::size_t procs_touched = 0;
+};
+
+/** Compute summary statistics for a trace. */
+TraceStats computeTraceStats(const Program &program, const Trace &trace);
+
+} // namespace topo
+
+#endif // TOPO_TRACE_TRACE_STATS_HH

@@ -1,0 +1,12 @@
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+void
+fail(const std::string &msg)
+{
+    throw TopoError(msg);
+}
+
+} // namespace topo

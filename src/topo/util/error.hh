@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error handling primitives for libtopo.
+ *
+ * Follows the gem5 fatal/panic split: TopoError (via require/fail) is for
+ * conditions caused by the caller (bad configuration, inconsistent
+ * arguments); assertions/panics are reserved for internal invariant
+ * violations.
+ */
+
+#ifndef TOPO_UTIL_ERROR_HH
+#define TOPO_UTIL_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace topo
+{
+
+/**
+ * Exception thrown for user-correctable errors: invalid configuration,
+ * inconsistent inputs, out-of-range parameters.
+ */
+class TopoError : public std::runtime_error
+{
+  public:
+    explicit TopoError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Throw a TopoError with the given message. Marked [[noreturn]] so it can
+ * terminate value-returning control paths.
+ *
+ * @param msg Human-readable description of the problem.
+ */
+[[noreturn]] void fail(const std::string &msg);
+
+/**
+ * Check a caller-facing precondition; throws TopoError on failure.
+ *
+ * @param cond Condition that must hold.
+ * @param msg  Message used when the condition does not hold.
+ */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fail(msg);
+}
+
+} // namespace topo
+
+#endif // TOPO_UTIL_ERROR_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal command-line/environment option handling for bench and
+ * example binaries.
+ *
+ * Options are given as --name=value pairs. Every option can also be
+ * supplied through the environment as TOPO_<NAME> (upper-cased, dashes
+ * replaced with underscores); the command line wins on conflict. This
+ * is how TOPO_TRACE_SCALE from DESIGN.md reaches the bench binaries.
+ */
+
+#ifndef TOPO_UTIL_OPTIONS_HH
+#define TOPO_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace topo
+{
+
+/** Parsed option set with typed, defaulted accessors. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /**
+     * Parse argv. Unknown positional arguments raise TopoError so typos
+     * are caught; "--help" is collected and queryable via helpRequested.
+     */
+    static Options parse(int argc, const char *const *argv);
+
+    /** True if --help (or -h) was present. */
+    bool helpRequested() const { return help_; }
+
+    /** True if the option was given on the command line or environment. */
+    bool has(const std::string &name) const;
+
+    /** String option with default. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer option with default; throws TopoError on malformed value. */
+    std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
+
+    /** Double option with default; throws TopoError on malformed value. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean option with default; accepts 0/1/true/false/yes/no. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Inject a value programmatically (used by tests). */
+    void set(const std::string &name, const std::string &value);
+
+  private:
+    /** Fetch raw value from CLI map or environment; empty if absent. */
+    bool lookup(const std::string &name, std::string &out) const;
+
+    std::map<std::string, std::string> values_;
+    bool help_ = false;
+};
+
+} // namespace topo
+
+#endif // TOPO_UTIL_OPTIONS_HH

@@ -1,0 +1,145 @@
+#include "topo/util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+RunningStats::RunningStats()
+{
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(const std::vector<double> &samples, double pct)
+{
+    require(!samples.empty(), "percentile: empty sample");
+    require(pct >= 0.0 && pct <= 100.0, "percentile: pct out of [0,100]");
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+mean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : samples)
+        total += x;
+    return total / static_cast<double>(samples.size());
+}
+
+double
+sampleStddev(const std::vector<double> &samples)
+{
+    if (samples.size() < 2)
+        return 0.0;
+    const double m = mean(samples);
+    double ss = 0.0;
+    for (double x : samples)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    require(xs.size() == ys.size(), "pearson: length mismatch");
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit
+leastSquares(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    require(xs.size() == ys.size() && !xs.empty(),
+            "leastSquares: need equal, non-empty samples");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    LinearFit fit;
+    if (sxx == 0.0) {
+        fit.offset = my;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.offset = my - fit.slope * mx;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+std::vector<std::pair<double, double>>
+empiricalCdf(const std::vector<double> &samples)
+{
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::pair<double, double>> cdf;
+    cdf.reserve(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double frac =
+            static_cast<double>(i + 1) / static_cast<double>(sorted.size());
+        cdf.emplace_back(sorted[i], frac);
+    }
+    return cdf;
+}
+
+} // namespace topo

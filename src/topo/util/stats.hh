@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Descriptive statistics helpers used by the evaluation harness:
+ * running summaries, percentiles, Pearson correlation and simple
+ * least-squares fits (for the Figure 6 correlation experiment).
+ */
+
+#ifndef TOPO_UTIL_STATS_HH
+#define TOPO_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace topo
+{
+
+/**
+ * Incremental summary of a stream of doubles (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance; 0 with fewer than two observations. */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+    RunningStats();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0; // set to +inf in the constructor
+    double max_ = 0.0; // set to -inf in the constructor
+};
+
+/**
+ * Percentile of a sample using linear interpolation between order
+ * statistics. The input vector is copied and sorted.
+ *
+ * @param samples Observations (must be non-empty).
+ * @param pct     Percentile in [0, 100].
+ */
+double percentile(const std::vector<double> &samples, double pct);
+
+/** Arithmetic mean of a sample (0 for empty input). */
+double mean(const std::vector<double> &samples);
+
+/** Sample standard deviation (n-1 denominator; 0 for n < 2). */
+double sampleStddev(const std::vector<double> &samples);
+
+/**
+ * Pearson correlation coefficient of two equal-length samples.
+ * Returns 0 when either sample has zero variance.
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Result of a one-dimensional least squares fit y = slope*x + offset. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double offset = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/** Ordinary least squares fit of ys against xs (equal, non-zero length). */
+LinearFit leastSquares(const std::vector<double> &xs,
+                       const std::vector<double> &ys);
+
+/**
+ * Empirical CDF points of a sample, sorted ascending. The i-th returned
+ * pair is (value, fraction of sample <= value), matching the axes of
+ * the paper's Figure 5.
+ */
+std::vector<std::pair<double, double>>
+empiricalCdf(const std::vector<double> &samples);
+
+} // namespace topo
+
+#endif // TOPO_UTIL_STATS_HH

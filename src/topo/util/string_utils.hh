@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string parsing/formatting helpers shared across modules.
+ */
+
+#ifndef TOPO_UTIL_STRING_UTILS_HH
+#define TOPO_UTIL_STRING_UTILS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topo
+{
+
+/** Split on a delimiter; empty fields preserved. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &text);
+
+/**
+ * Parse a signed integer; throws TopoError naming @p what on failure.
+ * Accepts an optional K/M/G suffix (powers of ten: 2K == 2000).
+ */
+std::int64_t parseInt(const std::string &text, const std::string &what);
+
+/** Parse a double; throws TopoError naming @p what on failure. */
+double parseDouble(const std::string &text, const std::string &what);
+
+} // namespace topo
+
+#endif // TOPO_UTIL_STRING_UTILS_HH

@@ -1,0 +1,124 @@
+#include "topo/util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "TextTable::addRow: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::render(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    if (!title.empty())
+        os << title << '\n';
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::renderCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(row[c]);
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return fmtDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    if (bytes >= 1024ULL * 1024ULL) {
+        return fmtDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 1) +
+               " M";
+    }
+    if (bytes >= 1024ULL) {
+        return std::to_string((bytes + 512) / 1024) + " K";
+    }
+    return std::to_string(bytes) + " B";
+}
+
+std::string
+fmtCount(std::uint64_t count)
+{
+    if (count >= 1000000ULL) {
+        return fmtDouble(static_cast<double>(count) / 1e6, 1) + " M";
+    }
+    if (count >= 1000ULL) {
+        return fmtDouble(static_cast<double>(count) / 1e3, 1) + " K";
+    }
+    return std::to_string(count);
+}
+
+} // namespace topo

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table and CSV emission. Every bench binary reports the
+ * paper's rows through TextTable so all outputs share one format.
+ */
+
+#ifndef TOPO_UTIL_TABLE_HH
+#define TOPO_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace topo
+{
+
+/**
+ * A simple column-aligned text table with an optional title.
+ *
+ * Cells are strings; helpers format numbers consistently. Rendering
+ * pads each column to the widest cell and separates header from body
+ * with a rule.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of body rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render as aligned text to a stream. */
+    void render(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as CSV (RFC-4180-ish quoting) to a stream. */
+    void renderCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string fmtDouble(double value, int decimals = 3);
+
+/** Format a fraction as a percentage string, e.g. 0.0486 -> "4.86%". */
+std::string fmtPercent(double fraction, int decimals = 2);
+
+/** Format a byte count using K/M suffixes like the paper's Table 1. */
+std::string fmtBytes(std::uint64_t bytes);
+
+/** Format a large count with K/M suffixes (e.g. trace lengths). */
+std::string fmtCount(std::uint64_t count);
+
+} // namespace topo
+
+#endif // TOPO_UTIL_TABLE_HH

@@ -1,0 +1,69 @@
+#include "topo/workload/figure1.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/**
+ * Emit one loop iteration: M runs, calls the chosen leaf (X when cond
+ * is true, Y otherwise), M resumes; every fourth iteration M also
+ * calls Z before finishing. Z's lower frequency is what makes the two
+ * traces demand different layouts: under alternation (trace #1) the
+ * X/Y interleaving dominates and they must not share a line, while
+ * under phased execution (trace #2) X and Y never interleave and Z —
+ * the only block alive in both phases — deserves its own line.
+ */
+void
+emitIteration(Trace &trace, const Figure1Example &ex, ProcId leaf,
+              bool call_z, std::uint32_t size)
+{
+    trace.append(ex.m, 0, size);
+    trace.append(leaf, 0, size);
+    trace.append(ex.m, 0, size);
+    if (call_z) {
+        trace.append(ex.z, 0, size);
+        trace.append(ex.m, 0, size);
+    }
+}
+
+} // namespace
+
+Trace
+Figure1Example::trace1() const
+{
+    const std::uint32_t size = program.proc(m).size_bytes;
+    Trace trace(program.procCount());
+    for (int i = 0; i < kIterations; ++i) {
+        emitIteration(trace, *this, (i % 2 == 0) ? x : y, i % 4 == 3,
+                      size);
+    }
+    return trace;
+}
+
+Trace
+Figure1Example::trace2() const
+{
+    const std::uint32_t size = program.proc(m).size_bytes;
+    Trace trace(program.procCount());
+    for (int i = 0; i < kIterations; ++i) {
+        emitIteration(trace, *this, (i < kIterations / 2) ? x : y,
+                      i % 4 == 3, size);
+    }
+    return trace;
+}
+
+Figure1Example
+makeFigure1Example(std::uint32_t line_bytes)
+{
+    Figure1Example ex;
+    ex.m = ex.program.addProcedure("M", line_bytes);
+    ex.x = ex.program.addProcedure("X", line_bytes);
+    ex.y = ex.program.addProcedure("Y", line_bytes);
+    ex.z = ex.program.addProcedure("Z", line_bytes);
+    ex.cache = CacheConfig{3 * line_bytes, line_bytes, 1};
+    return ex;
+}
+
+} // namespace topo

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's Figure 1 micro-example: a main procedure M calling leaf
+ * procedures X, Y, Z under two different control-flow histories that
+ * produce the *same* WCG but demand *different* layouts.
+ *
+ * Trace #1: cond alternates — per iteration M calls X or Y. Trace #2:
+ * cond is true for the first 40 iterations and false for the last 40.
+ * In both, M additionally calls Z every fourth iteration. Procedure
+ * sizes are one cache line each and the illustration cache has three
+ * lines, as in Section 1.
+ */
+
+#ifndef TOPO_WORKLOAD_FIGURE1_HH
+#define TOPO_WORKLOAD_FIGURE1_HH
+
+#include "topo/cache/cache_config.hh"
+#include "topo/program/program.hh"
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** The Figure 1 cast: program plus the ids of M, X, Y, and Z. */
+struct Figure1Example
+{
+    Program program{"figure1"};
+    ProcId m = kInvalidProc;
+    ProcId x = kInvalidProc;
+    ProcId y = kInvalidProc;
+    ProcId z = kInvalidProc;
+
+    /** The 3-line direct-mapped illustration cache. */
+    CacheConfig cache;
+
+    /** Trace #1: cond alternates between true and false. */
+    Trace trace1() const;
+    /** Trace #2: cond true 40 times, then false 40 times. */
+    Trace trace2() const;
+
+    /** Number of loop iterations (80 in the paper's example). */
+    static constexpr int kIterations = 80;
+};
+
+/** Build the Figure 1 example (line size 32 bytes by default). */
+Figure1Example makeFigure1Example(std::uint32_t line_bytes = 32);
+
+} // namespace topo
+
+#endif // TOPO_WORKLOAD_FIGURE1_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Microsuite: small adversarial workloads with *known* best layouts.
+ *
+ * Each case isolates one phenomenon the placement algorithms must
+ * handle, at a scale where the behaviour is fully understood:
+ *
+ *  - thrash_pair:    two procedures that alternate and together fit
+ *                    the cache — any overlap is pure loss.
+ *  - sibling_fanout: one dispatcher alternating among N siblings that
+ *                    never call each other (the WCG blind spot).
+ *  - phase_flip:     two program phases with disjoint hot sets that
+ *                    must share cache space across phases.
+ *  - giant_proc:     a procedure larger than the cache whose two hot
+ *                    chunks interleave with a small helper (why
+ *                    TRG_place chunking exists).
+ *  - cold_sandwich:  hot pair separated by dead code in source order
+ *                    (the quickstart scenario, as a benchmark).
+ *
+ * Used by tests (expected-winner assertions) and by the microsuite
+ * comparison bench.
+ */
+
+#ifndef TOPO_WORKLOAD_MICROSUITE_HH
+#define TOPO_WORKLOAD_MICROSUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/program/program.hh"
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+/** One microsuite case: program, trace, and its natural cache. */
+struct MicroCase
+{
+    std::string name;
+    Program program{"micro"};
+    Trace trace{0};
+    CacheConfig cache;
+    /** What the case demonstrates (printed by the bench). */
+    std::string lesson;
+};
+
+/** Build every microsuite case. */
+std::vector<MicroCase> microsuite();
+
+/** Build a single named case; throws TopoError for unknown names. */
+MicroCase microCase(const std::string &name);
+
+} // namespace topo
+
+#endif // TOPO_WORKLOAD_MICROSUITE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The six benchmark models of the paper's Table 1.
+ *
+ * Each case couples a synthetic workload model whose static shape
+ * follows Table 1 (total size, procedure count, popular subset) with a
+ * *training* input that drives placement and a *testing* input that
+ * measures it, mirroring Section 5.2's methodology. The m88ksim case
+ * deliberately makes the training input a poor predictor of the
+ * testing input (dcrand vs dhry in the paper).
+ */
+
+#ifndef TOPO_WORKLOAD_PAPER_SUITE_HH
+#define TOPO_WORKLOAD_PAPER_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "topo/workload/skeleton.hh"
+
+namespace topo
+{
+
+/** One benchmark of the evaluation suite. */
+struct BenchmarkCase
+{
+    std::string name;
+    WorkloadModel model;
+    WorkloadInput train;
+    WorkloadInput test;
+};
+
+/**
+ * Build all six benchmark models.
+ *
+ * @param trace_scale Multiplier on the default trace lengths (the
+ *                    TOPO_TRACE_SCALE knob); 1.0 gives roughly one
+ *                    million runs per input.
+ */
+std::vector<BenchmarkCase> paperSuite(double trace_scale = 1.0);
+
+/** Build a single named benchmark; throws TopoError for unknown names. */
+BenchmarkCase paperBenchmark(const std::string &name,
+                             double trace_scale = 1.0);
+
+/** Names of the six benchmarks in Table 1 order. */
+const std::vector<std::string> &paperBenchmarkNames();
+
+} // namespace topo
+
+#endif // TOPO_WORKLOAD_PAPER_SUITE_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Workload model: a program skeleton that can be "executed" to emit
+ * traces.
+ *
+ * The paper profiles real SPECint95 binaries; this repository replaces
+ * them with a structural model (see DESIGN.md, Substitutions). A
+ * WorkloadModel couples a Program with per-procedure *bodies* — run
+ * segments interleaved with probabilistic call sites — and a list of
+ * *phases*, each repeatedly executing a set of root procedures. Walking
+ * the model with an input (seed, phase emphasis, call bias) yields a
+ * trace with the temporal structure the placement algorithms care
+ * about: caller/callee interleaving, sibling alternation at fine and
+ * coarse grain, and multi-phase reuse distances.
+ */
+
+#ifndef TOPO_WORKLOAD_SKELETON_HH
+#define TOPO_WORKLOAD_SKELETON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/**
+ * One step of a procedure body: a straight-line run of code, then
+ * (optionally) a call. The pair may repeat, modelling a hot inner loop
+ * around the call site.
+ */
+struct BodyItem
+{
+    /** First byte of the run, relative to the procedure. */
+    std::uint32_t run_begin = 0;
+    /** Length of the run in bytes (> 0). */
+    std::uint32_t run_length = 0;
+    /** Callee procedure, or kInvalidProc for a plain run. */
+    ProcId callee = kInvalidProc;
+    /** Probability the call is taken on each iteration. */
+    double call_prob = 1.0;
+    /** Mean number of times this item repeats per body execution. */
+    double mean_repeats = 1.0;
+};
+
+/** A procedure body: ordered body items covering parts of the code. */
+struct ProcBody
+{
+    std::vector<BodyItem> items;
+};
+
+/**
+ * A phase: a set of root procedures executed round-robin for a number
+ * of iterations each time the phase is scheduled.
+ */
+struct Phase
+{
+    std::string name;
+    std::vector<ProcId> roots;
+    /** Mean iterations of the root set per scheduling of the phase. */
+    double mean_iterations = 100.0;
+};
+
+/**
+ * A complete executable workload model.
+ */
+struct WorkloadModel
+{
+    Program program{"workload"};
+    /** One body per procedure (index = ProcId). */
+    std::vector<ProcBody> bodies;
+    /** Phases executed in order, repeatedly (epochs). */
+    std::vector<Phase> phases;
+    /**
+     * Procedures touched once at startup (cold/init code), emitted at
+     * the head of every trace.
+     */
+    std::vector<ProcId> init_procs;
+
+    /** Validate internal consistency; throws TopoError on violation. */
+    void validate() const;
+};
+
+/**
+ * Input parameters of one execution of a workload model — the analog
+ * of a benchmark's command-line input in the paper's methodology.
+ */
+struct WorkloadInput
+{
+    std::string name = "input";
+    /** Seed for every stochastic choice of the walk. */
+    std::uint64_t seed = 1;
+    /**
+     * Per-phase multiplier on mean_iterations; empty means all ones.
+     * Distinct emphases make train/test inputs exercise the program
+     * differently (e.g. the m88ksim model's poor-training setup).
+     */
+    std::vector<double> phase_emphasis;
+    /** Global multiplier on call probabilities. */
+    double call_bias = 1.0;
+    /** Stop once the trace holds at least this many runs. */
+    std::uint64_t target_runs = 1000000;
+};
+
+} // namespace topo
+
+#endif // TOPO_WORKLOAD_SKELETON_HH

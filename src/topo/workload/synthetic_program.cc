@@ -1,0 +1,352 @@
+#include "topo/workload/synthetic_program.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "topo/util/error.hh"
+#include "topo/util/rng.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/**
+ * Draw @p count log-normal sizes and rescale them to sum to @p total,
+ * respecting a minimum per-procedure size.
+ */
+std::vector<std::uint32_t>
+drawSizes(Rng &rng, std::uint32_t count, std::uint64_t total,
+          std::uint32_t min_size, double sigma)
+{
+    require(count > 0, "drawSizes: zero count");
+    require(total >= static_cast<std::uint64_t>(count) * min_size,
+            "drawSizes: total too small for the minimum size");
+    std::vector<double> raw(count);
+    double raw_sum = 0.0;
+    for (double &r : raw) {
+        r = rng.nextLogNormal(0.0, sigma);
+        raw_sum += r;
+    }
+    std::vector<std::uint32_t> sizes(count);
+    std::uint64_t assigned = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const double share = raw[i] / raw_sum * static_cast<double>(total);
+        std::uint32_t size = static_cast<std::uint32_t>(
+            std::max<double>(min_size, std::llround(share)));
+        // Round to 4-byte instruction granularity.
+        size = (size + 3u) & ~3u;
+        sizes[i] = size;
+        assigned += size;
+    }
+    // Nudge the largest entries so the total is close to the target
+    // (exactness is unnecessary; Table 1 reports the achieved value).
+    if (assigned > total) {
+        std::uint64_t excess = assigned - total;
+        for (std::uint32_t i = 0; i < count && excess > 0; ++i) {
+            std::uint32_t &size = sizes[i];
+            const std::uint32_t slack = size > min_size ? size - min_size : 0;
+            const std::uint32_t cut = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(slack & ~3u, excess & ~3ull));
+            size -= cut;
+            excess -= cut;
+        }
+    }
+    return sizes;
+}
+
+/** Split [0, size) into @p parts contiguous segments of >= 8 bytes. */
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+splitSegments(Rng &rng, std::uint32_t size, std::uint32_t parts)
+{
+    parts = std::max<std::uint32_t>(1, std::min(parts, size / 8));
+    std::vector<std::uint32_t> cuts;
+    cuts.push_back(0);
+    cuts.push_back(size);
+    for (std::uint32_t i = 1; i < parts; ++i) {
+        cuts.push_back(8 + static_cast<std::uint32_t>(
+                               rng.nextBelow(std::max<std::uint32_t>(
+                                   1, size - 8))));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> segments;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        if (cuts[i + 1] > cuts[i])
+            segments.emplace_back(cuts[i], cuts[i + 1] - cuts[i]);
+    }
+    if (segments.empty())
+        segments.emplace_back(0, size);
+    return segments;
+}
+
+} // namespace
+
+WorkloadModel
+buildSyntheticWorkload(const SyntheticSpec &spec)
+{
+    require(spec.proc_count >= 2, "SyntheticSpec: need at least 2 procs");
+    require(spec.popular_count >= 2 &&
+                spec.popular_count <= spec.proc_count,
+            "SyntheticSpec: popular_count out of range");
+    require(spec.popular_bytes < spec.total_bytes,
+            "SyntheticSpec: popular bytes must be below total");
+    require(spec.phase_count >= 1, "SyntheticSpec: need at least one phase");
+    require(spec.ranks >= 2, "SyntheticSpec: need at least two ranks");
+    require(spec.loop_mean >= 1.0, "SyntheticSpec: loop_mean must be >= 1");
+    require(spec.cold_run_cap >= 32,
+            "SyntheticSpec: cold_run_cap must be >= 32 bytes");
+
+    Rng rng(spec.seed);
+    WorkloadModel model;
+    model.program = Program(spec.name);
+
+    const std::uint32_t unpopular_count =
+        spec.proc_count - spec.popular_count;
+    const std::uint64_t unpopular_bytes =
+        spec.total_bytes - spec.popular_bytes;
+
+    std::vector<std::uint32_t> hot_sizes =
+        drawSizes(rng, spec.popular_count, spec.popular_bytes, 96,
+                  spec.size_sigma);
+    std::vector<std::uint32_t> cold_sizes;
+    if (unpopular_count > 0) {
+        cold_sizes = drawSizes(rng, unpopular_count, unpopular_bytes, 32,
+                               spec.size_sigma);
+    }
+
+    // Interleave hot and cold procedures in "source order" so the
+    // default layout is arbitrary with respect to hotness (as in real
+    // programs, where source order carries no cache-awareness).
+    struct Slot
+    {
+        bool hot;
+        std::uint32_t size;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(spec.proc_count);
+    for (std::uint32_t s : hot_sizes)
+        slots.push_back(Slot{true, s});
+    for (std::uint32_t s : cold_sizes)
+        slots.push_back(Slot{false, s});
+    rng.shuffle(slots);
+
+    std::vector<ProcId> hot_procs;
+    std::vector<ProcId> cold_procs;
+    for (std::uint32_t i = 0; i < slots.size(); ++i) {
+        const Slot &slot = slots[i];
+        const std::string prefix = slot.hot ? "hot_" : "cold_";
+        const ProcId id = model.program.addProcedure(
+            prefix + std::to_string(i), slot.size);
+        (slot.hot ? hot_procs : cold_procs).push_back(id);
+    }
+
+    // --- Rank assignment over hot procedures: rank 0 procedures are
+    // phase roots; calls always go to strictly higher ranks (DAG).
+    const std::uint32_t ranks = spec.ranks;
+    std::vector<std::uint32_t> rank_of(model.program.procCount(), 0);
+    std::vector<std::vector<ProcId>> by_rank(ranks);
+    rng.shuffle(hot_procs);
+    for (std::uint32_t i = 0; i < hot_procs.size(); ++i) {
+        const std::uint32_t r = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(i) * ranks / hot_procs.size());
+        rank_of[hot_procs[i]] = r;
+        by_rank[r].push_back(hot_procs[i]);
+    }
+    // Every rank needs at least one member; steal from the largest.
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+        if (!by_rank[r].empty())
+            continue;
+        auto largest = std::max_element(
+            by_rank.begin(), by_rank.end(),
+            [](const auto &a, const auto &b) { return a.size() < b.size(); });
+        require(largest->size() > 1, "buildSyntheticWorkload: too few hot "
+                                     "procedures for the rank count");
+        by_rank[r].push_back(largest->back());
+        rank_of[largest->back()] = r;
+        largest->pop_back();
+    }
+
+    // --- Phase homes. Leaf-rank procedures may be shared utilities.
+    std::vector<std::uint32_t> home_phase(model.program.procCount(), 0);
+    std::vector<bool> shared(model.program.procCount(), false);
+    for (ProcId p : hot_procs) {
+        home_phase[p] =
+            static_cast<std::uint32_t>(rng.nextBelow(spec.phase_count));
+        if (rank_of[p] == ranks - 1 && rng.nextBool(spec.shared_frac))
+            shared[p] = true;
+    }
+
+    // --- Call DAG over hot procedures.
+    std::vector<std::vector<ProcId>> callees_of(model.program.procCount());
+    std::vector<bool> has_caller(model.program.procCount(), false);
+    auto pick_callee = [&](ProcId caller) -> ProcId {
+        const std::uint32_t r = rank_of[caller];
+        // Collect candidates: higher-rank procs in the same phase, or
+        // shared utilities anywhere.
+        std::vector<ProcId> candidates;
+        for (std::uint32_t rr = r + 1; rr < ranks; ++rr) {
+            for (ProcId q : by_rank[rr]) {
+                if (shared[q] || home_phase[q] == home_phase[caller])
+                    candidates.push_back(q);
+            }
+        }
+        if (candidates.empty()) {
+            for (std::uint32_t rr = r + 1; rr < ranks; ++rr)
+                for (ProcId q : by_rank[rr])
+                    candidates.push_back(q);
+        }
+        if (candidates.empty())
+            return kInvalidProc;
+        return candidates[rng.nextBelow(candidates.size())];
+    };
+
+    for (ProcId p : hot_procs) {
+        if (rank_of[p] == ranks - 1)
+            continue; // leaves call no hot procedures
+        const std::uint32_t fanout =
+            1 + static_cast<std::uint32_t>(rng.nextBelow(3));
+        for (std::uint32_t c = 0; c < fanout; ++c) {
+            const ProcId callee = pick_callee(p);
+            if (callee == kInvalidProc)
+                break;
+            callees_of[p].push_back(callee);
+            has_caller[callee] = true;
+        }
+    }
+    // Reachability: any hot non-root without a caller gets attached to
+    // a random procedure of a strictly lower rank (keeps the DAG).
+    for (ProcId p : hot_procs) {
+        if (rank_of[p] == 0 || has_caller[p])
+            continue;
+        const std::uint32_t r = rank_of[p];
+        const std::uint32_t lower =
+            static_cast<std::uint32_t>(rng.nextBelow(r));
+        const auto &pool = by_rank[lower];
+        const ProcId caller = pool[rng.nextBelow(pool.size())];
+        callees_of[caller].push_back(p);
+        has_caller[p] = true;
+    }
+
+    // --- Bodies.
+    model.bodies.resize(model.program.procCount());
+    for (ProcId p : hot_procs) {
+        const std::uint32_t size = model.program.proc(p).size_bytes;
+        const auto &callees = callees_of[p];
+        // One segment per callee plus a prologue/epilogue; very large
+        // procedures get extra plain segments so execution walks all
+        // of their chunks.
+        const std::uint32_t extra = size / 2048;
+        const std::uint32_t parts = static_cast<std::uint32_t>(
+            callees.size() + 2 + std::min<std::uint32_t>(extra, 8));
+        auto segments = splitSegments(rng, size, parts);
+        ProcBody &body = model.bodies[p];
+        const bool is_leaf = rank_of[p] == ranks - 1;
+        const bool calls_leaves = rank_of[p] + 2 == ranks;
+        std::size_t seg_idx = 0;
+        for (ProcId callee : callees) {
+            BodyItem item;
+            auto [begin, length] = segments[seg_idx % segments.size()];
+            ++seg_idx;
+            item.run_begin = begin;
+            item.run_length = length;
+            item.callee = callee;
+            item.call_prob = 0.35 + 0.65 * rng.nextDouble();
+            // Loops around call sites live mostly just above the
+            // leaves (the hot loop nests); deeper repetition would
+            // multiply through the call DAG and blow up the trace.
+            if (calls_leaves && rng.nextBool(0.5))
+                item.mean_repeats = 2.0 + rng.nextBelow(4);
+            else if (rng.nextBool(0.15))
+                item.mean_repeats = 2.0;
+            body.items.push_back(item);
+        }
+        // Occasional cold call site.
+        if (!cold_procs.empty() && rng.nextBool(0.5)) {
+            BodyItem item;
+            auto [begin, length] = segments[seg_idx % segments.size()];
+            ++seg_idx;
+            item.run_begin = begin;
+            item.run_length = length;
+            item.callee = cold_procs[rng.nextBelow(cold_procs.size())];
+            item.call_prob = spec.cold_call_prob;
+            body.items.push_back(item);
+        }
+        // Remaining segments as plain runs; leaves loop tightly over
+        // them — this is where the bulk of all line reuse (and thus a
+        // realistic hit rate) comes from. Some interior segments are
+        // cold paths (error handling, rare branches) that never
+        // execute at all; they bloat the procedure's footprint exactly
+        // the way procedure splitting is meant to undo.
+        bool emitted_plain = false;
+        bool in_dead_run = false;
+        for (; seg_idx < segments.size(); ++seg_idx) {
+            if (in_dead_run) {
+                if (rng.nextBool(0.6))
+                    continue; // the dead region keeps going
+                in_dead_run = false;
+            }
+            if (emitted_plain && rng.nextBool(0.25)) {
+                in_dead_run = true; // start of a dead region
+                continue;
+            }
+            BodyItem item;
+            item.run_begin = segments[seg_idx].first;
+            item.run_length = segments[seg_idx].second;
+            if (is_leaf) {
+                item.mean_repeats = std::max(
+                    1.0, rng.nextLogNormal(std::log(spec.loop_mean),
+                                           0.5));
+            } else if (rng.nextBool(0.2)) {
+                item.mean_repeats = 2.0 + rng.nextBelow(3);
+            }
+            body.items.push_back(item);
+            emitted_plain = true;
+        }
+        if (body.items.empty()) {
+            // Degenerate split (all segments consumed by call sites):
+            // fall back to a whole-body run.
+            BodyItem item;
+            item.run_begin = 0;
+            item.run_length = size;
+            body.items.push_back(item);
+        }
+    }
+    for (ProcId p : cold_procs) {
+        const std::uint32_t size = model.program.proc(p).size_bytes;
+        BodyItem item;
+        item.run_begin = 0;
+        item.run_length = std::min(size, spec.cold_run_cap);
+        model.bodies[p].items.push_back(item);
+    }
+
+    // --- Phases: rank-0 procedures are the roots of their home phase.
+    model.phases.resize(spec.phase_count);
+    for (std::uint32_t ph = 0; ph < spec.phase_count; ++ph) {
+        model.phases[ph].name = "phase" + std::to_string(ph);
+        model.phases[ph].mean_iterations =
+            std::max(1.0, spec.phase_iterations *
+                              (0.6 + 0.8 * rng.nextDouble()));
+    }
+    for (ProcId p : by_rank[0])
+        model.phases[home_phase[p]].roots.push_back(p);
+    // A phase with no root borrows a random rank-0 procedure.
+    for (Phase &phase : model.phases) {
+        if (phase.roots.empty()) {
+            phase.roots.push_back(
+                by_rank[0][rng.nextBelow(by_rank[0].size())]);
+        }
+    }
+
+    // --- Init code: a sample of cold procedures touched once.
+    for (ProcId p : cold_procs) {
+        if (rng.nextBool(0.15))
+            model.init_procs.push_back(p);
+    }
+
+    model.validate();
+    return model;
+}
+
+} // namespace topo

@@ -1,0 +1,128 @@
+#include "topo/workload/trace_synthesizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/util/error.hh"
+#include "topo/util/rng.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/** Recursion guard; generated models are DAGs and never get here. */
+constexpr int kMaxCallDepth = 64;
+
+class Walker
+{
+  public:
+    Walker(const WorkloadModel &model, const WorkloadInput &input)
+        : model_(model),
+          input_(input),
+          rng_(input.seed),
+          trace_(model.program.procCount())
+    {
+    }
+
+    Trace
+    run()
+    {
+        trace_.reserve(input_.target_runs + 1024);
+        for (ProcId init : model_.init_procs) {
+            if (done())
+                break;
+            executeProc(init, 0);
+        }
+        // Epochs: run the phase list until the trace is long enough.
+        while (!done()) {
+            for (std::size_t pi = 0; pi < model_.phases.size(); ++pi) {
+                if (done())
+                    break;
+                executePhase(pi);
+            }
+        }
+        return std::move(trace_);
+    }
+
+  private:
+    bool done() const { return trace_.size() >= input_.target_runs; }
+
+    double
+    emphasis(std::size_t phase_index) const
+    {
+        if (phase_index < input_.phase_emphasis.size())
+            return input_.phase_emphasis[phase_index];
+        return 1.0;
+    }
+
+    /** Draw an iteration count around a mean with ~25% jitter. */
+    std::uint64_t
+    drawIterations(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double jittered = mean * rng_.nextLogNormal(0.0, 0.25);
+        return std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(jittered)));
+    }
+
+    void
+    executePhase(std::size_t phase_index)
+    {
+        const Phase &phase = model_.phases[phase_index];
+        const double scale = emphasis(phase_index);
+        if (scale <= 0.0)
+            return;
+        const std::uint64_t iters =
+            drawIterations(phase.mean_iterations * scale);
+        for (std::uint64_t i = 0; i < iters && !done(); ++i) {
+            for (ProcId root : phase.roots) {
+                if (done())
+                    break;
+                executeProc(root, 0);
+            }
+        }
+    }
+
+    void
+    executeProc(ProcId proc, int depth)
+    {
+        if (depth > kMaxCallDepth || done())
+            return;
+        const ProcBody &body = model_.bodies[proc];
+        for (const BodyItem &item : body.items) {
+            const std::uint64_t repeats = drawIterations(item.mean_repeats);
+            for (std::uint64_t r = 0; r < repeats; ++r) {
+                if (done())
+                    return;
+                trace_.append(proc, item.run_begin, item.run_length);
+                if (item.callee != kInvalidProc) {
+                    const double p =
+                        std::min(1.0, item.call_prob * input_.call_bias);
+                    if (rng_.nextBool(p))
+                        executeProc(item.callee, depth + 1);
+                }
+            }
+        }
+    }
+
+    const WorkloadModel &model_;
+    const WorkloadInput &input_;
+    Rng rng_;
+    Trace trace_;
+};
+
+} // namespace
+
+Trace
+synthesizeTrace(const WorkloadModel &model, const WorkloadInput &input)
+{
+    model.validate();
+    require(input.target_runs > 0, "synthesizeTrace: zero target runs");
+    Walker walker(model, input);
+    return walker.run();
+}
+
+} // namespace topo

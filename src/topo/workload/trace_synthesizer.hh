@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trace synthesis: execute a WorkloadModel and record the run trace.
+ */
+
+#ifndef TOPO_WORKLOAD_TRACE_SYNTHESIZER_HH
+#define TOPO_WORKLOAD_TRACE_SYNTHESIZER_HH
+
+#include "topo/trace/trace.hh"
+#include "topo/workload/skeleton.hh"
+
+namespace topo
+{
+
+/**
+ * Walk a workload model under a given input and emit the trace.
+ *
+ * The walk is fully deterministic in (model, input.seed, input fields).
+ * Phases run in order; the whole phase list repeats (epochs) until the
+ * trace reaches input.target_runs. Call sites deeper than an internal
+ * recursion guard (64 frames) are skipped; generated models are DAGs
+ * so the guard never triggers for them.
+ *
+ * @param model Validated workload model.
+ * @param input Execution parameters.
+ */
+Trace synthesizeTrace(const WorkloadModel &model, const WorkloadInput &input);
+
+} // namespace topo
+
+#endif // TOPO_WORKLOAD_TRACE_SYNTHESIZER_HH

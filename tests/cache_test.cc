@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit and property tests for the cache simulators and the layout
+ * miss-rate driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/cache/direct_mapped_cache.hh"
+#include "topo/cache/set_associative_cache.hh"
+#include "topo/cache/simulate.hh"
+#include "topo/util/error.hh"
+#include "topo/util/rng.hh"
+
+namespace topo
+{
+namespace
+{
+
+TEST(CacheConfig, GeometryAccessors)
+{
+    const CacheConfig c = CacheConfig::paperDefault();
+    c.validate();
+    EXPECT_EQ(c.lineCount(), 256u);
+    EXPECT_EQ(c.setCount(), 256u);
+    EXPECT_EQ(c.describe(), "8KB direct-mapped, 32B lines");
+    const CacheConfig two = CacheConfig::paperTwoWay();
+    EXPECT_EQ(two.setCount(), 128u);
+    EXPECT_NE(two.describe().find("2-way"), std::string::npos);
+}
+
+TEST(CacheConfig, ValidationCatchesNonsense)
+{
+    CacheConfig c{100, 32, 1}; // size not a multiple of line
+    EXPECT_THROW(c.validate(), TopoError);
+    CacheConfig zero{0, 32, 1};
+    EXPECT_THROW(zero.validate(), TopoError);
+    CacheConfig assoc{8192, 32, 3}; // 256 lines not divisible by 3
+    EXPECT_THROW(assoc.validate(), TopoError);
+}
+
+TEST(DirectMapped, HitAfterFill)
+{
+    DirectMappedCache cache(CacheConfig{128, 32, 1}); // 4 lines
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(4)); // maps to frame 0, evicts 0
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(DirectMapped, NonPowerOfTwoLineCount)
+{
+    DirectMappedCache cache(CacheConfig{96, 32, 1}); // 3 lines
+    EXPECT_EQ(cache.mapIndex(0), 0u);
+    EXPECT_EQ(cache.mapIndex(3), 0u);
+    EXPECT_EQ(cache.mapIndex(4), 1u);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(3));
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(DirectMapped, ResetInvalidates)
+{
+    DirectMappedCache cache(CacheConfig{128, 32, 1});
+    cache.access(7);
+    EXPECT_TRUE(cache.access(7));
+    cache.reset();
+    EXPECT_FALSE(cache.access(7));
+}
+
+TEST(DirectMapped, RejectsAssociativeConfig)
+{
+    EXPECT_THROW(DirectMappedCache(CacheConfig{128, 32, 2}), TopoError);
+}
+
+TEST(SetAssociative, LruEvictionOrder)
+{
+    // 1 set, 2 ways.
+    SetAssociativeCache cache(CacheConfig{64, 32, 2});
+    EXPECT_FALSE(cache.access(10));
+    EXPECT_FALSE(cache.access(20));
+    EXPECT_TRUE(cache.access(10));  // 10 now MRU
+    EXPECT_FALSE(cache.access(30)); // evicts 20 (LRU)
+    EXPECT_TRUE(cache.access(10));
+    EXPECT_FALSE(cache.access(20));
+}
+
+TEST(SetAssociative, TwoBlocksCoexistInOneSet)
+{
+    // The set-associative motivation of Section 6: one intervening
+    // block does not evict p in a 2-way set.
+    SetAssociativeCache cache(CacheConfig{64, 32, 2});
+    cache.access(0);
+    for (int i = 0; i < 10; ++i) {
+        cache.access(100); // same set, other way
+        EXPECT_TRUE(cache.access(0));
+    }
+}
+
+TEST(SetAssociative, OneWayMatchesDirectMapped)
+{
+    const CacheConfig config{256, 32, 1};
+    DirectMappedCache dm(config);
+    SetAssociativeCache sa(config);
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t addr = rng.nextBelow(64);
+        EXPECT_EQ(dm.access(addr), sa.access(addr)) << "step " << i;
+    }
+}
+
+/** Full-associativity property: working set <= ways never misses twice. */
+TEST(SetAssociative, FullyAssociativeRetainsWorkingSet)
+{
+    // 4 ways, 1 set.
+    SetAssociativeCache cache(CacheConfig{128, 32, 4});
+    for (std::uint64_t a = 0; a < 4; ++a)
+        cache.access(a);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(cache.access(rng.nextBelow(4)));
+}
+
+Program
+twoProcs()
+{
+    Program p("sim");
+    p.addProcedure("f", 128); // 4 lines
+    p.addProcedure("g", 128); // 4 lines
+    return p;
+}
+
+TEST(Simulate, NoConflictWhenFitsInCache)
+{
+    const Program p = twoProcs();
+    const CacheConfig cache{512, 32, 1}; // 16 lines: both procs fit
+    Trace t(2);
+    for (int i = 0; i < 100; ++i) {
+        t.append(0, 0, 128);
+        t.append(1, 0, 128);
+    }
+    const FetchStream stream(p, t, 32);
+    const Layout layout = Layout::defaultOrder(p, 32);
+    const SimResult result = simulateLayout(p, layout, stream, cache);
+    // Only the 8 cold misses.
+    EXPECT_EQ(result.misses, 8u);
+    EXPECT_EQ(result.accesses, stream.size());
+}
+
+TEST(Simulate, FullConflictWhenOverlapped)
+{
+    const Program p = twoProcs();
+    const CacheConfig cache{128, 32, 1}; // 4 lines: f and g collide
+    Trace t(2);
+    for (int i = 0; i < 50; ++i) {
+        t.append(0, 0, 128);
+        t.append(1, 0, 128);
+    }
+    const FetchStream stream(p, t, 32);
+    const Layout layout = Layout::defaultOrder(p, 32);
+    const SimResult result = simulateLayout(p, layout, stream, cache);
+    // Every access evicts the other procedure's line: all misses.
+    EXPECT_EQ(result.misses, result.accesses);
+}
+
+TEST(Simulate, AttributionSumsToTotal)
+{
+    const Program p = twoProcs();
+    const CacheConfig cache{128, 32, 1};
+    Trace t(2);
+    for (int i = 0; i < 20; ++i) {
+        t.append(0, 0, 128);
+        t.append(1, 0, 128);
+    }
+    const FetchStream stream(p, t, 32);
+    const Layout layout = Layout::defaultOrder(p, 32);
+    const SimResult result =
+        simulateLayout(p, layout, stream, cache, true);
+    ASSERT_EQ(result.misses_by_proc.size(), 2u);
+    EXPECT_EQ(result.misses_by_proc[0] + result.misses_by_proc[1],
+              result.misses);
+}
+
+TEST(Simulate, LineSizeMismatchRejected)
+{
+    const Program p = twoProcs();
+    Trace t(2);
+    t.append(0, 0, 128);
+    const FetchStream stream(p, t, 16);
+    const Layout layout = Layout::defaultOrder(p, 16);
+    EXPECT_THROW(
+        simulateLayout(p, layout, stream, CacheConfig{8192, 32, 1}),
+        TopoError);
+}
+
+TEST(Simulate, TwoWayToleratesOneConflicting)
+{
+    // f and g overlap fully; in a 2-way cache of the same total size
+    // alternation does not thrash.
+    const Program p = twoProcs();
+    Trace t(2);
+    for (int i = 0; i < 50; ++i) {
+        t.append(0, 0, 128);
+        t.append(1, 0, 128);
+    }
+    const FetchStream stream(p, t, 32);
+    const Layout overlap =
+        Layout::fromCacheOffsets(p, {0, 1}, {0, 0}, 32, 4);
+    const SimResult dm =
+        simulateLayout(p, overlap, stream, CacheConfig{128, 32, 1});
+    const SimResult sa =
+        simulateLayout(p, overlap, stream, CacheConfig{256, 32, 2});
+    EXPECT_EQ(dm.misses, dm.accesses);
+    EXPECT_EQ(sa.misses, 8u); // cold misses only
+}
+
+/** Property sweep: miss rate is within [0,1] for random traffic. */
+class SimulatePropertyTest
+    : public ::testing::TestWithParam<CacheConfig>
+{
+};
+
+TEST_P(SimulatePropertyTest, MissRateBounded)
+{
+    const CacheConfig cache = GetParam();
+    Program p("r");
+    for (int i = 0; i < 10; ++i)
+        p.addProcedure("p" + std::to_string(i), 64 + 32 * i);
+    Trace t(p.procCount());
+    Rng rng(321);
+    for (int i = 0; i < 2000; ++i) {
+        const ProcId id = static_cast<ProcId>(rng.nextBelow(10));
+        t.append(id, 0, p.proc(id).size_bytes);
+    }
+    const FetchStream stream(p, t, cache.line_bytes);
+    const Layout layout = Layout::defaultOrder(p, cache.line_bytes);
+    const SimResult result = simulateLayout(p, layout, stream, cache);
+    EXPECT_GT(result.missRate(), 0.0);
+    EXPECT_LE(result.missRate(), 1.0);
+    EXPECT_EQ(result.accesses, stream.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SimulatePropertyTest,
+    ::testing::Values(CacheConfig{1024, 32, 1}, CacheConfig{2048, 32, 2},
+                      CacheConfig{4096, 64, 4}, CacheConfig{96, 32, 1},
+                      CacheConfig{8192, 32, 1}));
+
+} // namespace
+} // namespace topo

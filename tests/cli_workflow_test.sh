@@ -1,0 +1,67 @@
+#!/bin/sh
+# End-to-end test of the command-line workflow:
+#   topo_trace_gen -> topo_place -> topo_sim
+# Usage: cli_workflow_test.sh <tools-dir>
+set -e
+
+TOOLS_DIR="$1"
+[ -n "$TOOLS_DIR" ] || { echo "usage: $0 <tools-dir>"; exit 2; }
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$TOOLS_DIR/topo_trace_gen" --benchmark=m88ksim --input=train \
+    --trace-scale=0.02 --out-program="$WORK/m.prog" \
+    --out-trace="$WORK/m.trace" 2> "$WORK/gen.log"
+
+grep -q "topo-program v1" "$WORK/m.prog" || {
+    echo "FAIL: program file missing header"; exit 1; }
+grep -q "topo-trace v1" "$WORK/m.trace" || {
+    echo "FAIL: trace file missing header"; exit 1; }
+
+"$TOOLS_DIR/topo_place" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" --algorithm=gbsc \
+    --out-layout="$WORK/m.layout" --out-script="$WORK/m.ld" \
+    --evaluate 2> "$WORK/place.log"
+
+grep -q "topo-layout v1" "$WORK/m.layout" || {
+    echo "FAIL: layout file missing header"; exit 1; }
+grep -q "SECTIONS" "$WORK/m.ld" || {
+    echo "FAIL: linker script missing SECTIONS"; exit 1; }
+grep -q "miss rate on this trace" "$WORK/place.log" || {
+    echo "FAIL: --evaluate produced no report"; exit 1; }
+
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" --layout="$WORK/m.layout" \
+    --attribute --pages > "$WORK/sim.txt"
+grep -q "miss rate:" "$WORK/sim.txt" || {
+    echo "FAIL: topo_sim printed no miss rate"; exit 1; }
+grep -q "pages touched:" "$WORK/sim.txt" || {
+    echo "FAIL: topo_sim printed no page stats"; exit 1; }
+
+# The GBSC layout must beat the default layout on the same trace.
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" > "$WORK/sim_default.txt"
+gbsc_mr=$(sed -n 's/^miss rate:  *\([0-9.]*\)%/\1/p' "$WORK/sim.txt")
+def_mr=$(sed -n 's/^miss rate:  *\([0-9.]*\)%/\1/p' \
+    "$WORK/sim_default.txt")
+better=$(awk -v a="$gbsc_mr" -v b="$def_mr" 'BEGIN{print (a<b)?1:0}')
+[ "$better" = "1" ] || {
+    echo "FAIL: GBSC ($gbsc_mr%) not better than default ($def_mr%)"
+    exit 1; }
+
+# topo_compare runs all algorithms and prints the comparison table.
+"$TOOLS_DIR/topo_compare" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" --refine > "$WORK/cmp.txt" \
+    2> "$WORK/cmp.log"
+grep -q "GBSC" "$WORK/cmp.txt" || {
+    echo "FAIL: topo_compare missing GBSC row"; exit 1; }
+grep -q "GBSC+refine" "$WORK/cmp.txt" || {
+    echo "FAIL: topo_compare missing refine row"; exit 1; }
+
+# Bad inputs must fail cleanly (non-zero exit, no crash).
+if "$TOOLS_DIR/topo_place" --program=/nonexistent --trace=/nonexistent \
+    2> /dev/null; then
+    echo "FAIL: topo_place accepted nonexistent inputs"; exit 1
+fi
+
+echo "PASS: cli workflow (default $def_mr% -> gbsc $gbsc_mr%)"

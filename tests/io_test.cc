@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Round-trip and error-handling tests for the interchange formats:
+ * program descriptions and layouts (the CLI tool formats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "topo/program/layout_io.hh"
+#include "topo/program/program_io.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+namespace
+{
+
+Program
+sampleProgram()
+{
+    Program p("sample");
+    p.addProcedure("main", 400);
+    p.addProcedure("helper", 96);
+    p.addProcedure("big_one", 10000);
+    return p;
+}
+
+TEST(ProgramIo, RoundTrip)
+{
+    const Program p = sampleProgram();
+    std::stringstream ss;
+    writeProgram(ss, p);
+    const Program back = readProgram(ss, "back");
+    ASSERT_EQ(back.procCount(), p.procCount());
+    for (ProcId i = 0; i < p.procCount(); ++i) {
+        EXPECT_EQ(back.proc(i).name, p.proc(i).name);
+        EXPECT_EQ(back.proc(i).size_bytes, p.proc(i).size_bytes);
+    }
+    EXPECT_EQ(back.totalSize(), p.totalSize());
+}
+
+TEST(ProgramIo, CommentsAndBlanksIgnored)
+{
+    std::stringstream ss("topo-program v1\n# hi\n\nf 100\n");
+    const Program p = readProgram(ss);
+    EXPECT_EQ(p.procCount(), 1u);
+    EXPECT_EQ(p.findProc("f"), 0u);
+}
+
+TEST(ProgramIo, RejectsMalformedInput)
+{
+    {
+        std::stringstream ss("not-a-program\n");
+        EXPECT_THROW(readProgram(ss), TopoError);
+    }
+    {
+        std::stringstream ss("topo-program v1\nf\n");
+        EXPECT_THROW(readProgram(ss), TopoError); // missing size
+    }
+    {
+        std::stringstream ss("topo-program v1\nf 0\n");
+        EXPECT_THROW(readProgram(ss), TopoError); // zero size
+    }
+    {
+        std::stringstream ss("topo-program v1\nf 10\nf 20\n");
+        EXPECT_THROW(readProgram(ss), TopoError); // duplicate
+    }
+}
+
+TEST(ProgramIo, FileRoundTrip)
+{
+    const Program p = sampleProgram();
+    const std::string path = "/tmp/topo_program_io_test.prog";
+    saveProgram(path, p);
+    const Program back = loadProgram(path);
+    EXPECT_EQ(back.procCount(), p.procCount());
+    std::remove(path.c_str());
+    EXPECT_THROW(loadProgram("/nonexistent/nope.prog"), TopoError);
+}
+
+TEST(LayoutIo, RoundTrip)
+{
+    const Program p = sampleProgram();
+    const Layout layout =
+        Layout::fromCacheOffsets(p, {2, 0, 1}, {5, 0, 3}, 32, 8);
+    std::stringstream ss;
+    writeLayout(ss, p, layout);
+    const Layout back = readLayout(ss, p);
+    for (ProcId i = 0; i < p.procCount(); ++i)
+        EXPECT_EQ(back.address(i), layout.address(i));
+}
+
+TEST(LayoutIo, RejectsBadInput)
+{
+    const Program p = sampleProgram();
+    {
+        std::stringstream ss("nope\n");
+        EXPECT_THROW(readLayout(ss, p), TopoError);
+    }
+    {
+        // Unknown procedure.
+        std::stringstream ss("topo-layout v1\nmystery 0\n");
+        EXPECT_THROW(readLayout(ss, p), TopoError);
+    }
+    {
+        // Duplicate procedure.
+        std::stringstream ss(
+            "topo-layout v1\nmain 0\nmain 512\nhelper 1024\n"
+            "big_one 2048\n");
+        EXPECT_THROW(readLayout(ss, p), TopoError);
+    }
+    {
+        // Incomplete layout.
+        std::stringstream ss("topo-layout v1\nmain 0\n");
+        EXPECT_THROW(readLayout(ss, p), TopoError);
+    }
+}
+
+TEST(LayoutIo, PreservesGaps)
+{
+    const Program p = sampleProgram();
+    Layout layout(p.procCount());
+    layout.setAddress(0, 0);
+    layout.setAddress(1, 4096); // large deliberate gap
+    layout.setAddress(2, 65536);
+    std::stringstream ss;
+    writeLayout(ss, p, layout);
+    const Layout back = readLayout(ss, p);
+    EXPECT_EQ(back.address(1), 4096u);
+    EXPECT_EQ(back.address(2), 65536u);
+}
+
+} // namespace
+} // namespace topo

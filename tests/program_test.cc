@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for Program, Layout and the linker-script writer,
+ * including parameterised sweeps of the cache-offset realisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/program/layout.hh"
+#include "topo/program/layout_script.hh"
+#include "topo/program/program.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+namespace
+{
+
+Program
+threeProcs()
+{
+    Program p("three");
+    p.addProcedure("a", 100); // 4 lines at 32B
+    p.addProcedure("b", 32);  // 1 line
+    p.addProcedure("c", 70);  // 3 lines
+    return p;
+}
+
+TEST(Program, AddAndQuery)
+{
+    const Program p = threeProcs();
+    EXPECT_EQ(p.procCount(), 3u);
+    EXPECT_EQ(p.totalSize(), 202u);
+    EXPECT_EQ(p.proc(0).name, "a");
+    EXPECT_EQ(p.findProc("b"), 1u);
+    EXPECT_EQ(p.findProc("nope"), kInvalidProc);
+    EXPECT_THROW(p.proc(3), TopoError);
+}
+
+TEST(Program, ZeroSizeRejected)
+{
+    Program p;
+    EXPECT_THROW(p.addProcedure("zero", 0), TopoError);
+}
+
+TEST(Program, SizeInLinesRoundsUp)
+{
+    const Program p = threeProcs();
+    EXPECT_EQ(p.sizeInLines(0, 32), 4u);
+    EXPECT_EQ(p.sizeInLines(1, 32), 1u);
+    EXPECT_EQ(p.sizeInLines(2, 32), 3u);
+    EXPECT_THROW(p.sizeInLines(0, 0), TopoError);
+}
+
+TEST(Layout, DefaultOrderPacksAndAligns)
+{
+    const Program p = threeProcs();
+    const Layout layout = Layout::defaultOrder(p, 32);
+    layout.validate(p, 32);
+    EXPECT_EQ(layout.address(0), 0u);
+    EXPECT_EQ(layout.address(1), 128u); // 100 aligned up to 128
+    EXPECT_EQ(layout.address(2), 160u);
+    EXPECT_TRUE(layout.complete());
+}
+
+TEST(Layout, DefaultOrderWithPadding)
+{
+    const Program p = threeProcs();
+    const Layout padded = Layout::defaultOrder(p, 32, 32);
+    padded.validate(p, 32);
+    // Padding inserts one extra line after each procedure.
+    EXPECT_EQ(padded.address(1), 160u);
+    EXPECT_EQ(padded.address(2), 224u);
+}
+
+TEST(Layout, FromOrderCoversMissingProcs)
+{
+    const Program p = threeProcs();
+    const Layout layout = Layout::fromOrder(p, {2}, 32);
+    layout.validate(p, 32);
+    EXPECT_EQ(layout.address(2), 0u);
+    EXPECT_LT(layout.address(2), layout.address(0));
+    EXPECT_LT(layout.address(0), layout.address(1));
+}
+
+TEST(Layout, FromOrderRejectsDuplicates)
+{
+    const Program p = threeProcs();
+    EXPECT_THROW(Layout::fromOrder(p, {0, 0}, 32), TopoError);
+}
+
+TEST(Layout, UnassignedAddressThrows)
+{
+    Layout layout(2);
+    EXPECT_FALSE(layout.complete());
+    EXPECT_THROW(layout.address(0), TopoError);
+    layout.setAddress(0, 64);
+    EXPECT_TRUE(layout.assigned(0));
+    EXPECT_EQ(layout.address(0), 64u);
+}
+
+TEST(Layout, ValidateDetectsOverlap)
+{
+    const Program p = threeProcs();
+    Layout layout(3);
+    layout.setAddress(0, 0);
+    layout.setAddress(1, 32); // inside procedure 0 (100 bytes)
+    layout.setAddress(2, 512);
+    EXPECT_THROW(layout.validate(p, 32), TopoError);
+}
+
+TEST(Layout, ValidateDetectsMisalignment)
+{
+    const Program p = threeProcs();
+    Layout layout(3);
+    layout.setAddress(0, 0);
+    layout.setAddress(1, 130);
+    layout.setAddress(2, 512);
+    EXPECT_THROW(layout.validate(p, 32), TopoError);
+}
+
+TEST(Layout, OrderByAddress)
+{
+    const Program p = threeProcs();
+    Layout layout(3);
+    layout.setAddress(0, 512);
+    layout.setAddress(1, 0);
+    layout.setAddress(2, 128);
+    const std::vector<ProcId> order = layout.orderByAddress();
+    EXPECT_EQ(order, (std::vector<ProcId>{1, 2, 0}));
+}
+
+TEST(Layout, ExtentIsEndOfLastProc)
+{
+    const Program p = threeProcs();
+    const Layout layout = Layout::defaultOrder(p, 32);
+    EXPECT_EQ(layout.extent(p), 160u + 70u);
+}
+
+TEST(Layout, WithPaddingShiftsCumulatively)
+{
+    const Program p = threeProcs();
+    const Layout base = Layout::defaultOrder(p, 32);
+    const Layout padded = Layout::withPadding(base, p, 32, 32);
+    padded.validate(p, 32);
+    EXPECT_EQ(padded.address(0), base.address(0));
+    EXPECT_EQ(padded.address(1), base.address(1) + 32);
+    EXPECT_EQ(padded.address(2), base.address(2) + 64);
+}
+
+/** Parameterised sweep: cache-offset realisation honours targets. */
+class FromCacheOffsetsTest
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FromCacheOffsetsTest, AchievesTargetOffsets)
+{
+    const std::uint32_t cache_lines = GetParam();
+    const Program p = threeProcs();
+    const std::vector<std::uint32_t> targets{
+        5 % cache_lines, 2 % cache_lines, 7 % cache_lines};
+    const Layout layout =
+        Layout::fromCacheOffsets(p, {0, 1, 2}, targets, 32, cache_lines);
+    layout.validate(p, 32);
+    for (ProcId id = 0; id < 3; ++id) {
+        EXPECT_EQ(layout.startLine(id, 32) % cache_lines,
+                  targets[id])
+            << "cache_lines=" << cache_lines << " proc=" << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FromCacheOffsetsTest,
+                         ::testing::Values(3u, 8u, 16u, 256u, 1024u));
+
+TEST(Layout, FromCacheOffsetsRequiresFullOrder)
+{
+    const Program p = threeProcs();
+    EXPECT_THROW(
+        Layout::fromCacheOffsets(p, {0, 1}, {0, 0, 0}, 32, 8),
+        TopoError);
+}
+
+TEST(LayoutScript, LinkerScriptMentionsAllProcsAndGaps)
+{
+    const Program p = threeProcs();
+    const Layout layout =
+        Layout::fromCacheOffsets(p, {0, 1, 2}, {0, 6, 0}, 32, 8);
+    std::ostringstream oss;
+    writeLinkerScript(oss, p, layout, 32);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("*(.text.a)"), std::string::npos);
+    EXPECT_NE(out.find("*(.text.b)"), std::string::npos);
+    EXPECT_NE(out.find("*(.text.c)"), std::string::npos);
+    EXPECT_NE(out.find("gap"), std::string::npos);
+}
+
+TEST(LayoutScript, PlacementMapListsCacheLines)
+{
+    const Program p = threeProcs();
+    const Layout layout = Layout::defaultOrder(p, 32);
+    std::ostringstream oss;
+    writePlacementMap(oss, p, layout, 32, 8);
+    EXPECT_NE(oss.str().find("cache_line"), std::string::npos);
+    EXPECT_NE(oss.str().find(" a"), std::string::npos);
+}
+
+} // namespace
+} // namespace topo

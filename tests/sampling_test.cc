@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for trace burst sampling: exact window selection, fraction
+ * arithmetic, interleaving preservation, and end-to-end profile
+ * quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/profile/trg_builder.hh"
+#include "topo/trace/sampling.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+namespace
+{
+
+Trace
+numberedTrace(std::size_t runs)
+{
+    // Procedure id encodes the run index (mod 100) so tests can see
+    // exactly which runs survived.
+    Trace t(100);
+    for (std::size_t i = 0; i < runs; ++i)
+        t.append(static_cast<ProcId>(i % 100), 0, 8);
+    return t;
+}
+
+TEST(BurstSample, KeepsExactWindows)
+{
+    const Trace t = numberedTrace(100);
+    BurstSamplingOptions opts;
+    opts.burst_runs = 3;
+    opts.period_runs = 10;
+    const Trace sampled = burstSample(t, opts);
+    ASSERT_EQ(sampled.size(), 30u);
+    // First window is runs 0,1,2; second window runs 10,11,12.
+    EXPECT_EQ(sampled.events()[0].proc, 0u);
+    EXPECT_EQ(sampled.events()[2].proc, 2u);
+    EXPECT_EQ(sampled.events()[3].proc, 10u);
+    EXPECT_EQ(sampled.events()[5].proc, 12u);
+}
+
+TEST(BurstSample, PhaseShiftsWindows)
+{
+    const Trace t = numberedTrace(40);
+    BurstSamplingOptions opts;
+    opts.burst_runs = 2;
+    opts.period_runs = 10;
+    opts.phase = 4;
+    const Trace sampled = burstSample(t, opts);
+    ASSERT_EQ(sampled.size(), 8u);
+    EXPECT_EQ(sampled.events()[0].proc, 4u);
+    EXPECT_EQ(sampled.events()[1].proc, 5u);
+    EXPECT_EQ(sampled.events()[2].proc, 14u);
+}
+
+TEST(BurstSample, RejectsBadOptions)
+{
+    const Trace t = numberedTrace(10);
+    BurstSamplingOptions zero;
+    zero.burst_runs = 0;
+    EXPECT_THROW(burstSample(t, zero), TopoError);
+    BurstSamplingOptions inverted;
+    inverted.burst_runs = 10;
+    inverted.period_runs = 5;
+    EXPECT_THROW(burstSample(t, inverted), TopoError);
+    BurstSamplingOptions bad_phase;
+    bad_phase.burst_runs = 5;
+    bad_phase.period_runs = 8;
+    bad_phase.phase = 4; // 4 + 5 > 8
+    EXPECT_THROW(burstSample(t, bad_phase), TopoError);
+}
+
+TEST(BurstSampleFraction, ApproximatesRequestedFraction)
+{
+    const Trace t = numberedTrace(200000);
+    for (double fraction : {1.0, 0.5, 0.1, 0.01}) {
+        const Trace sampled = burstSampleFraction(t, fraction);
+        const double achieved = static_cast<double>(sampled.size()) /
+                                static_cast<double>(t.size());
+        EXPECT_NEAR(achieved, fraction, fraction * 0.1)
+            << "fraction " << fraction;
+    }
+    EXPECT_THROW(burstSampleFraction(t, 0.0), TopoError);
+    EXPECT_THROW(burstSampleFraction(t, 1.5), TopoError);
+}
+
+TEST(BurstSample, PreservesLocalInterleaving)
+{
+    // A strict f/g alternation sampled in bursts must still show the
+    // f-g TRG edge at roughly the sampled fraction of its full
+    // weight; that is the property per-run sampling would destroy.
+    Program p("s");
+    const ProcId f = p.addProcedure("f", 64);
+    const ProcId g = p.addProcedure("g", 64);
+    Trace t(2);
+    for (int i = 0; i < 20000; ++i) {
+        t.append(f, 0, 64);
+        t.append(g, 0, 64);
+    }
+    const ChunkMap chunks(p, 256);
+    TrgBuildOptions topts;
+    topts.byte_budget = 4096;
+    const double full_weight =
+        buildTrgs(p, chunks, t, topts).select.weight(f, g);
+    const Trace sampled = burstSampleFraction(t, 0.1);
+    const double sampled_weight =
+        buildTrgs(p, chunks, sampled, topts).select.weight(f, g);
+    EXPECT_NEAR(sampled_weight / full_weight, 0.1, 0.02);
+}
+
+} // namespace
+} // namespace topo

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for procedure splitting (the Section 8 orthogonal technique):
+ * the derived program, the chunk mapping, trace transformation, and
+ * the end-to-end benefit when combined with GBSC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/cache/simulate.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/splitting.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/trace/trace_stats.hh"
+#include "topo/util/error.hh"
+#include "topo/workload/synthetic_program.hh"
+#include "topo/workload/trace_synthesizer.hh"
+
+namespace topo
+{
+namespace
+{
+
+/** One procedure: hot prefix (0..255), cold tail (256..1023). */
+struct TwoPartFixture
+{
+    Program program{"split"};
+    ProcId f;
+    ProcId g;
+    Trace trace;
+
+    TwoPartFixture()
+        : f(program.addProcedure("f", 1024)),
+          g(program.addProcedure("g", 512)),
+          trace(2)
+    {
+        for (int i = 0; i < 10; ++i) {
+            trace.append(f, 0, 256);  // hot chunk 0 of f
+            trace.append(g, 0, 512);  // whole g
+        }
+    }
+};
+
+TEST(ChunkHeat, CountsBytesPerChunk)
+{
+    const TwoPartFixture fx;
+    const ChunkMap chunks(fx.program, 256);
+    const auto heat = chunkHeat(fx.program, chunks, fx.trace);
+    EXPECT_EQ(heat[chunks.chunkId(fx.f, 0)], 2560u);
+    EXPECT_EQ(heat[chunks.chunkId(fx.f, 1)], 0u);
+    EXPECT_EQ(heat[chunks.chunkId(fx.g, 0)], 2560u);
+    EXPECT_EQ(heat[chunks.chunkId(fx.g, 1)], 2560u);
+}
+
+TEST(ChunkHeat, SplitsRunsAtChunkBoundaries)
+{
+    Program p("h");
+    const ProcId f = p.addProcedure("f", 1024);
+    Trace t(1);
+    t.append(f, 200, 200); // 200..399 spans chunks 0 and 1
+    const ChunkMap chunks(p, 256);
+    const auto heat = chunkHeat(p, chunks, t);
+    EXPECT_EQ(heat[chunks.chunkId(f, 0)], 56u);  // 200..255
+    EXPECT_EQ(heat[chunks.chunkId(f, 1)], 144u); // 256..399
+}
+
+TEST(Splitting, SeparatesHotAndColdChunks)
+{
+    const TwoPartFixture fx;
+    const SplitProgram split = splitProcedures(fx.program, fx.trace);
+    // f splits (hot 256 bytes, cold 768); g stays whole (all hot).
+    EXPECT_EQ(split.splitCount(), 1u);
+    EXPECT_EQ(split.coldBytes(), 768u);
+    const auto &f_split = split.splitOf(fx.f);
+    ASSERT_TRUE(f_split.wasSplit());
+    EXPECT_EQ(split.program().proc(f_split.hot).size_bytes, 256u);
+    EXPECT_EQ(split.program().proc(f_split.hot).name, "f.hot");
+    EXPECT_EQ(split.program().proc(f_split.cold).size_bytes, 768u);
+    const auto &g_split = split.splitOf(fx.g);
+    EXPECT_FALSE(g_split.wasSplit());
+    EXPECT_EQ(split.program().proc(g_split.hot).name, "g");
+    // Total size preserved.
+    EXPECT_EQ(split.program().totalSize(), fx.program.totalSize());
+}
+
+TEST(Splitting, UntouchedProcedureAllCold)
+{
+    Program p("c");
+    const ProcId f = p.addProcedure("f", 512);
+    const ProcId dead = p.addProcedure("dead", 512);
+    Trace t(2);
+    t.append(f, 0, 512);
+    const SplitProgram split = splitProcedures(p, t);
+    const auto &dead_split = split.splitOf(dead);
+    EXPECT_EQ(dead_split.hot, kInvalidProc);
+    ASSERT_NE(dead_split.cold, kInvalidProc);
+    EXPECT_EQ(split.program().proc(dead_split.cold).name, "dead");
+}
+
+TEST(Splitting, TransformRemapsAndCoalesces)
+{
+    const TwoPartFixture fx;
+    const SplitProgram split = splitProcedures(fx.program, fx.trace);
+    const Trace derived = split.transform(fx.trace);
+    derived.validate(split.program());
+    // Same number of runs (each original run maps into one derived
+    // procedure contiguously here) and same total bytes.
+    const TraceStats before = computeTraceStats(fx.program, fx.trace);
+    const TraceStats after =
+        computeTraceStats(split.program(), derived);
+    EXPECT_EQ(before.total_bytes, after.total_bytes);
+    EXPECT_EQ(derived.size(), fx.trace.size());
+    // All of f's activity landed on f.hot.
+    const auto &f_split = split.splitOf(fx.f);
+    EXPECT_EQ(after.bytes_fetched[f_split.hot],
+              before.bytes_fetched[fx.f]);
+}
+
+TEST(Splitting, TransformDividesCrossBoundaryRuns)
+{
+    // Execution touching hot and cold chunks of the same procedure
+    // must be divided into two derived runs.
+    Program p("x");
+    const ProcId f = p.addProcedure("f", 512);
+    Trace training(1);
+    training.append(f, 0, 256); // only chunk 0 is hot
+    const SplitProgram split = splitProcedures(p, training);
+    ASSERT_TRUE(split.splitOf(f).wasSplit());
+
+    Trace full(1);
+    full.append(f, 0, 512); // spans hot and cold
+    const Trace derived = split.transform(full);
+    derived.validate(split.program());
+    ASSERT_EQ(derived.size(), 2u);
+    EXPECT_EQ(derived.events()[0].proc, split.splitOf(f).hot);
+    EXPECT_EQ(derived.events()[0].length, 256u);
+    EXPECT_EQ(derived.events()[1].proc, split.splitOf(f).cold);
+    EXPECT_EQ(derived.events()[1].length, 256u);
+}
+
+TEST(Splitting, TransformRejectsForeignTrace)
+{
+    const TwoPartFixture fx;
+    const SplitProgram split = splitProcedures(fx.program, fx.trace);
+    Trace foreign(5);
+    EXPECT_THROW(split.transform(foreign), TopoError);
+}
+
+TEST(Explode, OneProcedurePerChunk)
+{
+    Program p("e");
+    const ProcId f = p.addProcedure("f", 600); // 3 chunks of 256
+    const ProcId g = p.addProcedure("g", 100); // 1 chunk
+    const SplitProgram exploded = explodeProcedures(p, 256);
+    EXPECT_EQ(exploded.program().procCount(), 4u);
+    EXPECT_EQ(exploded.program().totalSize(), p.totalSize());
+    EXPECT_EQ(exploded.program().proc(0).name, "f.0");
+    EXPECT_EQ(exploded.program().proc(2).size_bytes, 88u); // tail
+    EXPECT_EQ(exploded.splitCount(), 1u); // only f was divided
+    EXPECT_NE(exploded.splitOf(f).hot, kInvalidProc);
+    EXPECT_NE(exploded.splitOf(g).hot, kInvalidProc);
+}
+
+TEST(Explode, TransformSplitsRunsPerChunk)
+{
+    Program p("e");
+    const ProcId f = p.addProcedure("f", 600);
+    const SplitProgram exploded = explodeProcedures(p, 256);
+    Trace t(1);
+    t.append(f, 100, 400); // crosses chunks 0,1 (100..499)
+    const Trace derived = exploded.transform(t);
+    derived.validate(exploded.program());
+    ASSERT_EQ(derived.size(), 2u);
+    EXPECT_EQ(derived.events()[0].offset, 100u);
+    EXPECT_EQ(derived.events()[0].length, 156u);
+    EXPECT_EQ(derived.events()[1].offset, 0u);
+    EXPECT_EQ(derived.events()[1].length, 244u);
+    // Total bytes preserved.
+    EXPECT_EQ(derived.events()[0].length + derived.events()[1].length,
+              400u);
+}
+
+TEST(Splitting, EndToEndReducesHotFootprintAndMissRate)
+{
+    // A workload whose procedures have large cold tails: splitting
+    // must shrink the popular footprint and not hurt the miss rate.
+    SyntheticSpec spec;
+    spec.name = "tails";
+    spec.proc_count = 50;
+    spec.total_bytes = 150 * 1024;
+    spec.popular_count = 16;
+    spec.popular_bytes = 48 * 1024;
+    spec.phase_count = 3;
+    spec.ranks = 3;
+    spec.seed = 77;
+    const WorkloadModel model = buildSyntheticWorkload(spec);
+    WorkloadInput input;
+    input.seed = 78;
+    input.target_runs = 30000;
+    const Trace trace = synthesizeTrace(model, input);
+
+    const CacheConfig cache{4096, 32, 1};
+    auto gbsc_mr = [&](const Program &prog, const Trace &t) {
+        const ChunkMap chunks(prog, 256);
+        TrgBuildOptions opts;
+        opts.byte_budget = 2 * cache.size_bytes;
+        const TrgBuildResult trgs = buildTrgs(prog, chunks, t, opts);
+        PlacementContext ctx;
+        ctx.program = &prog;
+        ctx.cache = cache;
+        ctx.chunks = &chunks;
+        ctx.trg_select = &trgs.select;
+        ctx.trg_place = &trgs.place;
+        const Gbsc gbsc;
+        const Layout layout = gbsc.place(ctx);
+        const FetchStream stream(prog, t, cache.line_bytes);
+        return layoutMissRate(prog, layout, stream, cache);
+    };
+
+    const double plain = gbsc_mr(model.program, trace);
+    const SplitProgram split = splitProcedures(model.program, trace);
+    const Trace derived = split.transform(trace);
+    const double with_split = gbsc_mr(split.program(), derived);
+    // Splitting must not hurt; usually it helps by packing hot code.
+    EXPECT_LE(with_split, plain * 1.02);
+}
+
+} // namespace
+} // namespace topo

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the ordered set Q of Section 3: reference semantics,
+ * between-lists, byte-budget eviction, and randomised invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/profile/temporal_queue.hh"
+#include "topo/util/error.hh"
+#include "topo/util/rng.hh"
+
+namespace topo
+{
+namespace
+{
+
+TemporalQueue
+makeQueue(std::uint64_t budget, std::size_t blocks = 8,
+          std::uint32_t size = 10)
+{
+    return TemporalQueue(std::vector<std::uint32_t>(blocks, size), budget);
+}
+
+TEST(TemporalQueue, FirstReferenceHasNoPrevious)
+{
+    TemporalQueue q = makeQueue(1000);
+    std::vector<BlockId> between;
+    EXPECT_FALSE(q.reference(0, between));
+    EXPECT_TRUE(between.empty());
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.residentBytes(), 10u);
+}
+
+TEST(TemporalQueue, BetweenListsAreExact)
+{
+    TemporalQueue q = makeQueue(1000);
+    std::vector<BlockId> between;
+    q.reference(0, between);
+    q.reference(1, between);
+    q.reference(2, between);
+    q.reference(3, between);
+    EXPECT_TRUE(q.reference(1, between));
+    EXPECT_EQ(between, (std::vector<BlockId>{2, 3}));
+    // 1 moved to the most recent end; order is now 0,2,3,1.
+    EXPECT_EQ(q.contents(), (std::vector<BlockId>{0, 2, 3, 1}));
+    EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(TemporalQueue, ImmediateRepeatHasEmptyBetween)
+{
+    TemporalQueue q = makeQueue(1000);
+    std::vector<BlockId> between;
+    q.reference(0, between);
+    EXPECT_TRUE(q.reference(0, between));
+    EXPECT_TRUE(between.empty());
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(TemporalQueue, EvictionKeepsBudgetWorth)
+{
+    // Budget 35 with 10-byte blocks: after inserting a fresh block the
+    // oldest entries are dropped while the remainder stays >= 35 bytes,
+    // i.e. exactly 4 blocks survive.
+    TemporalQueue q = makeQueue(35);
+    std::vector<BlockId> between;
+    for (BlockId id = 0; id < 6; ++id)
+        q.reference(id, between);
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.contents(), (std::vector<BlockId>{2, 3, 4, 5}));
+    EXPECT_EQ(q.residentBytes(), 40u);
+}
+
+TEST(TemporalQueue, NoEvictionOnRepeatReference)
+{
+    // Section 3: the trim step happens only when no previous reference
+    // exists.
+    TemporalQueue q = makeQueue(35);
+    std::vector<BlockId> between;
+    for (BlockId id = 0; id < 4; ++id)
+        q.reference(id, between);
+    EXPECT_EQ(q.size(), 4u);
+    q.reference(0, between); // repeat: no trim even though at budget
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.contents(), (std::vector<BlockId>{1, 2, 3, 0}));
+}
+
+TEST(TemporalQueue, EvictedBlockForgotten)
+{
+    TemporalQueue q = makeQueue(25); // keeps >= 25 bytes => 3 blocks
+    std::vector<BlockId> between;
+    for (BlockId id = 0; id < 5; ++id)
+        q.reference(id, between);
+    EXPECT_FALSE(q.contains(0));
+    // Re-referencing an evicted block counts as fresh.
+    EXPECT_FALSE(q.reference(0, between));
+}
+
+TEST(TemporalQueue, ClearEmpties)
+{
+    TemporalQueue q = makeQueue(1000);
+    std::vector<BlockId> between;
+    q.reference(0, between);
+    q.reference(1, between);
+    q.clear();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.residentBytes(), 0u);
+    EXPECT_EQ(q.oldest(), TemporalQueue::kNone);
+    EXPECT_FALSE(q.reference(0, between));
+}
+
+TEST(TemporalQueue, RejectsBadInput)
+{
+    EXPECT_THROW(makeQueue(0), TopoError);
+    TemporalQueue q = makeQueue(100, 4);
+    std::vector<BlockId> between;
+    EXPECT_THROW(q.reference(4, between), TopoError);
+}
+
+TEST(TemporalQueue, VariableSizesRespectBudget)
+{
+    TemporalQueue q(std::vector<std::uint32_t>{100, 1, 1, 1}, 4);
+    std::vector<BlockId> between;
+    q.reference(0, between); // 100 bytes, alone
+    q.reference(1, between); // big block evicted? 101-100=1 < 4: stays
+    EXPECT_EQ(q.size(), 2u);
+    q.reference(2, between); // 102 - 100 = 2 < 4: stays
+    q.reference(3, between); // 103 - 100 = 3 < 4: stays
+    EXPECT_EQ(q.size(), 4u);
+}
+
+/** Randomised invariants across budgets. */
+class TemporalQueueProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TemporalQueueProperty, InvariantsHoldUnderRandomTraffic)
+{
+    const std::uint64_t budget = GetParam();
+    const std::size_t blocks = 32;
+    TemporalQueue q(std::vector<std::uint32_t>(blocks, 16), budget);
+    Rng rng(GetParam() * 7 + 1);
+    std::vector<BlockId> between;
+    for (int step = 0; step < 5000; ++step) {
+        const BlockId id = static_cast<BlockId>(rng.nextBelow(blocks));
+        const bool had_prev = q.contains(id);
+        const bool reported = q.reference(id, between);
+        EXPECT_EQ(had_prev, reported);
+        // Newest is always the last reference.
+        EXPECT_EQ(q.newest(), id);
+        // Every block appears at most once.
+        const auto contents = q.contents();
+        std::vector<bool> seen(blocks, false);
+        std::uint64_t bytes = 0;
+        for (BlockId b : contents) {
+            EXPECT_FALSE(seen[b]);
+            seen[b] = true;
+            bytes += 16;
+        }
+        EXPECT_EQ(bytes, q.residentBytes());
+        // Removing the oldest entry would drop below the budget
+        // (unless the queue holds a single block).
+        if (q.size() > 1) {
+            EXPECT_LT(q.residentBytes() - 16, budget + 16);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TemporalQueueProperty,
+                         ::testing::Values(16u, 64u, 128u, 400u, 100000u));
+
+} // namespace
+} // namespace topo

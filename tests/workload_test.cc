@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate: model validation, the
+ * generator's guarantees, trace synthesis, and the paper suite shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "topo/trace/trace_stats.hh"
+#include "topo/util/error.hh"
+#include "topo/workload/paper_suite.hh"
+#include "topo/workload/synthetic_program.hh"
+#include "topo/workload/trace_synthesizer.hh"
+
+namespace topo
+{
+namespace
+{
+
+SyntheticSpec
+smallSpec()
+{
+    SyntheticSpec spec;
+    spec.name = "small";
+    spec.proc_count = 60;
+    spec.total_bytes = 120 * 1024;
+    spec.popular_count = 20;
+    spec.popular_bytes = 40 * 1024;
+    spec.phase_count = 3;
+    spec.ranks = 3;
+    spec.seed = 7;
+    return spec;
+}
+
+TEST(SyntheticProgram, MatchesSpecShape)
+{
+    const SyntheticSpec spec = smallSpec();
+    const WorkloadModel model = buildSyntheticWorkload(spec);
+    model.validate();
+    EXPECT_EQ(model.program.procCount(), spec.proc_count);
+    // Totals land close to the target (rounding slack allowed).
+    const double total = static_cast<double>(model.program.totalSize());
+    EXPECT_NEAR(total, static_cast<double>(spec.total_bytes),
+                0.1 * static_cast<double>(spec.total_bytes));
+    EXPECT_EQ(model.phases.size(), spec.phase_count);
+    for (const Phase &phase : model.phases)
+        EXPECT_FALSE(phase.roots.empty());
+}
+
+TEST(SyntheticProgram, DeterministicInSeed)
+{
+    const WorkloadModel a = buildSyntheticWorkload(smallSpec());
+    const WorkloadModel b = buildSyntheticWorkload(smallSpec());
+    ASSERT_EQ(a.program.procCount(), b.program.procCount());
+    for (ProcId i = 0; i < a.program.procCount(); ++i) {
+        EXPECT_EQ(a.program.proc(i).name, b.program.proc(i).name);
+        EXPECT_EQ(a.program.proc(i).size_bytes,
+                  b.program.proc(i).size_bytes);
+    }
+}
+
+TEST(SyntheticProgram, DifferentSeedsDiffer)
+{
+    SyntheticSpec other = smallSpec();
+    other.seed = 8;
+    const WorkloadModel a = buildSyntheticWorkload(smallSpec());
+    const WorkloadModel b = buildSyntheticWorkload(other);
+    bool any_difference = false;
+    for (ProcId i = 0; i < a.program.procCount(); ++i) {
+        any_difference |= a.program.proc(i).size_bytes !=
+                          b.program.proc(i).size_bytes;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticProgram, CallGraphIsAcyclic)
+{
+    const WorkloadModel model = buildSyntheticWorkload(smallSpec());
+    // DFS over body call edges looking for a back edge.
+    const std::size_t n = model.program.procCount();
+    std::vector<int> state(n, 0); // 0=new 1=active 2=done
+    std::function<void(ProcId)> dfs = [&](ProcId p) {
+        state[p] = 1;
+        for (const BodyItem &item : model.bodies[p].items) {
+            if (item.callee == kInvalidProc)
+                continue;
+            ASSERT_NE(state[item.callee], 1) << "cycle through "
+                                             << item.callee;
+            if (state[item.callee] == 0)
+                dfs(item.callee);
+        }
+        state[p] = 2;
+    };
+    for (ProcId p = 0; p < n; ++p) {
+        if (state[p] == 0)
+            dfs(p);
+    }
+}
+
+TEST(SyntheticProgram, RejectsBadSpecs)
+{
+    SyntheticSpec spec = smallSpec();
+    spec.popular_count = spec.proc_count + 1;
+    EXPECT_THROW(buildSyntheticWorkload(spec), TopoError);
+    spec = smallSpec();
+    spec.popular_bytes = spec.total_bytes;
+    EXPECT_THROW(buildSyntheticWorkload(spec), TopoError);
+    spec = smallSpec();
+    spec.ranks = 1;
+    EXPECT_THROW(buildSyntheticWorkload(spec), TopoError);
+}
+
+TEST(TraceSynthesizer, ReachesTargetAndValidates)
+{
+    const WorkloadModel model = buildSyntheticWorkload(smallSpec());
+    WorkloadInput input;
+    input.seed = 3;
+    input.target_runs = 20000;
+    const Trace trace = synthesizeTrace(model, input);
+    EXPECT_GE(trace.size(), input.target_runs);
+    trace.validate(model.program);
+}
+
+TEST(TraceSynthesizer, DeterministicInSeed)
+{
+    const WorkloadModel model = buildSyntheticWorkload(smallSpec());
+    WorkloadInput input;
+    input.seed = 5;
+    input.target_runs = 5000;
+    const Trace a = synthesizeTrace(model, input);
+    const Trace b = synthesizeTrace(model, input);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 97)
+        EXPECT_EQ(a.events()[i], b.events()[i]);
+}
+
+TEST(TraceSynthesizer, SeedChangesTrace)
+{
+    const WorkloadModel model = buildSyntheticWorkload(smallSpec());
+    WorkloadInput in1, in2;
+    in1.seed = 1;
+    in2.seed = 2;
+    in1.target_runs = in2.target_runs = 5000;
+    const Trace a = synthesizeTrace(model, in1);
+    const Trace b = synthesizeTrace(model, in2);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < std::min(a.size(), b.size());
+         ++i)
+        differs = !(a.events()[i] == b.events()[i]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(TraceSynthesizer, PhaseEmphasisShiftsFootprint)
+{
+    const WorkloadModel model = buildSyntheticWorkload(smallSpec());
+    WorkloadInput heavy0, heavy2;
+    heavy0.seed = heavy2.seed = 9;
+    heavy0.target_runs = heavy2.target_runs = 30000;
+    heavy0.phase_emphasis = {1.0, 0.02, 0.02};
+    heavy2.phase_emphasis = {0.02, 0.02, 1.0};
+    const TraceStats s0 = computeTraceStats(
+        model.program, synthesizeTrace(model, heavy0));
+    const TraceStats s2 = computeTraceStats(
+        model.program, synthesizeTrace(model, heavy2));
+    // The two emphases must produce meaningfully different hot sets.
+    double l1 = 0.0;
+    for (std::size_t i = 0; i < s0.bytes_fetched.size(); ++i) {
+        const double f0 = static_cast<double>(s0.bytes_fetched[i]) /
+                          static_cast<double>(s0.total_bytes);
+        const double f2 = static_cast<double>(s2.bytes_fetched[i]) /
+                          static_cast<double>(s2.total_bytes);
+        l1 += std::abs(f0 - f2);
+    }
+    EXPECT_GT(l1, 0.3);
+}
+
+TEST(TraceSynthesizer, HotProceduresDominate)
+{
+    const WorkloadModel model = buildSyntheticWorkload(smallSpec());
+    WorkloadInput input;
+    input.seed = 11;
+    input.target_runs = 40000;
+    const Trace trace = synthesizeTrace(model, input);
+    const TraceStats stats = computeTraceStats(model.program, trace);
+    std::uint64_t hot_bytes = 0;
+    for (ProcId i = 0; i < model.program.procCount(); ++i) {
+        if (model.program.proc(i).name.rfind("hot_", 0) == 0)
+            hot_bytes += stats.bytes_fetched[i];
+    }
+    EXPECT_GT(static_cast<double>(hot_bytes),
+              0.9 * static_cast<double>(stats.total_bytes));
+}
+
+TEST(PaperSuite, HasSixBenchmarksWithTable1Shapes)
+{
+    const auto &names = paperBenchmarkNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "gcc");
+    EXPECT_EQ(names[3], "m88ksim");
+    const BenchmarkCase perl = paperBenchmark("perl", 0.01);
+    EXPECT_EQ(perl.model.program.procCount(), 271u);
+    EXPECT_NEAR(static_cast<double>(perl.model.program.totalSize()),
+                664.0 * 1024.0, 0.1 * 664.0 * 1024.0);
+    EXPECT_NE(perl.train.name, perl.test.name);
+    EXPECT_NE(perl.train.seed, perl.test.seed);
+}
+
+TEST(PaperSuite, UnknownNameRejected)
+{
+    EXPECT_THROW(paperBenchmark("compress", 1.0), TopoError);
+}
+
+TEST(PaperSuite, TraceScaleControlsLength)
+{
+    const BenchmarkCase small = paperBenchmark("m88ksim", 0.01);
+    const BenchmarkCase bigger = paperBenchmark("m88ksim", 0.02);
+    EXPECT_NEAR(static_cast<double>(bigger.train.target_runs),
+                2.0 * static_cast<double>(small.train.target_runs),
+                4.0);
+}
+
+TEST(PaperSuite, M88ksimTrainTestDiverge)
+{
+    // The paper's "dcrand is a poor training set for dhry": train and
+    // test emphasise nearly disjoint phases.
+    const BenchmarkCase m88 = paperBenchmark("m88ksim", 0.02);
+    double dot = 0.0, n1 = 0.0, n2 = 0.0;
+    for (std::size_t i = 0; i < m88.train.phase_emphasis.size(); ++i) {
+        dot += m88.train.phase_emphasis[i] * m88.test.phase_emphasis[i];
+        n1 += m88.train.phase_emphasis[i] * m88.train.phase_emphasis[i];
+        n2 += m88.test.phase_emphasis[i] * m88.test.phase_emphasis[i];
+    }
+    EXPECT_LT(dot / std::sqrt(n1 * n2), 0.2);
+}
+
+} // namespace
+} // namespace topo

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * topo_compare: run every placement algorithm on a program + trace
+ * pair and print a comparison table — the quickest way to see what
+ * placement is worth for a given application.
+ *
+ *   topo_compare --program=app.prog --trace=app.trace \
+ *                [--test-trace=other.trace] [--cache-kb=8 ...]
+ *
+ * With --test-trace the layouts are trained on --trace and measured
+ * on the second trace (the paper's train/test methodology).
+ */
+
+#include <iostream>
+
+#include "topo/cache/simulate.hh"
+#include "topo/eval/page_metric.hh"
+#include "topo/eval/reports.hh"
+#include "topo/placement/cache_coloring.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/placement/refine.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/program/program_io.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/util/error.hh"
+#include "topo/util/table.hh"
+
+namespace
+{
+
+using namespace topo;
+
+int
+run(const Options &opts)
+{
+    const std::string program_path = opts.getString("program", "");
+    const std::string trace_path = opts.getString("trace", "");
+    require(!program_path.empty() && !trace_path.empty(),
+            "topo_compare: --program and --trace are required");
+    const Program program = loadProgram(program_path);
+    Trace train = loadAnyTrace(trace_path);
+    train.validate(program);
+    const std::string test_path = opts.getString("test-trace", "");
+    Trace test = test_path.empty() ? Trace(program.procCount())
+                                   : loadAnyTrace(test_path);
+    const bool has_test = !test_path.empty();
+    if (has_test)
+        test.validate(program);
+    const EvalOptions eval = evalOptionsFrom(opts);
+
+    // Profile from the training trace.
+    const TraceStats stats = computeTraceStats(program, train);
+    const PopularSet popular =
+        selectPopular(program, stats, eval.popularity);
+    const ChunkMap chunks(program, eval.chunk_bytes);
+    const WeightedGraph wcg = buildWcg(program, train);
+    TrgBuildOptions topts;
+    topts.byte_budget = static_cast<std::uint64_t>(
+        eval.q_budget_factor * eval.cache.size_bytes);
+    topts.popular = &popular.mask;
+    const TrgBuildResult trgs = buildTrgs(program, chunks, train, topts);
+
+    PlacementContext ctx;
+    ctx.program = &program;
+    ctx.cache = eval.cache;
+    ctx.chunks = &chunks;
+    ctx.wcg = &wcg;
+    ctx.trg_select = &trgs.select;
+    ctx.trg_place = &trgs.place;
+    ctx.popular = popular.mask;
+    ctx.heat.assign(program.procCount(), 0.0);
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        ctx.heat[i] = static_cast<double>(stats.bytes_fetched[i]);
+
+    const FetchStream train_stream(program, train,
+                                   eval.cache.line_bytes);
+    const FetchStream test_stream(program, test, eval.cache.line_bytes);
+
+    std::cerr << program.procCount() << " procedures, "
+              << popular.count << " popular; cache "
+              << eval.cache.describe() << "\n";
+
+    TextTable table({"algorithm", has_test ? "train MR" : "MR",
+                     has_test ? "test MR" : "-", "pages", "extent"});
+    auto report = [&](const std::string &name, const Layout &layout) {
+        layout.validate(program, eval.cache.line_bytes);
+        const double train_mr =
+            layoutMissRate(program, layout, train_stream, eval.cache);
+        const std::string test_mr =
+            has_test ? fmtPercent(layoutMissRate(
+                           program, layout, test_stream, eval.cache))
+                     : std::string("-");
+        const PageStats pages = measurePageStats(
+            program, layout, has_test ? test_stream : train_stream);
+        table.addRow({name, fmtPercent(train_mr), test_mr,
+                      std::to_string(pages.pages_touched),
+                      fmtBytes(layout.extent(program))});
+    };
+
+    const DefaultPlacement def;
+    const PettisHansen ph;
+    const CacheColoring hkc;
+    const Gbsc gbsc;
+    report("default", def.place(ctx));
+    report("PH", ph.place(ctx));
+    report("HKC", hkc.place(ctx));
+    const Layout gbsc_layout = gbsc.place(ctx);
+    report("GBSC", gbsc_layout);
+    if (opts.getBool("refine", false)) {
+        const RefineResult refined = refineLayout(ctx, gbsc_layout);
+        report("GBSC+refine", refined.layout);
+    }
+    table.render(std::cout, "Placement comparison for '" +
+                                program.name() + "'");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested() || argc == 1) {
+        std::cout <<
+            "topo_compare: all placement algorithms side by side.\n"
+            "  --program=FILE --trace=FILE [--test-trace=FILE]\n"
+            "  [--refine] --cache-kb=N --line-bytes=N --assoc=N\n"
+            "  --chunk-bytes=N --coverage=F --q-factor=F\n";
+        return argc == 1 ? 2 : 0;
+    }
+    try {
+        return run(opts);
+    } catch (const TopoError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * topo_place: the command-line placement driver.
+ *
+ * Reads a program description and a profiling trace, runs a placement
+ * algorithm, and writes the resulting layout (and optionally a linker
+ * script / placement map). With --evaluate it also simulates the
+ * instruction cache before and after.
+ *
+ *   topo_place --program=app.prog --trace=app.trace \
+ *              --algorithm=gbsc --out-layout=app.layout \
+ *              --out-script=app.ld --evaluate
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "topo/cache/simulate.hh"
+#include "topo/eval/reports.hh"
+#include "topo/placement/cache_coloring.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/program/layout_io.hh"
+#include "topo/program/layout_script.hh"
+#include "topo/program/program_io.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/util/error.hh"
+
+namespace
+{
+
+using namespace topo;
+
+int
+run(const Options &opts)
+{
+    const std::string program_path = opts.getString("program", "");
+    const std::string trace_path = opts.getString("trace", "");
+    require(!program_path.empty() && !trace_path.empty(),
+            "topo_place: --program and --trace are required");
+
+    const Program program = loadProgram(program_path);
+    Trace trace = loadAnyTrace(trace_path);
+    require(trace.procCount() == program.procCount(),
+            "topo_place: trace and program disagree on the procedure "
+            "count");
+    trace.validate(program);
+    const EvalOptions eval = evalOptionsFrom(opts);
+
+    // Build profiles.
+    const TraceStats stats = computeTraceStats(program, trace);
+    const PopularSet popular =
+        selectPopular(program, stats, eval.popularity);
+    const ChunkMap chunks(program, eval.chunk_bytes);
+    const WeightedGraph wcg = buildWcg(program, trace);
+    TrgBuildOptions topts;
+    topts.byte_budget = static_cast<std::uint64_t>(
+        eval.q_budget_factor * eval.cache.size_bytes);
+    topts.popular = &popular.mask;
+    const TrgBuildResult trgs = buildTrgs(program, chunks, trace, topts);
+
+    PlacementContext ctx;
+    ctx.program = &program;
+    ctx.cache = eval.cache;
+    ctx.chunks = &chunks;
+    ctx.wcg = &wcg;
+    ctx.trg_select = &trgs.select;
+    ctx.trg_place = &trgs.place;
+    ctx.popular = popular.mask;
+    ctx.heat.assign(program.procCount(), 0.0);
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        ctx.heat[i] = static_cast<double>(stats.bytes_fetched[i]);
+
+    const std::string algorithm = opts.getString("algorithm", "gbsc");
+    const DefaultPlacement def;
+    const PettisHansen ph;
+    const CacheColoring hkc;
+    const Gbsc gbsc;
+    const PlacementAlgorithm *algo = nullptr;
+    if (algorithm == "gbsc")
+        algo = &gbsc;
+    else if (algorithm == "ph")
+        algo = &ph;
+    else if (algorithm == "hkc")
+        algo = &hkc;
+    else if (algorithm == "default")
+        algo = &def;
+    else
+        fail("topo_place: unknown algorithm '" + algorithm +
+             "' (use gbsc, ph, hkc, or default)");
+
+    std::cerr << "placing " << program.procCount() << " procedures ("
+              << popular.count << " popular) with " << algo->name()
+              << " for " << eval.cache.describe() << "\n";
+    const Layout layout = algo->place(ctx);
+    layout.validate(program, eval.cache.line_bytes);
+
+    const std::string out_layout = opts.getString("out-layout", "");
+    if (!out_layout.empty()) {
+        saveLayout(out_layout, program, layout);
+        std::cerr << "wrote layout to " << out_layout << "\n";
+    }
+    const std::string out_script = opts.getString("out-script", "");
+    if (!out_script.empty()) {
+        std::ofstream os(out_script);
+        require(os.good(), "topo_place: cannot open '" + out_script +
+                               "'");
+        writeLinkerScript(os, program, layout, eval.cache.line_bytes);
+        std::cerr << "wrote linker script to " << out_script << "\n";
+    }
+    if (opts.getBool("print-map", false)) {
+        writePlacementMap(std::cout, program, layout,
+                          eval.cache.line_bytes, eval.cache.lineCount());
+    }
+    if (out_layout.empty() && out_script.empty() &&
+        !opts.getBool("print-map", false)) {
+        writeLayout(std::cout, program, layout);
+    }
+
+    if (opts.getBool("evaluate", false)) {
+        const FetchStream stream(program, trace, eval.cache.line_bytes);
+        const double before = layoutMissRate(
+            program, def.place(ctx), stream, eval.cache);
+        const double after =
+            layoutMissRate(program, layout, stream, eval.cache);
+        std::cerr << "miss rate on this trace: default "
+                  << before * 100.0 << "% -> " << algo->name() << " "
+                  << after * 100.0 << "%\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested() || argc == 1) {
+        std::cout <<
+            "topo_place: profile-driven procedure placement.\n"
+            "  --program=FILE     program description (topo-program v1)\n"
+            "  --trace=FILE       profiling trace (topo-trace v1)\n"
+            "  --algorithm=NAME   gbsc (default) | ph | hkc | default\n"
+            "  --out-layout=FILE  write the layout (topo-layout v1)\n"
+            "  --out-script=FILE  write a GNU-ld script fragment\n"
+            "  --print-map        print a human-readable placement map\n"
+            "  --evaluate         simulate miss rates before/after\n"
+            "  --cache-kb=N --line-bytes=N --assoc=N --chunk-bytes=N\n"
+            "  --coverage=F --q-factor=F\n";
+        return argc == 1 ? 2 : 0;
+    }
+    try {
+        return run(opts);
+    } catch (const TopoError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * topo_sim: instruction-cache simulation of a trace under a layout.
+ *
+ *   topo_sim --program=app.prog --trace=app.trace \
+ *            [--layout=app.layout] [--cache-kb=8 --assoc=1] \
+ *            [--attribute] [--pages]
+ *
+ * Without --layout the default (source-order) layout is simulated.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "topo/cache/simulate.hh"
+#include "topo/eval/page_metric.hh"
+#include "topo/eval/reports.hh"
+#include "topo/program/layout_io.hh"
+#include "topo/program/program_io.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/util/error.hh"
+#include "topo/util/table.hh"
+
+namespace
+{
+
+using namespace topo;
+
+int
+run(const Options &opts)
+{
+    const std::string program_path = opts.getString("program", "");
+    const std::string trace_path = opts.getString("trace", "");
+    require(!program_path.empty() && !trace_path.empty(),
+            "topo_sim: --program and --trace are required");
+    const Program program = loadProgram(program_path);
+    Trace trace = loadAnyTrace(trace_path);
+    trace.validate(program);
+    const EvalOptions eval = evalOptionsFrom(opts);
+
+    const std::string layout_path = opts.getString("layout", "");
+    const Layout layout =
+        layout_path.empty()
+            ? Layout::defaultOrder(program, eval.cache.line_bytes)
+            : loadLayout(layout_path, program);
+    layout.validate(program, eval.cache.line_bytes);
+
+    const FetchStream stream(program, trace, eval.cache.line_bytes);
+    const bool attribute = opts.getBool("attribute", false);
+    const SimResult result =
+        simulateLayout(program, layout, stream, eval.cache, attribute);
+
+    std::cout << "cache:      " << eval.cache.describe() << "\n";
+    std::cout << "layout:     "
+              << (layout_path.empty() ? "default (source order)"
+                                      : layout_path)
+              << "\n";
+    std::cout << "accesses:   " << result.accesses << " line fetches\n";
+    std::cout << "misses:     " << result.misses << "\n";
+    std::cout << "miss rate:  " << result.missRate() * 100.0 << "%\n";
+
+    if (attribute) {
+        std::vector<std::pair<std::uint64_t, ProcId>> by_misses;
+        for (ProcId i = 0; i < program.procCount(); ++i)
+            by_misses.emplace_back(result.misses_by_proc[i], i);
+        std::sort(by_misses.rbegin(), by_misses.rend());
+        TextTable table({"procedure", "misses", "share"});
+        for (std::size_t i = 0; i < by_misses.size() && i < 15; ++i) {
+            if (by_misses[i].first == 0)
+                break;
+            table.addRow(
+                {program.proc(by_misses[i].second).name,
+                 std::to_string(by_misses[i].first),
+                 fmtPercent(static_cast<double>(by_misses[i].first) /
+                            static_cast<double>(result.misses))});
+        }
+        std::cout << '\n';
+        table.render(std::cout, "Top miss contributors");
+    }
+    if (opts.getBool("pages", false)) {
+        const PageStats pages =
+            measurePageStats(program, layout, stream);
+        std::cout << "\npages touched: " << pages.pages_touched
+                  << ", switches/kacc: "
+                  << pages.switchesPerKiloAccess()
+                  << ", LRU faults (16 pages): " << pages.lru_faults
+                  << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested() || argc == 1) {
+        std::cout <<
+            "topo_sim: simulate a trace under a layout.\n"
+            "  --program=FILE --trace=FILE [--layout=FILE]\n"
+            "  --cache-kb=N --line-bytes=N --assoc=N\n"
+            "  --attribute (per-procedure misses) --pages\n";
+        return argc == 1 ? 2 : 0;
+    }
+    try {
+        return run(opts);
+    } catch (const TopoError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+}

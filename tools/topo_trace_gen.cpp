@@ -1,0 +1,82 @@
+/**
+ * @file
+ * topo_trace_gen: emit a synthetic benchmark's program description and
+ * trace files, so the CLI workflow can be exercised (or demoed)
+ * without an instrumented application.
+ *
+ *   topo_trace_gen --benchmark=perl --input=train \
+ *                  --out-program=perl.prog --out-trace=perl.trace
+ */
+
+#include <iostream>
+
+#include "topo/program/program_io.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/trace/trace_io.hh"
+#include "topo/util/error.hh"
+#include "topo/util/options.hh"
+#include "topo/workload/paper_suite.hh"
+#include "topo/workload/trace_synthesizer.hh"
+
+namespace
+{
+
+using namespace topo;
+
+int
+run(const Options &opts)
+{
+    const std::string name = opts.getString("benchmark", "perl");
+    const std::string which = opts.getString("input", "train");
+    require(which == "train" || which == "test",
+            "topo_trace_gen: --input must be train or test");
+    const double scale = opts.getDouble("trace-scale", 0.1);
+    const BenchmarkCase bench = paperBenchmark(name, scale);
+    const WorkloadInput &input =
+        which == "train" ? bench.train : bench.test;
+
+    const std::string out_program = opts.getString("out-program", "");
+    const std::string out_trace = opts.getString("out-trace", "");
+    require(!out_program.empty() || !out_trace.empty(),
+            "topo_trace_gen: nothing to do (need --out-program and/or "
+            "--out-trace)");
+    if (!out_program.empty()) {
+        saveProgram(out_program, bench.model.program);
+        std::cerr << "wrote " << bench.model.program.procCount()
+                  << " procedures to " << out_program << "\n";
+    }
+    if (!out_trace.empty()) {
+        const Trace trace = synthesizeTrace(bench.model, input);
+        if (opts.getBool("binary", false))
+            saveBinaryTrace(out_trace, trace);
+        else
+            saveTrace(out_trace, trace);
+        std::cerr << "wrote " << trace.size() << " runs (input '"
+                  << input.name << "') to " << out_trace << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace topo;
+    const Options opts = Options::parse(argc, argv);
+    if (opts.helpRequested() || argc == 1) {
+        std::cout <<
+            "topo_trace_gen: emit synthetic benchmark files.\n"
+            "  --benchmark=NAME (gcc go ghostscript m88ksim perl "
+            "vortex)\n"
+            "  --input=train|test --trace-scale=F\n"
+            "  --out-program=FILE --out-trace=FILE --binary\n";
+        return argc == 1 ? 2 : 0;
+    }
+    try {
+        return run(opts);
+    } catch (const TopoError &err) {
+        std::cerr << "error: " << err.what() << "\n";
+        return 1;
+    }
+}
