@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_associativity.dir/ablation_associativity.cpp.o"
+  "CMakeFiles/ablation_associativity.dir/ablation_associativity.cpp.o.d"
+  "ablation_associativity"
+  "ablation_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunksize.dir/ablation_chunksize.cpp.o"
+  "CMakeFiles/ablation_chunksize.dir/ablation_chunksize.cpp.o.d"
+  "ablation_chunksize"
+  "ablation_chunksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

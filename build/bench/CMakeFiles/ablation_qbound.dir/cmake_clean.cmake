@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qbound.dir/ablation_qbound.cpp.o"
+  "CMakeFiles/ablation_qbound.dir/ablation_qbound.cpp.o.d"
+  "ablation_qbound"
+  "ablation_qbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

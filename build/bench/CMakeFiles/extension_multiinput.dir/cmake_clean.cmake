@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multiinput.dir/extension_multiinput.cpp.o"
+  "CMakeFiles/extension_multiinput.dir/extension_multiinput.cpp.o.d"
+  "extension_multiinput"
+  "extension_multiinput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multiinput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

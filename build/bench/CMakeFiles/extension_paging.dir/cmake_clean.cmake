@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_paging.dir/extension_paging.cpp.o"
+  "CMakeFiles/extension_paging.dir/extension_paging.cpp.o.d"
+  "extension_paging"
+  "extension_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_splitting.dir/extension_splitting.cpp.o"
+  "CMakeFiles/extension_splitting.dir/extension_splitting.cpp.o.d"
+  "extension_splitting"
+  "extension_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_wcg_ambiguity.dir/figure1_wcg_ambiguity.cpp.o"
+  "CMakeFiles/figure1_wcg_ambiguity.dir/figure1_wcg_ambiguity.cpp.o.d"
+  "figure1_wcg_ambiguity"
+  "figure1_wcg_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_wcg_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_trg_example.dir/figure2_trg_example.cpp.o"
+  "CMakeFiles/figure2_trg_example.dir/figure2_trg_example.cpp.o.d"
+  "figure2_trg_example"
+  "figure2_trg_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_trg_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

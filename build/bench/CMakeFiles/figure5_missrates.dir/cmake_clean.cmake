@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_missrates.dir/figure5_missrates.cpp.o"
+  "CMakeFiles/figure5_missrates.dir/figure5_missrates.cpp.o.d"
+  "figure5_missrates"
+  "figure5_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

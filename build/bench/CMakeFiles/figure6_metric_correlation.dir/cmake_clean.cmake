@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_metric_correlation.dir/figure6_metric_correlation.cpp.o"
+  "CMakeFiles/figure6_metric_correlation.dir/figure6_metric_correlation.cpp.o.d"
+  "figure6_metric_correlation"
+  "figure6_metric_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_metric_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

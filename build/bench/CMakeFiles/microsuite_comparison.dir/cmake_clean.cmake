@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microsuite_comparison.dir/microsuite_comparison.cpp.o"
+  "CMakeFiles/microsuite_comparison.dir/microsuite_comparison.cpp.o.d"
+  "microsuite_comparison"
+  "microsuite_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microsuite_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

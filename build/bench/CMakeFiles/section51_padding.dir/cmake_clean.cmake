@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section51_padding.dir/section51_padding.cpp.o"
+  "CMakeFiles/section51_padding.dir/section51_padding.cpp.o.d"
+  "section51_padding"
+  "section51_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section51_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

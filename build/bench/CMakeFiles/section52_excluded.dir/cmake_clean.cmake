@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section52_excluded.dir/section52_excluded.cpp.o"
+  "CMakeFiles/section52_excluded.dir/section52_excluded.cpp.o.d"
+  "section52_excluded"
+  "section52_excluded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section52_excluded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

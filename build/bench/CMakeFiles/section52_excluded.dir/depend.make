@@ -1,0 +1,2 @@
+# Empty dependencies file for section52_excluded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section53_traintest.dir/section53_traintest.cpp.o"
+  "CMakeFiles/section53_traintest.dir/section53_traintest.cpp.o.d"
+  "section53_traintest"
+  "section53_traintest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section53_traintest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for section53_traintest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for section53_traintest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section6_setassoc.dir/section6_setassoc.cpp.o"
+  "CMakeFiles/section6_setassoc.dir/section6_setassoc.cpp.o.d"
+  "section6_setassoc"
+  "section6_setassoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_setassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_story.dir/figure1_story.cpp.o"
+  "CMakeFiles/figure1_story.dir/figure1_story.cpp.o.d"
+  "figure1_story"
+  "figure1_story.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_story.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

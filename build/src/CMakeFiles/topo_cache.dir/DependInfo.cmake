@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/cache/cache_config.cc" "src/CMakeFiles/topo_cache.dir/topo/cache/cache_config.cc.o" "gcc" "src/CMakeFiles/topo_cache.dir/topo/cache/cache_config.cc.o.d"
+  "/root/repo/src/topo/cache/direct_mapped_cache.cc" "src/CMakeFiles/topo_cache.dir/topo/cache/direct_mapped_cache.cc.o" "gcc" "src/CMakeFiles/topo_cache.dir/topo/cache/direct_mapped_cache.cc.o.d"
+  "/root/repo/src/topo/cache/set_associative_cache.cc" "src/CMakeFiles/topo_cache.dir/topo/cache/set_associative_cache.cc.o" "gcc" "src/CMakeFiles/topo_cache.dir/topo/cache/set_associative_cache.cc.o.d"
+  "/root/repo/src/topo/cache/simulate.cc" "src/CMakeFiles/topo_cache.dir/topo/cache/simulate.cc.o" "gcc" "src/CMakeFiles/topo_cache.dir/topo/cache/simulate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_cache.dir/topo/cache/cache_config.cc.o"
+  "CMakeFiles/topo_cache.dir/topo/cache/cache_config.cc.o.d"
+  "CMakeFiles/topo_cache.dir/topo/cache/direct_mapped_cache.cc.o"
+  "CMakeFiles/topo_cache.dir/topo/cache/direct_mapped_cache.cc.o.d"
+  "CMakeFiles/topo_cache.dir/topo/cache/set_associative_cache.cc.o"
+  "CMakeFiles/topo_cache.dir/topo/cache/set_associative_cache.cc.o.d"
+  "CMakeFiles/topo_cache.dir/topo/cache/simulate.cc.o"
+  "CMakeFiles/topo_cache.dir/topo/cache/simulate.cc.o.d"
+  "libtopo_cache.a"
+  "libtopo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_eval.dir/topo/eval/conflict_metric.cc.o"
+  "CMakeFiles/topo_eval.dir/topo/eval/conflict_metric.cc.o.d"
+  "CMakeFiles/topo_eval.dir/topo/eval/experiment.cc.o"
+  "CMakeFiles/topo_eval.dir/topo/eval/experiment.cc.o.d"
+  "CMakeFiles/topo_eval.dir/topo/eval/page_metric.cc.o"
+  "CMakeFiles/topo_eval.dir/topo/eval/page_metric.cc.o.d"
+  "CMakeFiles/topo_eval.dir/topo/eval/reports.cc.o"
+  "CMakeFiles/topo_eval.dir/topo/eval/reports.cc.o.d"
+  "libtopo_eval.a"
+  "libtopo_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

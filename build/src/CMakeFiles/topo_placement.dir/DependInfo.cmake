@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/placement/cache_coloring.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/cache_coloring.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/cache_coloring.cc.o.d"
+  "/root/repo/src/topo/placement/exhaustive.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/exhaustive.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/exhaustive.cc.o.d"
+  "/root/repo/src/topo/placement/gap_fill.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/gap_fill.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/gap_fill.cc.o.d"
+  "/root/repo/src/topo/placement/gbsc.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/gbsc.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/gbsc.cc.o.d"
+  "/root/repo/src/topo/placement/gbsc_setassoc.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/gbsc_setassoc.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/gbsc_setassoc.cc.o.d"
+  "/root/repo/src/topo/placement/merge_graph.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/merge_graph.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/merge_graph.cc.o.d"
+  "/root/repo/src/topo/placement/pettis_hansen.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/pettis_hansen.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/pettis_hansen.cc.o.d"
+  "/root/repo/src/topo/placement/placement.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/placement.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/placement.cc.o.d"
+  "/root/repo/src/topo/placement/popularity.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/popularity.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/popularity.cc.o.d"
+  "/root/repo/src/topo/placement/refine.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/refine.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/refine.cc.o.d"
+  "/root/repo/src/topo/placement/splitting.cc" "src/CMakeFiles/topo_placement.dir/topo/placement/splitting.cc.o" "gcc" "src/CMakeFiles/topo_placement.dir/topo/placement/splitting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

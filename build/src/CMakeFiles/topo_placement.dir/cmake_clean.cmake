@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_placement.dir/topo/placement/cache_coloring.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/cache_coloring.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/exhaustive.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/exhaustive.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/gap_fill.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/gap_fill.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/gbsc.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/gbsc.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/gbsc_setassoc.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/gbsc_setassoc.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/merge_graph.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/merge_graph.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/pettis_hansen.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/pettis_hansen.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/placement.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/placement.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/popularity.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/popularity.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/refine.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/refine.cc.o.d"
+  "CMakeFiles/topo_placement.dir/topo/placement/splitting.cc.o"
+  "CMakeFiles/topo_placement.dir/topo/placement/splitting.cc.o.d"
+  "libtopo_placement.a"
+  "libtopo_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/profile/chunk_map.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/chunk_map.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/chunk_map.cc.o.d"
+  "/root/repo/src/topo/profile/collector.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/collector.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/collector.cc.o.d"
+  "/root/repo/src/topo/profile/pair_database.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/pair_database.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/pair_database.cc.o.d"
+  "/root/repo/src/topo/profile/perturb.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/perturb.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/perturb.cc.o.d"
+  "/root/repo/src/topo/profile/temporal_queue.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/temporal_queue.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/temporal_queue.cc.o.d"
+  "/root/repo/src/topo/profile/trg_accumulator.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/trg_accumulator.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/trg_accumulator.cc.o.d"
+  "/root/repo/src/topo/profile/trg_builder.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/trg_builder.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/trg_builder.cc.o.d"
+  "/root/repo/src/topo/profile/wcg_builder.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/wcg_builder.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/wcg_builder.cc.o.d"
+  "/root/repo/src/topo/profile/weighted_graph.cc" "src/CMakeFiles/topo_profile.dir/topo/profile/weighted_graph.cc.o" "gcc" "src/CMakeFiles/topo_profile.dir/topo/profile/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

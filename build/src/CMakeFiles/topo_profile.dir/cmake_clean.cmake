@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_profile.dir/topo/profile/chunk_map.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/chunk_map.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/collector.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/collector.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/pair_database.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/pair_database.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/perturb.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/perturb.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/temporal_queue.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/temporal_queue.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/trg_accumulator.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/trg_accumulator.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/trg_builder.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/trg_builder.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/wcg_builder.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/wcg_builder.cc.o.d"
+  "CMakeFiles/topo_profile.dir/topo/profile/weighted_graph.cc.o"
+  "CMakeFiles/topo_profile.dir/topo/profile/weighted_graph.cc.o.d"
+  "libtopo_profile.a"
+  "libtopo_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/program/layout.cc" "src/CMakeFiles/topo_program.dir/topo/program/layout.cc.o" "gcc" "src/CMakeFiles/topo_program.dir/topo/program/layout.cc.o.d"
+  "/root/repo/src/topo/program/layout_io.cc" "src/CMakeFiles/topo_program.dir/topo/program/layout_io.cc.o" "gcc" "src/CMakeFiles/topo_program.dir/topo/program/layout_io.cc.o.d"
+  "/root/repo/src/topo/program/layout_script.cc" "src/CMakeFiles/topo_program.dir/topo/program/layout_script.cc.o" "gcc" "src/CMakeFiles/topo_program.dir/topo/program/layout_script.cc.o.d"
+  "/root/repo/src/topo/program/program.cc" "src/CMakeFiles/topo_program.dir/topo/program/program.cc.o" "gcc" "src/CMakeFiles/topo_program.dir/topo/program/program.cc.o.d"
+  "/root/repo/src/topo/program/program_io.cc" "src/CMakeFiles/topo_program.dir/topo/program/program_io.cc.o" "gcc" "src/CMakeFiles/topo_program.dir/topo/program/program_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

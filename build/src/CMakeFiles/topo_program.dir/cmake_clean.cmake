@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_program.dir/topo/program/layout.cc.o"
+  "CMakeFiles/topo_program.dir/topo/program/layout.cc.o.d"
+  "CMakeFiles/topo_program.dir/topo/program/layout_io.cc.o"
+  "CMakeFiles/topo_program.dir/topo/program/layout_io.cc.o.d"
+  "CMakeFiles/topo_program.dir/topo/program/layout_script.cc.o"
+  "CMakeFiles/topo_program.dir/topo/program/layout_script.cc.o.d"
+  "CMakeFiles/topo_program.dir/topo/program/program.cc.o"
+  "CMakeFiles/topo_program.dir/topo/program/program.cc.o.d"
+  "CMakeFiles/topo_program.dir/topo/program/program_io.cc.o"
+  "CMakeFiles/topo_program.dir/topo/program/program_io.cc.o.d"
+  "libtopo_program.a"
+  "libtopo_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

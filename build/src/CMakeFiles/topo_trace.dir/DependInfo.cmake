@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/trace/fetch_stream.cc" "src/CMakeFiles/topo_trace.dir/topo/trace/fetch_stream.cc.o" "gcc" "src/CMakeFiles/topo_trace.dir/topo/trace/fetch_stream.cc.o.d"
+  "/root/repo/src/topo/trace/sampling.cc" "src/CMakeFiles/topo_trace.dir/topo/trace/sampling.cc.o" "gcc" "src/CMakeFiles/topo_trace.dir/topo/trace/sampling.cc.o.d"
+  "/root/repo/src/topo/trace/trace.cc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace.cc.o" "gcc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace.cc.o.d"
+  "/root/repo/src/topo/trace/trace_binary.cc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace_binary.cc.o" "gcc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace_binary.cc.o.d"
+  "/root/repo/src/topo/trace/trace_io.cc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace_io.cc.o.d"
+  "/root/repo/src/topo/trace/trace_stats.cc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/topo_trace.dir/topo/trace/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

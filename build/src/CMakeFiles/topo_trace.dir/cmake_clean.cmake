@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_trace.dir/topo/trace/fetch_stream.cc.o"
+  "CMakeFiles/topo_trace.dir/topo/trace/fetch_stream.cc.o.d"
+  "CMakeFiles/topo_trace.dir/topo/trace/sampling.cc.o"
+  "CMakeFiles/topo_trace.dir/topo/trace/sampling.cc.o.d"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace.cc.o"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace.cc.o.d"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace_binary.cc.o"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace_binary.cc.o.d"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace_io.cc.o"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace_io.cc.o.d"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace_stats.cc.o"
+  "CMakeFiles/topo_trace.dir/topo/trace/trace_stats.cc.o.d"
+  "libtopo_trace.a"
+  "libtopo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

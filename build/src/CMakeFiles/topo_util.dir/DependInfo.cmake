@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/util/error.cc" "src/CMakeFiles/topo_util.dir/topo/util/error.cc.o" "gcc" "src/CMakeFiles/topo_util.dir/topo/util/error.cc.o.d"
+  "/root/repo/src/topo/util/options.cc" "src/CMakeFiles/topo_util.dir/topo/util/options.cc.o" "gcc" "src/CMakeFiles/topo_util.dir/topo/util/options.cc.o.d"
+  "/root/repo/src/topo/util/rng.cc" "src/CMakeFiles/topo_util.dir/topo/util/rng.cc.o" "gcc" "src/CMakeFiles/topo_util.dir/topo/util/rng.cc.o.d"
+  "/root/repo/src/topo/util/stats.cc" "src/CMakeFiles/topo_util.dir/topo/util/stats.cc.o" "gcc" "src/CMakeFiles/topo_util.dir/topo/util/stats.cc.o.d"
+  "/root/repo/src/topo/util/string_utils.cc" "src/CMakeFiles/topo_util.dir/topo/util/string_utils.cc.o" "gcc" "src/CMakeFiles/topo_util.dir/topo/util/string_utils.cc.o.d"
+  "/root/repo/src/topo/util/table.cc" "src/CMakeFiles/topo_util.dir/topo/util/table.cc.o" "gcc" "src/CMakeFiles/topo_util.dir/topo/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_util.dir/topo/util/error.cc.o"
+  "CMakeFiles/topo_util.dir/topo/util/error.cc.o.d"
+  "CMakeFiles/topo_util.dir/topo/util/options.cc.o"
+  "CMakeFiles/topo_util.dir/topo/util/options.cc.o.d"
+  "CMakeFiles/topo_util.dir/topo/util/rng.cc.o"
+  "CMakeFiles/topo_util.dir/topo/util/rng.cc.o.d"
+  "CMakeFiles/topo_util.dir/topo/util/stats.cc.o"
+  "CMakeFiles/topo_util.dir/topo/util/stats.cc.o.d"
+  "CMakeFiles/topo_util.dir/topo/util/string_utils.cc.o"
+  "CMakeFiles/topo_util.dir/topo/util/string_utils.cc.o.d"
+  "CMakeFiles/topo_util.dir/topo/util/table.cc.o"
+  "CMakeFiles/topo_util.dir/topo/util/table.cc.o.d"
+  "libtopo_util.a"
+  "libtopo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

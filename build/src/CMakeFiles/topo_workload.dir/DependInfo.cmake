@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/workload/figure1.cc" "src/CMakeFiles/topo_workload.dir/topo/workload/figure1.cc.o" "gcc" "src/CMakeFiles/topo_workload.dir/topo/workload/figure1.cc.o.d"
+  "/root/repo/src/topo/workload/microsuite.cc" "src/CMakeFiles/topo_workload.dir/topo/workload/microsuite.cc.o" "gcc" "src/CMakeFiles/topo_workload.dir/topo/workload/microsuite.cc.o.d"
+  "/root/repo/src/topo/workload/paper_suite.cc" "src/CMakeFiles/topo_workload.dir/topo/workload/paper_suite.cc.o" "gcc" "src/CMakeFiles/topo_workload.dir/topo/workload/paper_suite.cc.o.d"
+  "/root/repo/src/topo/workload/skeleton.cc" "src/CMakeFiles/topo_workload.dir/topo/workload/skeleton.cc.o" "gcc" "src/CMakeFiles/topo_workload.dir/topo/workload/skeleton.cc.o.d"
+  "/root/repo/src/topo/workload/synthetic_program.cc" "src/CMakeFiles/topo_workload.dir/topo/workload/synthetic_program.cc.o" "gcc" "src/CMakeFiles/topo_workload.dir/topo/workload/synthetic_program.cc.o.d"
+  "/root/repo/src/topo/workload/trace_synthesizer.cc" "src/CMakeFiles/topo_workload.dir/topo/workload/trace_synthesizer.cc.o" "gcc" "src/CMakeFiles/topo_workload.dir/topo/workload/trace_synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_workload.dir/topo/workload/figure1.cc.o"
+  "CMakeFiles/topo_workload.dir/topo/workload/figure1.cc.o.d"
+  "CMakeFiles/topo_workload.dir/topo/workload/microsuite.cc.o"
+  "CMakeFiles/topo_workload.dir/topo/workload/microsuite.cc.o.d"
+  "CMakeFiles/topo_workload.dir/topo/workload/paper_suite.cc.o"
+  "CMakeFiles/topo_workload.dir/topo/workload/paper_suite.cc.o.d"
+  "CMakeFiles/topo_workload.dir/topo/workload/skeleton.cc.o"
+  "CMakeFiles/topo_workload.dir/topo/workload/skeleton.cc.o.d"
+  "CMakeFiles/topo_workload.dir/topo/workload/synthetic_program.cc.o"
+  "CMakeFiles/topo_workload.dir/topo/workload/synthetic_program.cc.o.d"
+  "CMakeFiles/topo_workload.dir/topo/workload/trace_synthesizer.cc.o"
+  "CMakeFiles/topo_workload.dir/topo/workload/trace_synthesizer.cc.o.d"
+  "libtopo_workload.a"
+  "libtopo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbsc_test.dir/gbsc_test.cc.o"
+  "CMakeFiles/gbsc_test.dir/gbsc_test.cc.o.d"
+  "gbsc_test"
+  "gbsc_test.pdb"
+  "gbsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

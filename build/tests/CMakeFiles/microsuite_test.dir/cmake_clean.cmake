@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microsuite_test.dir/microsuite_test.cc.o"
+  "CMakeFiles/microsuite_test.dir/microsuite_test.cc.o.d"
+  "microsuite_test"
+  "microsuite_test.pdb"
+  "microsuite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microsuite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

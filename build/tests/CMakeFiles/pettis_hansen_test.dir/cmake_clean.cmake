@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pettis_hansen_test.dir/pettis_hansen_test.cc.o"
+  "CMakeFiles/pettis_hansen_test.dir/pettis_hansen_test.cc.o.d"
+  "pettis_hansen_test"
+  "pettis_hansen_test.pdb"
+  "pettis_hansen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pettis_hansen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

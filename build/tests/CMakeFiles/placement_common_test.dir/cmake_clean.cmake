@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_common_test.dir/placement_common_test.cc.o"
+  "CMakeFiles/placement_common_test.dir/placement_common_test.cc.o.d"
+  "placement_common_test"
+  "placement_common_test.pdb"
+  "placement_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

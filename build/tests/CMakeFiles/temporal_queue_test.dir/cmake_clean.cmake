@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_queue_test.dir/temporal_queue_test.cc.o"
+  "CMakeFiles/temporal_queue_test.dir/temporal_queue_test.cc.o.d"
+  "temporal_queue_test"
+  "temporal_queue_test.pdb"
+  "temporal_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trg_test.dir/trg_test.cc.o"
+  "CMakeFiles/trg_test.dir/trg_test.cc.o.d"
+  "trg_test"
+  "trg_test.pdb"
+  "trg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

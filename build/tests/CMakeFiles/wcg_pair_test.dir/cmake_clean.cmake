@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcg_pair_test.dir/wcg_pair_test.cc.o"
+  "CMakeFiles/wcg_pair_test.dir/wcg_pair_test.cc.o.d"
+  "wcg_pair_test"
+  "wcg_pair_test.pdb"
+  "wcg_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcg_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/topo_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/topo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

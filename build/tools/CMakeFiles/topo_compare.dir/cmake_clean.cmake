@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_compare.dir/topo_compare.cpp.o"
+  "CMakeFiles/topo_compare.dir/topo_compare.cpp.o.d"
+  "topo_compare"
+  "topo_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

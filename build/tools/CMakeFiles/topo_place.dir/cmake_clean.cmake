@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_place.dir/topo_place.cpp.o"
+  "CMakeFiles/topo_place.dir/topo_place.cpp.o.d"
+  "topo_place"
+  "topo_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_sim.dir/topo_sim.cpp.o"
+  "CMakeFiles/topo_sim.dir/topo_sim.cpp.o.d"
+  "topo_sim"
+  "topo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_trace_gen.dir/topo_trace_gen.cpp.o"
+  "CMakeFiles/topo_trace_gen.dir/topo_trace_gen.cpp.o.d"
+  "topo_trace_gen"
+  "topo_trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
