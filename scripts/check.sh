@@ -1,0 +1,32 @@
+#!/bin/sh
+# Strict pre-merge gate: configure with warnings-as-errors, build
+# everything, run the test suite, and smoke-test the metrics output.
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -e
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build-check}"
+
+echo "== configure ($BUILD, -Wall -Wextra -Werror) =="
+cmake -B "$BUILD" -S . \
+    -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" > /dev/null
+
+echo "== build =="
+cmake --build "$BUILD" -j
+
+echo "== test =="
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "== metrics smoke =="
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+"$BUILD/tools/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    --metrics-out="$WORK/metrics.json" > /dev/null
+for key in '"topo_metrics": 1' '"phase.synthesis.ms"' \
+    '"phase.trg_build.ms"' '"phase.placement.gbsc.ms"' \
+    '"phase.simulate.ms"' '"cache.misses"'; do
+    grep -q "$key" "$WORK/metrics.json" || {
+        echo "FAIL: metrics snapshot missing $key"; exit 1; }
+done
+
+echo "OK: all checks passed"

@@ -36,4 +36,15 @@ DirectMappedCache::reset()
                    std::numeric_limits<std::uint64_t>::max());
 }
 
+std::uint64_t
+DirectMappedCache::validLineCount() const
+{
+    std::uint64_t valid = 0;
+    for (const std::uint64_t frame : frames_) {
+        if (frame != kInvalidFrame)
+            ++valid;
+    }
+    return valid;
+}
+
 } // namespace topo

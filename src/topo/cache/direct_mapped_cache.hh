@@ -45,6 +45,15 @@ class DirectMappedCache
     /** Invalidate all frames. */
     void reset();
 
+    /**
+     * Frames currently holding a line. Misses minus this count equals
+     * the number of evictions since construction/reset (each miss
+     * fills exactly one frame and frames never empty again), which is
+     * how the simulator derives its eviction counter without touching
+     * the access path.
+     */
+    std::uint64_t validLineCount() const;
+
     /** Cache geometry. */
     const CacheConfig &config() const { return config_; }
 
@@ -58,6 +67,9 @@ class DirectMappedCache
     }
 
   private:
+    /** Tag value marking an empty frame. */
+    static constexpr std::uint64_t kInvalidFrame = ~std::uint64_t{0};
+
     CacheConfig config_;
     std::vector<std::uint64_t> frames_;
     std::uint64_t mask_; // non-zero iff frame count is a power of two

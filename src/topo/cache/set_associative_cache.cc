@@ -59,4 +59,15 @@ SetAssociativeCache::reset()
     tags_.assign(tags_.size(), kInvalidTag);
 }
 
+std::uint64_t
+SetAssociativeCache::validLineCount() const
+{
+    std::uint64_t valid = 0;
+    for (const std::uint64_t tag : tags_) {
+        if (tag != kInvalidTag)
+            ++valid;
+    }
+    return valid;
+}
+
 } // namespace topo

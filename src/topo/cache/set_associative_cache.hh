@@ -35,6 +35,13 @@ class SetAssociativeCache
     /** Invalidate all frames. */
     void reset();
 
+    /**
+     * Frames currently holding a line. Misses minus this count equals
+     * the number of evictions since construction/reset (each miss
+     * fills exactly one frame and frames never empty again).
+     */
+    std::uint64_t validLineCount() const;
+
     /** Cache geometry. */
     const CacheConfig &config() const { return config_; }
 

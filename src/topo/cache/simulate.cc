@@ -2,6 +2,9 @@
 
 #include "topo/cache/direct_mapped_cache.hh"
 #include "topo/cache/set_associative_cache.hh"
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -10,11 +13,16 @@ namespace topo
 namespace
 {
 
+/** Emit a progress heartbeat every this many line fetches. */
+constexpr std::uint64_t kHeartbeatMask = (1ULL << 23) - 1; // ~8.4M
+
 /**
  * Shared replay loop; Cache is DirectMappedCache or
- * SetAssociativeCache, both exposing bool access(uint64).
+ * SetAssociativeCache, both exposing bool access(uint64). The
+ * heartbeat variant is compiled separately so the default path pays
+ * nothing for progress reporting.
  */
-template <typename Cache>
+template <typename Cache, bool kHeartbeat>
 SimResult
 replay(const Program &program, const Layout &layout,
        const FetchStream &stream, Cache &cache, bool attribute)
@@ -31,6 +39,7 @@ replay(const Program &program, const Layout &layout,
     if (attribute)
         result.misses_by_proc.assign(program.procCount(), 0);
     result.accesses = stream.size();
+    std::uint64_t processed = 0;
     for (const FetchRef &ref : stream.refs()) {
         const std::uint64_t line_addr = base_line[ref.proc] + ref.line;
         if (!cache.access(line_addr)) {
@@ -38,8 +47,33 @@ replay(const Program &program, const Layout &layout,
             if (attribute)
                 ++result.misses_by_proc[ref.proc];
         }
+        if constexpr (kHeartbeat) {
+            if ((++processed & kHeartbeatMask) == 0) {
+                logDebug("simulate", "progress",
+                         {{"done", processed},
+                          {"total", result.accesses},
+                          {"misses", result.misses}});
+            }
+        }
     }
+    (void)processed;
+    // Caches start empty and lines never invalidate, so each miss
+    // either filled an empty frame or displaced a valid line.
+    result.evictions = result.misses - cache.validLineCount();
     return result;
+}
+
+template <typename Cache>
+SimResult
+replayDispatch(const Program &program, const Layout &layout,
+               const FetchStream &stream, Cache &cache, bool attribute)
+{
+    if (logEnabled(LogLevel::kDebug)) {
+        return replay<Cache, true>(program, layout, stream, cache,
+                                   attribute);
+    }
+    return replay<Cache, false>(program, layout, stream, cache,
+                                attribute);
 }
 
 } // namespace
@@ -51,12 +85,34 @@ simulateLayout(const Program &program, const Layout &layout,
 {
     require(stream.lineBytes() == config.line_bytes,
             "simulateLayout: stream line size does not match cache config");
+    PhaseTimer timer("simulate");
+    SimResult result;
     if (config.associativity == 1) {
         DirectMappedCache cache(config);
-        return replay(program, layout, stream, cache, attribute);
+        result = replayDispatch(program, layout, stream, cache,
+                                attribute);
+    } else {
+        SetAssociativeCache cache(config);
+        result = replayDispatch(program, layout, stream, cache,
+                                attribute);
     }
-    SetAssociativeCache cache(config);
-    return replay(program, layout, stream, cache, attribute);
+    timer.stop();
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("cache.simulations").add();
+    metrics.counter("cache.accesses").add(result.accesses);
+    metrics.counter("cache.misses").add(result.misses);
+    metrics.counter("cache.evictions").add(result.evictions);
+    if (logEnabled(LogLevel::kDebug)) {
+        logDebug("simulate", "replay finished",
+                 {{"cache", config.describe()},
+                  {"accesses", result.accesses},
+                  {"misses", result.misses},
+                  {"evictions", result.evictions},
+                  {"miss_rate", result.missRate()},
+                  {"ms", timer.elapsedMs()}});
+    }
+    return result;
 }
 
 double

@@ -25,6 +25,8 @@ struct SimResult
 {
     std::uint64_t accesses = 0;
     std::uint64_t misses = 0;
+    /** Valid lines displaced by misses (cold fills excluded). */
+    std::uint64_t evictions = 0;
     /** Per-procedure miss attribution (empty unless requested). */
     std::vector<std::uint64_t> misses_by_proc;
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
 #include "topo/profile/perturb.hh"
 #include "topo/profile/wcg_builder.hh"
 #include "topo/util/error.hh"
@@ -58,6 +60,15 @@ ProfileBundle::ProfileBundle(const BenchmarkCase &bench,
         pairs_ = buildPairDatabase(program_, train_trace_, pair_opts);
         if (options_.pair_prune > 0.0)
             pairs_.prune(options_.pair_prune);
+    }
+    MetricsRegistry::global().counter("eval.bundles").add();
+    if (logEnabled(LogLevel::kDebug)) {
+        logDebug("eval", "profile bundle ready",
+                 {{"benchmark", name_},
+                  {"procs", program_.procCount()},
+                  {"popular", popular_.count},
+                  {"train_events", train_trace_.size()},
+                  {"test_events", test_trace_.size()}});
     }
 }
 

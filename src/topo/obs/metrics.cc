@@ -1,0 +1,137 @@
+#include "topo/obs/metrics.hh"
+
+#include <fstream>
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+void
+Histogram::observe(double value)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.add(value);
+}
+
+RunningStats
+Histogram::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *instance = new MetricsRegistry;
+    return *instance;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    require(!gauges_.count(name) && !histograms_.count(name),
+            "MetricsRegistry: '" + name +
+                "' is already registered as another metric kind");
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    require(!counters_.count(name) && !histograms_.count(name),
+            "MetricsRegistry: '" + name +
+                "' is already registered as another metric kind");
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    require(!counters_.count(name) && !gauges_.count(name),
+            "MetricsRegistry: '" + name +
+                "' is already registered as another metric kind");
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.count(name) || gauges_.count(name) ||
+           histograms_.count(name);
+}
+
+void
+MetricsRegistry::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+JsonValue
+MetricsRegistry::toJson() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue root = JsonValue::object();
+    root.set("topo_metrics", JsonValue::number(1));
+
+    JsonValue counters = JsonValue::object();
+    for (const auto &[name, counter] : counters_) {
+        counters.set(name, JsonValue::number(
+                               static_cast<double>(counter->value())));
+    }
+    root.set("counters", std::move(counters));
+
+    JsonValue gauges = JsonValue::object();
+    for (const auto &[name, gauge] : gauges_)
+        gauges.set(name, JsonValue::number(gauge->value()));
+    root.set("gauges", std::move(gauges));
+
+    JsonValue histograms = JsonValue::object();
+    for (const auto &[name, histogram] : histograms_) {
+        const RunningStats stats = histogram->stats();
+        JsonValue entry = JsonValue::object();
+        entry.set("count", JsonValue::number(
+                               static_cast<double>(stats.count())));
+        entry.set("sum", JsonValue::number(stats.sum()));
+        entry.set("mean", JsonValue::number(stats.mean()));
+        entry.set("min", JsonValue::number(
+                             stats.count() ? stats.min() : 0.0));
+        entry.set("max", JsonValue::number(
+                             stats.count() ? stats.max() : 0.0));
+        entry.set("stddev", JsonValue::number(stats.stddev()));
+        histograms.set(name, std::move(entry));
+    }
+    root.set("histograms", std::move(histograms));
+    return root;
+}
+
+void
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    require(os.good(), "MetricsRegistry: cannot open metrics file '" +
+                           path + "'");
+    toJson().write(os);
+    os << '\n';
+    require(os.good(), "MetricsRegistry: failed writing metrics file '" +
+                           path + "'");
+}
+
+} // namespace topo

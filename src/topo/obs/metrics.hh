@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Process-wide metrics: named counters, gauges, and histograms.
+ *
+ * Every pipeline phase registers its counters here; the four CLI tools
+ * dump the registry as JSON via --metrics-out so runs are comparable
+ * and machine-readable (the bench harness emits the same shape). A
+ * metric reference obtained from the registry stays valid for the
+ * registry's lifetime — hot code fetches the reference once, outside
+ * its loop, and bumps it cheaply.
+ *
+ * Counter/gauge updates are relaxed atomics; histogram observation
+ * takes a mutex (observations are per-phase, not per-access).
+ */
+
+#ifndef TOPO_OBS_METRICS_HH
+#define TOPO_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "topo/obs/json.hh"
+#include "topo/util/stats.hh"
+
+namespace topo
+{
+
+/** Monotonically increasing integer metric. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins floating-point metric. */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Distribution metric backed by RunningStats. */
+class Histogram
+{
+  public:
+    /** Record one observation. */
+    void observe(double value);
+
+    /** Copy of the accumulated summary. */
+    RunningStats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    RunningStats stats_;
+};
+
+/**
+ * Named registry of counters, gauges, and histograms.
+ *
+ * Metric names are dotted paths ("cache.misses",
+ * "phase.placement.gbsc.ms"); a name is bound to one metric kind for
+ * the registry's lifetime (re-registering under another kind throws).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry used by default everywhere. */
+    static MetricsRegistry &global();
+
+    /** Find-or-create a counter. */
+    Counter &counter(const std::string &name);
+    /** Find-or-create a gauge. */
+    Gauge &gauge(const std::string &name);
+    /** Find-or-create a histogram. */
+    Histogram &histogram(const std::string &name);
+
+    /** True when a metric of any kind exists under @p name. */
+    bool has(const std::string &name) const;
+
+    /** Drop every metric (tests and tools reuse the global registry). */
+    void clear();
+
+    /**
+     * Snapshot as JSON:
+     * {"topo_metrics": 1, "counters": {...}, "gauges": {...},
+     *  "histograms": {name: {count,sum,mean,min,max,stddev}}}
+     */
+    JsonValue toJson() const;
+
+    /** Write the snapshot to @p path; throws TopoError on I/O error. */
+    void writeJsonFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace topo
+
+#endif // TOPO_OBS_METRICS_HH

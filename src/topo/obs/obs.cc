@@ -1,0 +1,30 @@
+#include "topo/obs/obs.hh"
+
+#include <memory>
+
+namespace topo
+{
+
+void
+initObservability(const Options &opts)
+{
+    Logger &logger = Logger::global();
+    if (opts.has("log-level"))
+        logger.setLevel(parseLogLevel(opts.getString("log-level", "")));
+    const std::string log_file = opts.getString("log-file", "");
+    if (!log_file.empty())
+        logger.addSink(std::make_shared<FileSink>(log_file));
+}
+
+bool
+writeMetricsIfRequested(const Options &opts)
+{
+    const std::string path = opts.getString("metrics-out", "");
+    if (path.empty())
+        return false;
+    MetricsRegistry::global().writeJsonFile(path);
+    logInfo("metrics", "snapshot written", {{"file", path}});
+    return true;
+}
+
+} // namespace topo

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Umbrella header and CLI glue for the observability layer.
+ *
+ * Every tool calls initObservability() right after option parsing and
+ * writeMetricsIfRequested() before exiting. The standard knobs (all of
+ * them also reachable through the TOPO_* environment, courtesy of
+ * Options):
+ *
+ *   --log-level=LEVEL   trace|debug|info|warn|error|off (default info)
+ *   --log-file=FILE     additionally append log lines to FILE
+ *   --metrics-out=FILE  write the metrics registry as JSON on exit
+ */
+
+#ifndef TOPO_OBS_OBS_HH
+#define TOPO_OBS_OBS_HH
+
+#include "topo/obs/json.hh"
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
+#include "topo/util/options.hh"
+
+namespace topo
+{
+
+/**
+ * Configure the global logger from --log-level / --log-file (and
+ * their TOPO_LOG_LEVEL / TOPO_LOG_FILE environment fallbacks).
+ * Throws TopoError on an unknown level name or unwritable log file.
+ */
+void initObservability(const Options &opts);
+
+/**
+ * Write the global metrics registry to the file named by
+ * --metrics-out / TOPO_METRICS_OUT.
+ *
+ * @return True when a snapshot was written, false when the option was
+ *         absent.
+ */
+bool writeMetricsIfRequested(const Options &opts);
+
+} // namespace topo
+
+#endif // TOPO_OBS_OBS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Wall-clock phase spans over std::chrono::steady_clock.
+ *
+ * A PhaseTimer is an RAII span around one pipeline phase. Nested
+ * timers compose a dotted path ("place.gbsc" inside "place" records
+ * as "place.gbsc" under the parent), and each completed span records
+ * its duration into the histogram "phase.<path>.ms" and emits a debug
+ * log line. The per-thread nesting stack makes concurrent pipelines
+ * safe.
+ */
+
+#ifndef TOPO_OBS_PHASE_TIMER_HH
+#define TOPO_OBS_PHASE_TIMER_HH
+
+#include <chrono>
+#include <string>
+
+#include "topo/obs/metrics.hh"
+
+namespace topo
+{
+
+/** RAII wall-clock span recording into a MetricsRegistry. */
+class PhaseTimer
+{
+  public:
+    /**
+     * Start a span named @p name. The full dotted path prefixes the
+     * names of the enclosing live PhaseTimers on this thread.
+     *
+     * @param name     Phase name ("trg_build", "placement.gbsc", ...).
+     * @param registry Destination registry; global() when null.
+     */
+    explicit PhaseTimer(std::string name,
+                        MetricsRegistry *registry = nullptr);
+
+    /** Stops (and records) the span if still running. */
+    ~PhaseTimer();
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    /**
+     * Stop the span now: record "phase.<path>.ms" and log at debug.
+     * Idempotent; the destructor calls it implicitly.
+     */
+    void stop();
+
+    /** Milliseconds since the span started (live or final). */
+    double elapsedMs() const;
+
+    /** Full dotted path of this span. */
+    const std::string &path() const { return path_; }
+
+    /** Dotted path of the innermost live span on this thread ("" when
+     *  none) — exposed for tests. */
+    static std::string currentPath();
+
+  private:
+    std::string path_;
+    MetricsRegistry *registry_;
+    std::chrono::steady_clock::time_point start_;
+    double final_ms_ = 0.0;
+    bool running_ = true;
+};
+
+} // namespace topo
+
+#endif // TOPO_OBS_PHASE_TIMER_HH

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/placement/gap_fill.hh"
 #include "topo/util/error.hh"
 
@@ -197,6 +200,7 @@ CacheColoring::place(const PlacementContext &ctx) const
     require(ctx.wcg != nullptr, "CacheColoring: context has no WCG");
     require(ctx.wcg->nodeCount() == ctx.program->procCount(),
             "CacheColoring: WCG node count mismatch");
+    PhaseTimer timer("placement.hkc");
 
     const Program &program = *ctx.program;
     Coloring state(ctx);
@@ -216,20 +220,43 @@ CacheColoring::place(const PlacementContext &ctx) const
                   return x.v < y.v;
               });
 
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool log_passes = logEnabled(LogLevel::kDebug);
+    std::uint64_t units_created = 0, attaches = 0, unit_merges = 0;
     for (const WeightedGraph::Edge &e : edges) {
         const bool u_placed = state.unit_of[e.u] != kNoUnit;
         const bool v_placed = state.unit_of[e.v] != kNoUnit;
+        const char *action = "skip";
         if (!u_placed && !v_placed) {
             state.createUnit(e.u, e.v);
+            ++units_created;
+            action = "create";
         } else if (u_placed && !v_placed) {
             state.attach(e.v, e.u);
+            ++attaches;
+            action = "attach";
         } else if (!u_placed && v_placed) {
             state.attach(e.u, e.v);
+            ++attaches;
+            action = "attach";
         } else if (state.unit_of[e.u] != state.unit_of[e.v]) {
             state.mergeUnits(e.u, e.v);
+            ++unit_merges;
+            action = "merge";
         }
         // Both in the same unit: alignment already decided; skip.
+        if (log_passes) {
+            logDebug("hkc", "edge pass",
+                     {{"u", e.u},
+                      {"v", e.v},
+                      {"weight", e.weight},
+                      {"action", action}});
+        }
     }
+    metrics.counter("hkc.edges_considered").add(edges.size());
+    metrics.counter("hkc.units_created").add(units_created);
+    metrics.counter("hkc.attaches").add(attaches);
+    metrics.counter("hkc.unit_merges").add(unit_merges);
 
     // Popular procedures with no popular edge each get their own unit.
     for (std::size_t i = 0; i < program.procCount(); ++i) {
@@ -307,6 +334,14 @@ CacheColoring::place(const PlacementContext &ctx) const
         cursor += state.lines(rest);
     }
     layout.validate(program, line_bytes);
+    timer.stop();
+    if (log_passes) {
+        logDebug("hkc", "placement done",
+                 {{"units_created", units_created},
+                  {"attaches", attaches},
+                  {"unit_merges", unit_merges},
+                  {"ms", timer.elapsedMs()}});
+    }
     return layout;
 }
 

@@ -4,6 +4,9 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/placement/gap_fill.hh"
 #include "topo/placement/merge_graph.hh"
 #include "topo/util/error.hh"
@@ -177,6 +180,7 @@ Gbsc::place(const PlacementContext &ctx) const
     require(ctx.trg_select != nullptr, "Gbsc: context has no TRG_select");
     require(ctx.trg_select->nodeCount() == ctx.program->procCount(),
             "Gbsc: TRG_select node count mismatch");
+    PhaseTimer timer("placement.gbsc");
     const Program &program = *ctx.program;
     const std::uint32_t cache_lines = ctx.cache.lineCount();
     const std::uint32_t line_bytes = ctx.cache.line_bytes;
@@ -198,14 +202,31 @@ Gbsc::place(const PlacementContext &ctx) const
     MergeGraph working(*ctx.trg_select, &popular_mask);
     if (has_tie_seed_)
         working.setTieBreaker(tie_seed_);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool log_passes = logEnabled(LogLevel::kDebug);
+    std::uint64_t merge_steps = 0;
     while (!working.done()) {
         const MergeGraph::Edge heaviest = working.maxEdge();
         require(heaviest.valid, "Gbsc: inconsistent working graph");
         nodes[heaviest.u] =
             doMerge(ctx, nodes[heaviest.u], nodes[heaviest.v]);
+        ++merge_steps;
+        if (log_passes) {
+            logDebug("gbsc", "merge pass",
+                     {{"step", merge_steps},
+                      {"u", heaviest.u},
+                      {"v", heaviest.v},
+                      {"weight", heaviest.weight},
+                      {"node_procs", nodes[heaviest.u].procs.size()}});
+        }
         nodes[heaviest.v].procs.clear();
         working.mergeInto(heaviest.u, heaviest.v);
     }
+    metrics.counter("gbsc.merge_steps").add(merge_steps);
+    // One alignmentCost sweep over all cache lines per merge.
+    metrics.counter("gbsc.alignment_evals").add(merge_steps);
+    metrics.counter("gbsc.offset_candidates")
+        .add(merge_steps * ctx.cache.lineCount());
 
     // --- Section 4.3: produce the final linear list.
     struct Entry
@@ -302,6 +323,14 @@ Gbsc::place(const PlacementContext &ctx) const
         cursor += program.sizeInLines(rest, line_bytes);
     }
     layout.validate(program, line_bytes);
+    timer.stop();
+    if (log_passes) {
+        logDebug("gbsc", "placement done",
+                 {{"merge_steps", merge_steps},
+                  {"procs", program.procCount()},
+                  {"extent_lines", cursor},
+                  {"ms", timer.elapsedMs()}});
+    }
     return layout;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/placement/merge_graph.hh"
 #include "topo/util/error.hh"
 
@@ -52,6 +55,7 @@ PettisHansen::place(const PlacementContext &ctx) const
     const WeightedGraph &wcg = *ctx.wcg;
     require(wcg.nodeCount() == program.procCount(),
             "PettisHansen: WCG node count mismatch");
+    PhaseTimer timer("placement.ph");
     const std::uint32_t line_bytes = ctx.cache.line_bytes;
 
     // One chain per procedure to start; chain_of maps procedures to
@@ -67,6 +71,10 @@ PettisHansen::place(const PlacementContext &ctx) const
     MergeGraph working(wcg);
     if (has_tie_seed_)
         working.setTieBreaker(tie_seed_);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const bool log_passes = logEnabled(LogLevel::kDebug);
+    std::uint64_t merge_steps = 0;
+    std::uint64_t edges_scanned = 0;
     while (!working.done()) {
         const MergeGraph::Edge heaviest = working.maxEdge();
         require(heaviest.valid, "PettisHansen: inconsistent working graph");
@@ -84,6 +92,7 @@ PettisHansen::place(const PlacementContext &ctx) const
         const std::uint32_t other = (&smaller == &a) ? cb : ca;
         for (ProcId p : smaller.procs) {
             for (const auto &[q, w] : wcg.neighbors(p)) {
+                ++edges_scanned;
                 if (chain_of[q] != other)
                     continue;
                 if (w > best_w || (w == best_w && (p < best_p ||
@@ -165,7 +174,20 @@ PettisHansen::place(const PlacementContext &ctx) const
 
         working.mergeInto(heaviest.u, heaviest.v);
         chain_of[heaviest.v] = ca; // representative bookkeeping
+        ++merge_steps;
+        if (log_passes) {
+            logDebug("ph", "merge pass",
+                     {{"step", merge_steps},
+                      {"u", heaviest.u},
+                      {"v", heaviest.v},
+                      {"weight", heaviest.weight},
+                      {"chain_procs", a.procs.size()},
+                      {"reversed_a", best_opt->rev_a},
+                      {"reversed_b", best_opt->rev_b}});
+        }
     }
+    metrics.counter("ph.merge_steps").add(merge_steps);
+    metrics.counter("ph.edges_scanned").add(edges_scanned);
 
     // Emit: chains ordered by their hottest member, then singleton
     // procedures that never took part in a call edge.
@@ -194,7 +216,16 @@ PettisHansen::place(const PlacementContext &ctx) const
         for (ProcId p : chains[c].procs)
             order.push_back(p);
     }
-    return Layout::fromOrder(program, order, line_bytes);
+    Layout layout = Layout::fromOrder(program, order, line_bytes);
+    timer.stop();
+    if (log_passes) {
+        logDebug("ph", "placement done",
+                 {{"merge_steps", merge_steps},
+                  {"edges_scanned", edges_scanned},
+                  {"chains", chain_ids.size()},
+                  {"ms", timer.elapsedMs()}});
+    }
+    return layout;
 }
 
 } // namespace topo

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/util/error.hh"
 
@@ -50,6 +53,7 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
     ctx.requireBasics("refineLayout");
     require(ctx.chunks != nullptr && ctx.trg_place != nullptr,
             "refineLayout: context needs chunks and TRG_place");
+    PhaseTimer timer("placement.refine");
     const Program &program = *ctx.program;
     const std::uint32_t cache_lines = ctx.cache.lineCount();
     const std::uint32_t line_bytes = ctx.cache.line_bytes;
@@ -78,10 +82,12 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
     for (ProcId id : movable)
         applyProc(colors, ctx, id, offsets[id], true);
 
+    const bool log_passes = logEnabled(LogLevel::kDebug);
     std::vector<double> cost(cache_lines);
     for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
         bool improved = false;
         ++result.passes;
+        const std::uint64_t moves_before = result.moves;
         for (ProcId proc : movable) {
             applyProc(colors, ctx, proc, offsets[proc], false);
             // Sparse cost-per-offset accumulation (merge_nodes style):
@@ -119,6 +125,13 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
             }
             applyProc(colors, ctx, proc, offsets[proc], true);
         }
+        if (log_passes) {
+            logDebug("refine", "refine pass",
+                     {{"pass", pass + 1},
+                      {"moves", result.moves - moves_before},
+                      {"total_moves", result.moves},
+                      {"improved", improved}});
+        }
         if (!improved)
             break;
     }
@@ -127,6 +140,18 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
     result.layout = Layout::fromCacheOffsets(
         program, base.orderByAddress(), offsets, line_bytes,
         cache_lines);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("refine.passes").add(result.passes);
+    metrics.counter("refine.moves").add(result.moves);
+    timer.stop();
+    if (log_passes) {
+        logDebug("refine", "refinement done",
+                 {{"passes", result.passes},
+                  {"moves", result.moves},
+                  {"initial_metric", result.initial_metric},
+                  {"final_metric", result.final_metric},
+                  {"ms", timer.elapsedMs()}});
+    }
     return result;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -91,6 +94,7 @@ splitProcedures(const Program &program, const Trace &training,
     require(options.chunk_bytes > 0, "splitProcedures: zero chunk size");
     require(options.min_fetched_bytes > 0,
             "splitProcedures: zero hot threshold");
+    PhaseTimer timer("splitting");
     const ChunkMap chunks(program, options.chunk_bytes);
     const std::vector<std::uint64_t> heat =
         chunkHeat(program, chunks, training);
@@ -169,6 +173,19 @@ splitProcedures(const Program &program, const Trace &training,
             offset += chunks.chunkSizeBytes(chunk);
         }
         split.cold_bytes_ += cold.bytes;
+    }
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("split.runs").add();
+    metrics.counter("split.procs_split").add(split.split_count_);
+    metrics.counter("split.cold_bytes").add(split.cold_bytes_);
+    timer.stop();
+    if (logEnabled(LogLevel::kDebug)) {
+        logDebug("split", "splitting done",
+                 {{"procs", program.procCount()},
+                  {"procs_split", split.split_count_},
+                  {"cold_bytes", split.cold_bytes_},
+                  {"derived_procs", split.program_.procCount()},
+                  {"ms", timer.elapsedMs()}});
     }
     return split;
 }

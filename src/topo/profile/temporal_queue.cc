@@ -60,6 +60,7 @@ TemporalQueue::trim()
     while (head_ != kNone &&
            resident_bytes_ - sizes_[head_] >= byte_budget_) {
         detach(head_);
+        ++evictions_;
     }
 }
 
@@ -105,6 +106,7 @@ TemporalQueue::clear()
     head_ = tail_ = kNone;
     count_ = 0;
     resident_bytes_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace topo

@@ -69,6 +69,14 @@ class TemporalQueue
     std::uint64_t byteBudget() const { return byte_budget_; }
 
     /**
+     * Budget-driven removals since construction or clear(). Repeat
+     * references consuming their older entry do not count; this is
+     * the "Q was too small to hold the working set" signal exported
+     * through the metrics registry.
+     */
+    std::uint64_t evictionCount() const { return evictions_; }
+
+    /**
      * Process the next trace reference per the Section 3 recipe.
      *
      * If @p id was resident, @p between is filled with every block
@@ -104,6 +112,7 @@ class TemporalQueue
     BlockId tail_ = kNone;
     std::size_t count_ = 0;
     std::uint64_t resident_bytes_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace topo

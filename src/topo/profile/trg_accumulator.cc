@@ -124,6 +124,8 @@ TrgAccumulator::take()
             ? static_cast<double>(queue_size_sum_) /
                   static_cast<double>(result_.proc_steps)
             : 0.0;
+    result_.proc_evictions = proc_q_.evictionCount();
+    result_.chunk_evictions = chunk_q_.evictionCount();
     TrgBuildResult out = std::move(result_);
     reset();
     return out;

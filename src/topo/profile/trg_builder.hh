@@ -70,6 +70,10 @@ struct TrgBuildResult
     double avg_queue_procs = 0.0;
     /** Number of procedure-granularity processing steps. */
     std::uint64_t proc_steps = 0;
+    /** Budget evictions from the procedure-granularity Q. */
+    std::uint64_t proc_evictions = 0;
+    /** Budget evictions from the chunk-granularity Q. */
+    std::uint64_t chunk_evictions = 0;
 };
 
 /**

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
 #include "topo/util/error.hh"
 #include "topo/util/rng.hh"
 
@@ -121,8 +124,21 @@ synthesizeTrace(const WorkloadModel &model, const WorkloadInput &input)
 {
     model.validate();
     require(input.target_runs > 0, "synthesizeTrace: zero target runs");
+    PhaseTimer timer("synthesis");
     Walker walker(model, input);
-    return walker.run();
+    Trace trace = walker.run();
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("synth.traces").add();
+    metrics.counter("synth.runs").add(trace.size());
+    if (logEnabled(LogLevel::kDebug)) {
+        logDebug("synth", "trace synthesized",
+                 {{"program", model.program.name()},
+                  {"input", input.name},
+                  {"runs", trace.size()},
+                  {"ms", timer.elapsedMs()}});
+    }
+    return trace;
 }
 
 } // namespace topo

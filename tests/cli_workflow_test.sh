@@ -64,4 +64,45 @@ if "$TOOLS_DIR/topo_place" --program=/nonexistent --trace=/nonexistent \
     echo "FAIL: topo_place accepted nonexistent inputs"; exit 1
 fi
 
+# --metrics-out on the full in-process pipeline: the snapshot must be
+# valid JSON carrying the per-phase timings and the cache counters.
+"$TOOLS_DIR/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    --metrics-out="$WORK/metrics.json" > /dev/null 2> "$WORK/sim2.log"
+[ -s "$WORK/metrics.json" ] || {
+    echo "FAIL: --metrics-out wrote nothing"; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+    if ! python3 - "$WORK/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["topo_metrics"] == 1
+for phase in ("phase.synthesis.ms", "phase.trg_build.ms",
+              "phase.placement.gbsc.ms", "phase.simulate.ms"):
+    assert phase in m["histograms"], phase
+    assert m["histograms"][phase]["count"] >= 1, phase
+for counter in ("cache.accesses", "cache.misses", "cache.simulations"):
+    assert m["counters"][counter] >= 1, counter
+EOF
+    then
+        echo "FAIL: metrics snapshot invalid"; exit 1
+    fi
+else
+    for key in '"topo_metrics": 1' '"phase.synthesis.ms"' \
+        '"phase.trg_build.ms"' '"phase.placement.gbsc.ms"' \
+        '"phase.simulate.ms"' '"cache.accesses"' '"cache.misses"'; do
+        grep -q "$key" "$WORK/metrics.json" || {
+            echo "FAIL: metrics snapshot missing $key"; exit 1; }
+    done
+fi
+
+# topo_place writes a snapshot too, and debug logging emits per-pass
+# placement lines.
+"$TOOLS_DIR/topo_place" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" --algorithm=gbsc \
+    --out-layout="$WORK/m2.layout" --log-level=debug \
+    --metrics-out="$WORK/place_metrics.json" 2> "$WORK/place2.log"
+grep -q '"gbsc.merge_steps"' "$WORK/place_metrics.json" || {
+    echo "FAIL: place metrics missing gbsc.merge_steps"; exit 1; }
+grep -q "merge pass" "$WORK/place2.log" || {
+    echo "FAIL: --log-level=debug shows no per-pass lines"; exit 1; }
+
 echo "PASS: cli workflow (default $def_mr% -> gbsc $gbsc_mr%)"

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests of the observability layer: logging, metrics, phase timers,
+ * and the JSON snapshot round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/obs/obs.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+namespace
+{
+
+/** Sink capturing every record for inspection. */
+class CaptureSink : public LogSink
+{
+  public:
+    void
+    write(const LogRecord &record) override
+    {
+        levels.push_back(record.level);
+        lines.push_back(formatLogLine(record));
+    }
+
+    std::vector<LogLevel> levels;
+    std::vector<std::string> lines;
+};
+
+TEST(LogTest, ParseLevelNames)
+{
+    EXPECT_EQ(parseLogLevel("trace"), LogLevel::kTrace);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::kDebug);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::kInfo);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::kWarn);
+    EXPECT_EQ(parseLogLevel("warning"), LogLevel::kWarn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::kError);
+    EXPECT_EQ(parseLogLevel("off"), LogLevel::kOff);
+    EXPECT_THROW(parseLogLevel("loud"), TopoError);
+}
+
+TEST(LogTest, LevelFiltering)
+{
+    Logger logger(LogLevel::kWarn);
+    auto sink = std::make_shared<CaptureSink>();
+    logger.addSink(sink);
+
+    logger.log(LogLevel::kDebug, "test", "dropped");
+    logger.log(LogLevel::kInfo, "test", "dropped too");
+    logger.log(LogLevel::kWarn, "test", "kept");
+    logger.log(LogLevel::kError, "test", "kept too");
+    ASSERT_EQ(sink->levels.size(), 2u);
+    EXPECT_EQ(sink->levels[0], LogLevel::kWarn);
+    EXPECT_EQ(sink->levels[1], LogLevel::kError);
+
+    EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+    EXPECT_TRUE(logger.enabled(LogLevel::kError));
+
+    logger.setLevel(LogLevel::kOff);
+    logger.log(LogLevel::kError, "test", "silenced");
+    EXPECT_EQ(sink->levels.size(), 2u);
+    EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(LogTest, FormatsFields)
+{
+    Logger logger(LogLevel::kTrace);
+    auto sink = std::make_shared<CaptureSink>();
+    logger.addSink(sink);
+    logger.log(LogLevel::kInfo, "gbsc", "merge pass",
+               {{"step", std::uint64_t{7}},
+                {"name", "two words"},
+                {"ok", true}});
+    ASSERT_EQ(sink->lines.size(), 1u);
+    const std::string &line = sink->lines[0];
+    EXPECT_NE(line.find("info"), std::string::npos);
+    EXPECT_NE(line.find("gbsc"), std::string::npos);
+    EXPECT_NE(line.find("merge pass"), std::string::npos);
+    EXPECT_NE(line.find("step=7"), std::string::npos);
+    EXPECT_NE(line.find("name=\"two words\""), std::string::npos);
+    EXPECT_NE(line.find("ok=true"), std::string::npos);
+}
+
+TEST(MetricsTest, CounterAccumulates)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("test.count");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Find-or-create returns the same metric.
+    EXPECT_EQ(&registry.counter("test.count"), &c);
+    EXPECT_TRUE(registry.has("test.count"));
+    EXPECT_FALSE(registry.has("test.other"));
+}
+
+TEST(MetricsTest, HistogramAccumulates)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("test.ms");
+    h.observe(1.0);
+    h.observe(3.0);
+    h.observe(5.0);
+    const RunningStats stats = h.stats();
+    EXPECT_EQ(stats.count(), 3u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(MetricsTest, KindCollisionThrows)
+{
+    MetricsRegistry registry;
+    registry.counter("metric");
+    EXPECT_THROW(registry.gauge("metric"), TopoError);
+    EXPECT_THROW(registry.histogram("metric"), TopoError);
+}
+
+TEST(MetricsTest, ClearDropsEverything)
+{
+    MetricsRegistry registry;
+    registry.counter("a").add(5);
+    registry.gauge("b").set(1.5);
+    registry.clear();
+    EXPECT_FALSE(registry.has("a"));
+    EXPECT_FALSE(registry.has("b"));
+    EXPECT_EQ(registry.counter("a").value(), 0u);
+}
+
+TEST(PhaseTimerTest, NestedPathsAndHistograms)
+{
+    MetricsRegistry registry;
+    EXPECT_EQ(PhaseTimer::currentPath(), "");
+    {
+        PhaseTimer outer("outer", &registry);
+        EXPECT_EQ(PhaseTimer::currentPath(), "outer");
+        {
+            PhaseTimer inner("inner", &registry);
+            EXPECT_EQ(inner.path(), "outer.inner");
+            EXPECT_EQ(PhaseTimer::currentPath(), "outer.inner");
+        }
+        EXPECT_EQ(PhaseTimer::currentPath(), "outer");
+    }
+    EXPECT_EQ(PhaseTimer::currentPath(), "");
+    EXPECT_TRUE(registry.has("phase.outer.ms"));
+    EXPECT_TRUE(registry.has("phase.outer.inner.ms"));
+    EXPECT_EQ(registry.histogram("phase.outer.ms").stats().count(), 1u);
+    EXPECT_EQ(registry.histogram("phase.outer.inner.ms").stats().count(),
+              1u);
+}
+
+TEST(PhaseTimerTest, StopIsIdempotent)
+{
+    MetricsRegistry registry;
+    PhaseTimer timer("phase", &registry);
+    timer.stop();
+    const double ms = timer.elapsedMs();
+    timer.stop();
+    EXPECT_EQ(timer.elapsedMs(), ms);
+    EXPECT_EQ(registry.histogram("phase.phase.ms").stats().count(), 1u);
+}
+
+TEST(JsonTest, RoundTrip)
+{
+    JsonValue root = JsonValue::object();
+    root.set("name", JsonValue::string("quote \" and \\ slash"));
+    root.set("count", JsonValue::number(42));
+    root.set("rate", JsonValue::number(0.25));
+    root.set("on", JsonValue::boolean(true));
+    root.set("none", JsonValue());
+    JsonValue list = JsonValue::array();
+    list.push(JsonValue::number(1));
+    list.push(JsonValue::string("two"));
+    root.set("list", std::move(list));
+
+    const JsonValue parsed = JsonValue::parse(root.toString());
+    ASSERT_TRUE(parsed.isObject());
+    EXPECT_EQ(parsed.at("name").asString(), "quote \" and \\ slash");
+    EXPECT_DOUBLE_EQ(parsed.at("count").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parsed.at("rate").asNumber(), 0.25);
+    EXPECT_TRUE(parsed.at("on").asBool());
+    EXPECT_TRUE(parsed.at("none").isNull());
+    ASSERT_EQ(parsed.at("list").size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.at("list").at(std::size_t{0}).asNumber(),
+                     1.0);
+    EXPECT_EQ(parsed.at("list").at(std::size_t{1}).asString(), "two");
+    // Insertion order survives the round trip.
+    EXPECT_EQ(parsed.members()[0].first, "name");
+    EXPECT_EQ(parsed.members()[5].first, "list");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parse(""), TopoError);
+    EXPECT_THROW(JsonValue::parse("{"), TopoError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), TopoError);
+    EXPECT_THROW(JsonValue::parse("{\"a\":1} extra"), TopoError);
+    EXPECT_THROW(JsonValue::parse("nul"), TopoError);
+}
+
+TEST(MetricsTest, SnapshotRoundTrip)
+{
+    MetricsRegistry registry;
+    registry.counter("cache.misses").add(7);
+    registry.gauge("trg.avg_queue_procs").set(12.5);
+    registry.histogram("phase.simulate.ms").observe(2.0);
+    registry.histogram("phase.simulate.ms").observe(4.0);
+
+    const JsonValue snapshot =
+        JsonValue::parse(registry.toJson().toString());
+    EXPECT_DOUBLE_EQ(snapshot.at("topo_metrics").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(
+        snapshot.at("counters").at("cache.misses").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(
+        snapshot.at("gauges").at("trg.avg_queue_procs").asNumber(),
+        12.5);
+    const JsonValue &hist =
+        snapshot.at("histograms").at("phase.simulate.ms");
+    EXPECT_DOUBLE_EQ(hist.at("count").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("sum").asNumber(), 6.0);
+    EXPECT_DOUBLE_EQ(hist.at("mean").asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(hist.at("min").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("max").asNumber(), 4.0);
+}
+
+} // namespace
+} // namespace topo

@@ -16,6 +16,7 @@
 #include "topo/cache/simulate.hh"
 #include "topo/eval/page_metric.hh"
 #include "topo/eval/reports.hh"
+#include "topo/obs/obs.hh"
 #include "topo/placement/cache_coloring.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/placement/pettis_hansen.hh"
@@ -129,11 +130,15 @@ main(int argc, char **argv)
             "topo_compare: all placement algorithms side by side.\n"
             "  --program=FILE --trace=FILE [--test-trace=FILE]\n"
             "  [--refine] --cache-kb=N --line-bytes=N --assoc=N\n"
-            "  --chunk-bytes=N --coverage=F --q-factor=F\n";
+            "  --chunk-bytes=N --coverage=F --q-factor=F\n"
+            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
         return argc == 1 ? 2 : 0;
     }
     try {
-        return run(opts);
+        initObservability(opts);
+        const int rc = run(opts);
+        writeMetricsIfRequested(opts);
+        return rc;
     } catch (const TopoError &err) {
         std::cerr << "error: " << err.what() << "\n";
         return 1;

@@ -17,6 +17,7 @@
 
 #include "topo/cache/simulate.hh"
 #include "topo/eval/reports.hh"
+#include "topo/obs/obs.hh"
 #include "topo/placement/cache_coloring.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/placement/pettis_hansen.hh"
@@ -150,11 +151,15 @@ main(int argc, char **argv)
             "  --print-map        print a human-readable placement map\n"
             "  --evaluate         simulate miss rates before/after\n"
             "  --cache-kb=N --line-bytes=N --assoc=N --chunk-bytes=N\n"
-            "  --coverage=F --q-factor=F\n";
+            "  --coverage=F --q-factor=F\n"
+            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
         return argc == 1 ? 2 : 0;
     }
     try {
-        return run(opts);
+        initObservability(opts);
+        const int rc = run(opts);
+        writeMetricsIfRequested(opts);
+        return rc;
     } catch (const TopoError &err) {
         std::cerr << "error: " << err.what() << "\n";
         return 1;

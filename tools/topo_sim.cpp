@@ -7,6 +7,11 @@
  *            [--attribute] [--pages]
  *
  * Without --layout the default (source-order) layout is simulated.
+ *
+ * With --benchmark=NAME the full pipeline runs in-process on a
+ * paper-suite benchmark — synthesis, profiling, placement, and
+ * simulation — which makes it the one-command way to capture phase
+ * timings with --metrics-out.
  */
 
 #include <algorithm>
@@ -15,20 +20,74 @@
 #include "topo/cache/simulate.hh"
 #include "topo/eval/page_metric.hh"
 #include "topo/eval/reports.hh"
+#include "topo/obs/obs.hh"
+#include "topo/placement/cache_coloring.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
 #include "topo/program/layout_io.hh"
 #include "topo/program/program_io.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
 #include "topo/util/table.hh"
+#include "topo/workload/paper_suite.hh"
 
 namespace
 {
 
 using namespace topo;
 
+/**
+ * Full pipeline on a synthetic paper benchmark: synthesise traces,
+ * profile, place with one algorithm, and simulate the testing trace.
+ */
+int
+runBenchmark(const Options &opts)
+{
+    const std::string name = opts.getString("benchmark", "");
+    const double scale = traceScaleFrom(opts);
+    const BenchmarkCase bench = paperBenchmark(name, scale);
+    const EvalOptions eval = evalOptionsFrom(opts);
+    const ProfileBundle bundle(bench, eval);
+
+    const std::string algorithm = opts.getString("algorithm", "gbsc");
+    const DefaultPlacement def;
+    const PettisHansen ph;
+    const CacheColoring hkc;
+    const Gbsc gbsc;
+    const PlacementAlgorithm *algo = nullptr;
+    if (algorithm == "gbsc")
+        algo = &gbsc;
+    else if (algorithm == "ph")
+        algo = &ph;
+    else if (algorithm == "hkc")
+        algo = &hkc;
+    else if (algorithm == "default")
+        algo = &def;
+    else
+        fail("topo_sim: unknown algorithm '" + algorithm +
+             "' (use gbsc, ph, hkc, or default)");
+
+    const PlacementContext ctx = bundle.makeContext();
+    const Layout layout = algo->place(ctx);
+    layout.validate(bundle.program(), eval.cache.line_bytes);
+    const SimResult result = simulateLayout(
+        bundle.program(), layout, bundle.testStream(), eval.cache,
+        opts.getBool("attribute", false));
+
+    std::cout << "benchmark:  " << bundle.name() << "\n";
+    std::cout << "cache:      " << eval.cache.describe() << "\n";
+    std::cout << "algorithm:  " << algo->name() << "\n";
+    std::cout << "accesses:   " << result.accesses << " line fetches\n";
+    std::cout << "misses:     " << result.misses << "\n";
+    std::cout << "miss rate:  " << result.missRate() * 100.0 << "%\n";
+    return 0;
+}
+
 int
 run(const Options &opts)
 {
+    if (!opts.getString("benchmark", "").empty())
+        return runBenchmark(opts);
     const std::string program_path = opts.getString("program", "");
     const std::string trace_path = opts.getString("trace", "");
     require(!program_path.empty() && !trace_path.empty(),
@@ -100,12 +159,18 @@ main(int argc, char **argv)
         std::cout <<
             "topo_sim: simulate a trace under a layout.\n"
             "  --program=FILE --trace=FILE [--layout=FILE]\n"
+            "  --benchmark=NAME [--algorithm=NAME] (full in-process\n"
+            "      pipeline on a paper-suite benchmark instead)\n"
             "  --cache-kb=N --line-bytes=N --assoc=N\n"
-            "  --attribute (per-procedure misses) --pages\n";
+            "  --attribute (per-procedure misses) --pages\n"
+            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
         return argc == 1 ? 2 : 0;
     }
     try {
-        return run(opts);
+        initObservability(opts);
+        const int rc = run(opts);
+        writeMetricsIfRequested(opts);
+        return rc;
     } catch (const TopoError &err) {
         std::cerr << "error: " << err.what() << "\n";
         return 1;

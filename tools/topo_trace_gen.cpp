@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "topo/obs/obs.hh"
 #include "topo/program/program_io.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/trace/trace_io.hh"
@@ -70,11 +71,15 @@ main(int argc, char **argv)
             "  --benchmark=NAME (gcc go ghostscript m88ksim perl "
             "vortex)\n"
             "  --input=train|test --trace-scale=F\n"
-            "  --out-program=FILE --out-trace=FILE --binary\n";
+            "  --out-program=FILE --out-trace=FILE --binary\n"
+            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
         return argc == 1 ? 2 : 0;
     }
     try {
-        return run(opts);
+        initObservability(opts);
+        const int rc = run(opts);
+        writeMetricsIfRequested(opts);
+        return rc;
     } catch (const TopoError &err) {
         std::cerr << "error: " << err.what() << "\n";
         return 1;
