@@ -1,6 +1,10 @@
 #!/bin/sh
 # Strict pre-merge gate: configure with warnings-as-errors, build
 # everything, run the test suite, and smoke-test the metrics output.
+# Then rebuild under ASan+UBSan and run a deterministic fault-injection
+# soak: every seeded fault plan must end in a clean exit code (0 on
+# survival or recovery, 1/2 on rejected input) — never a sanitizer
+# report, crash, or hang.
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -e
 
@@ -28,5 +32,126 @@ for key in '"topo_metrics": 1' '"phase.synthesis.ms"' \
     grep -q "$key" "$WORK/metrics.json" || {
         echo "FAIL: metrics snapshot missing $key"; exit 1; }
 done
+
+SAN="$BUILD-asan"
+echo "== configure ($SAN, ASan+UBSan) =="
+cmake -B "$SAN" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    > /dev/null
+
+echo "== build (sanitized) =="
+cmake --build "$SAN" -j
+
+echo "== test (sanitized) =="
+# exitcode=99 separates "sanitizer found a bug" from the tools' own
+# stable exit codes 0/1/2/3.
+export ASAN_OPTIONS="exitcode=99:abort_on_error=0"
+export UBSAN_OPTIONS="exitcode=99:halt_on_error=1"
+ctest --test-dir "$SAN" --output-on-failure -j
+
+echo "== fault-injection soak (sanitized) =="
+TOOLS="$SAN/tools"
+"$TOOLS/topo_trace_gen" --benchmark=m88ksim --input=train \
+    --trace-scale=0.02 --out-program="$WORK/m.prog" \
+    --out-trace="$WORK/m.btrace" --binary 2> /dev/null
+"$TOOLS/topo_trace_gen" --benchmark=m88ksim --input=train \
+    --trace-scale=0.02 --out-trace="$WORK/m.trace" 2> /dev/null
+
+# check_rc <description> <allowed-codes> <cmd...>: the command must
+# exit with one of the allowed codes — never a sanitizer failure (99),
+# a signal (>= 128), or an unexpected code.
+check_rc() {
+    desc="$1"; allowed="$2"; shift 2
+    set +e
+    "$@" > /dev/null 2>&1
+    rc=$?
+    set -e
+    [ "$rc" != "99" ] || { echo "FAIL ($desc): sanitizer report"; exit 1; }
+    [ "$rc" -lt 128 ] || { echo "FAIL ($desc): died with signal ($rc)"; exit 1; }
+    case " $allowed " in
+        *" $rc "*) ;;
+        *) echo "FAIL ($desc): exit $rc, want one of [$allowed]"; exit 1 ;;
+    esac
+}
+
+for seed in 1 2 3; do
+    for spec in "read_short@0.01:$seed" "bitflip@0.01:$seed" \
+        "throw_io@0.001:$seed" \
+        "read_short@0.02:$seed,bitflip@0.02:$seed,throw_io@0.002:$seed"; do
+        # Strict runs may survive (fault never fired) or reject the
+        # injected damage as corrupt input.
+        check_rc "sim strict $spec" "0 2" \
+            "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+            --trace="$WORK/m.btrace" --fault-spec="$spec"
+        check_rc "sim text strict $spec" "0 2" \
+            "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+            --trace="$WORK/m.trace" --fault-spec="$spec"
+        # Recover runs additionally salvage what they can; throw_io
+        # faults in the simulator itself still abort with code 2.
+        check_rc "sim recover $spec" "0 2" \
+            "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+            --trace="$WORK/m.btrace" --recover --fault-spec="$spec"
+        check_rc "place recover $spec" "0 2" \
+            "$TOOLS/topo_place" --program="$WORK/m.prog" \
+            --trace="$WORK/m.btrace" --recover \
+            --out-layout="$WORK/soak.layout" --fault-spec="$spec"
+        check_rc "benchmark $spec" "0 2" \
+            "$TOOLS/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+            --fault-spec="$spec"
+    done
+done
+
+# Exhaustive-ish damage soak: every truncation fraction and a spread
+# of deterministic bit flips must recover (0) or reject (2).
+for frac in 0.1 0.3 0.5 0.7 0.9 0.99; do
+    "$TOOLS/topo_corrupt" --in="$WORK/m.btrace" \
+        --out="$WORK/soak.btrace" --truncate-frac="$frac" 2> /dev/null
+    check_rc "truncate $frac strict" "2" \
+        "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+        --trace="$WORK/soak.btrace"
+    check_rc "truncate $frac recover" "0" \
+        "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+        --trace="$WORK/soak.btrace" --recover
+done
+for seed in 1 2 3 4 5; do
+    "$TOOLS/topo_corrupt" --in="$WORK/m.btrace" \
+        --out="$WORK/soak.btrace" --random-flips=4 --seed="$seed" \
+        2> /dev/null
+    check_rc "flips seed $seed strict" "0 2" \
+        "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+        --trace="$WORK/soak.btrace"
+    check_rc "flips seed $seed recover" "0 2" \
+        "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+        --trace="$WORK/soak.btrace" --recover
+done
+
+# Kill/resume soak: SIGKILL a checkpointing `topo_sim --benchmark`
+# run mid-stream, then resume from whatever checkpoint survived; the
+# final miss count must match an uninterrupted run.
+BENCH_ARGS="--benchmark=m88ksim --trace-scale=0.02"
+"$TOOLS/topo_sim" $BENCH_ARGS > "$WORK/whole.txt" 2> /dev/null
+whole=$(sed -n 's/^misses: *\([0-9]*\)/\1/p' "$WORK/whole.txt")
+set +e
+"$TOOLS/topo_sim" $BENCH_ARGS --checkpoint="$WORK/soak.ckpt" \
+    --checkpoint-every=2000 > /dev/null 2>&1 &
+pid=$!
+while [ ! -s "$WORK/soak.ckpt" ] && kill -0 "$pid" 2> /dev/null; do
+    :
+done
+kill -9 "$pid" 2> /dev/null
+wait "$pid" 2> /dev/null
+set -e
+if [ -s "$WORK/soak.ckpt" ]; then
+    "$TOOLS/topo_sim" $BENCH_ARGS --resume="$WORK/soak.ckpt" \
+        > "$WORK/resumed.txt" 2> /dev/null
+    resumed=$(sed -n 's/^misses: *\([0-9]*\)/\1/p' "$WORK/resumed.txt")
+    [ "$resumed" = "$whole" ] || {
+        echo "FAIL: kill/resume gave $resumed misses, want $whole"
+        exit 1; }
+else
+    echo "note: run finished before a checkpoint landed; resume skipped"
+fi
 
 echo "OK: all checks passed"

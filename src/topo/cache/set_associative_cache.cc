@@ -59,6 +59,16 @@ SetAssociativeCache::reset()
     tags_.assign(tags_.size(), kInvalidTag);
 }
 
+void
+SetAssociativeCache::restoreStateWords(
+    const std::vector<std::uint64_t> &words)
+{
+    requireData(words.size() == tags_.size(),
+                "SetAssociativeCache: checkpoint state size mismatch "
+                "(different cache geometry?)");
+    tags_ = words;
+}
+
 std::uint64_t
 SetAssociativeCache::validLineCount() const
 {

@@ -35,6 +35,18 @@ class SetAssociativeCache
     /** Invalidate all frames. */
     void reset();
 
+    /** Raw set-major tag words for checkpointing (opaque). */
+    const std::vector<std::uint64_t> &stateWords() const
+    {
+        return tags_;
+    }
+
+    /**
+     * Restore tag words captured by stateWords() on an identically
+     * configured cache; throws TopoError on a size mismatch.
+     */
+    void restoreStateWords(const std::vector<std::uint64_t> &words);
+
     /**
      * Frames currently holding a line. Misses minus this count equals
      * the number of evictions since construction/reset (each miss

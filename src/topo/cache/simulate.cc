@@ -5,6 +5,7 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/resilience/fault.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -16,16 +17,21 @@ namespace
 /** Emit a progress heartbeat every this many line fetches. */
 constexpr std::uint64_t kHeartbeatMask = (1ULL << 23) - 1; // ~8.4M
 
+/** Probe the throw_io fault stream every this many line fetches. */
+constexpr std::uint64_t kFaultMask = (1ULL << 12) - 1; // 4096
+
 /**
  * Shared replay loop; Cache is DirectMappedCache or
  * SetAssociativeCache, both exposing bool access(uint64). The
- * heartbeat variant is compiled separately so the default path pays
- * nothing for progress reporting.
+ * heartbeat and controlled (checkpoint/resume/fault) variants are
+ * compiled separately so the default path pays nothing for progress
+ * reporting or resilience hooks.
  */
-template <typename Cache, bool kHeartbeat>
+template <typename Cache, bool kHeartbeat, bool kControlled>
 SimResult
 replay(const Program &program, const Layout &layout,
-       const FetchStream &stream, Cache &cache, bool attribute)
+       const FetchStream &stream, Cache &cache, bool attribute,
+       const SimControl *control, std::uint64_t fingerprint)
 {
     // Precompute each procedure's base line so the hot loop is a single
     // add + cache probe per reference.
@@ -38,9 +44,49 @@ replay(const Program &program, const Layout &layout,
     SimResult result;
     if (attribute)
         result.misses_by_proc.assign(program.procCount(), 0);
-    result.accesses = stream.size();
-    std::uint64_t processed = 0;
-    for (const FetchRef &ref : stream.refs()) {
+
+    std::uint64_t start = 0;
+    if constexpr (kControlled) {
+        if (control != nullptr && control->resume != nullptr) {
+            const SimCheckpoint &ckpt = *control->resume;
+            require(ckpt.fingerprint == fingerprint,
+                    "resume: checkpoint was taken from a different "
+                    "run (inputs, layout, or cache geometry differ)");
+            require(ckpt.cursor <= stream.size(),
+                    "resume: checkpoint cursor beyond the stream");
+            cache.restoreStateWords(ckpt.cache_words);
+            result.misses = ckpt.misses;
+            if (attribute) {
+                requireData(ckpt.misses_by_proc.size() ==
+                                program.procCount(),
+                            "resume: checkpoint attribution does not "
+                            "match the program");
+                result.misses_by_proc = ckpt.misses_by_proc;
+            }
+            start = ckpt.cursor;
+            logInfo("simulate", "resumed from checkpoint",
+                    {{"cursor", start}, {"misses", result.misses}});
+        }
+    }
+
+    const std::vector<FetchRef> &refs = stream.refs();
+    std::uint64_t cursor = start;
+    const std::uint64_t total = refs.size();
+    auto write_ckpt = [&](std::uint64_t at) {
+        SimCheckpoint ckpt;
+        ckpt.fingerprint = fingerprint;
+        ckpt.cursor = at;
+        ckpt.misses = result.misses;
+        ckpt.cache_words = cache.stateWords();
+        ckpt.misses_by_proc = result.misses_by_proc;
+        saveCheckpoint(control->checkpoint_path, ckpt);
+        MetricsRegistry::global()
+            .counter("sim.checkpoints_written")
+            .add();
+    };
+    (void)write_ckpt; // only invoked in the controlled instantiation
+    for (; cursor < total; ++cursor) {
+        const FetchRef &ref = refs[cursor];
         const std::uint64_t line_addr = base_line[ref.proc] + ref.line;
         if (!cache.access(line_addr)) {
             ++result.misses;
@@ -48,15 +94,40 @@ replay(const Program &program, const Layout &layout,
                 ++result.misses_by_proc[ref.proc];
         }
         if constexpr (kHeartbeat) {
-            if ((++processed & kHeartbeatMask) == 0) {
+            if (((cursor + 1) & kHeartbeatMask) == 0) {
                 logDebug("simulate", "progress",
-                         {{"done", processed},
-                          {"total", result.accesses},
+                         {{"done", cursor + 1},
+                          {"total", total},
                           {"misses", result.misses}});
             }
         }
+        if constexpr (kControlled) {
+            if (((cursor + 1) & kFaultMask) == 0)
+                faultMaybeThrowIo("simulate");
+            if (control != nullptr) {
+                if (control->checkpoint_every != 0 &&
+                    !control->checkpoint_path.empty() &&
+                    (cursor + 1 - start) % control->checkpoint_every ==
+                        0 &&
+                    cursor + 1 != total) {
+                    write_ckpt(cursor + 1);
+                }
+                if (control->stop_after != 0 &&
+                    cursor + 1 >= control->stop_after) {
+                    ++cursor;
+                    result.completed = false;
+                    break;
+                }
+            }
+        }
     }
-    (void)processed;
+    if constexpr (kControlled) {
+        if (!result.completed && control != nullptr &&
+            !control->checkpoint_path.empty()) {
+            write_ckpt(cursor);
+        }
+    }
+    result.accesses = cursor;
     // Caches start empty and lines never invalidate, so each miss
     // either filled an empty frame or displaced a valid line.
     result.evictions = result.misses - cache.validLineCount();
@@ -66,35 +137,69 @@ replay(const Program &program, const Layout &layout,
 template <typename Cache>
 SimResult
 replayDispatch(const Program &program, const Layout &layout,
-               const FetchStream &stream, Cache &cache, bool attribute)
+               const FetchStream &stream, Cache &cache, bool attribute,
+               const SimControl *control, std::uint64_t fingerprint)
 {
-    if (logEnabled(LogLevel::kDebug)) {
-        return replay<Cache, true>(program, layout, stream, cache,
-                                   attribute);
+    const bool controlled =
+        control != nullptr || faultArmed(FaultKind::kThrowIo);
+    const bool heartbeat = logEnabled(LogLevel::kDebug);
+    if (controlled) {
+        if (heartbeat) {
+            return replay<Cache, true, true>(program, layout, stream,
+                                             cache, attribute, control,
+                                             fingerprint);
+        }
+        return replay<Cache, false, true>(program, layout, stream,
+                                          cache, attribute, control,
+                                          fingerprint);
     }
-    return replay<Cache, false>(program, layout, stream, cache,
-                                attribute);
+    if (heartbeat) {
+        return replay<Cache, true, false>(program, layout, stream,
+                                          cache, attribute, nullptr,
+                                          fingerprint);
+    }
+    return replay<Cache, false, false>(program, layout, stream, cache,
+                                       attribute, nullptr, fingerprint);
 }
 
 } // namespace
 
-SimResult
-simulateLayout(const Program &program, const Layout &layout,
+std::uint64_t
+simFingerprint(const Program &program, const Layout &layout,
                const FetchStream &stream, const CacheConfig &config,
                bool attribute)
 {
+    std::uint64_t fp = fingerprintMix(0, config.size_bytes);
+    fp = fingerprintMix(fp, config.line_bytes);
+    fp = fingerprintMix(fp, config.associativity);
+    fp = fingerprintMix(fp, stream.size());
+    fp = fingerprintMix(fp, stream.lineBytes());
+    fp = fingerprintMix(fp, attribute ? 1 : 0);
+    fp = fingerprintMix(fp, program.procCount());
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        fp = fingerprintMix(fp, layout.address(static_cast<ProcId>(i)));
+    return fp;
+}
+
+SimResult
+simulateLayout(const Program &program, const Layout &layout,
+               const FetchStream &stream, const CacheConfig &config,
+               bool attribute, const SimControl *control)
+{
     require(stream.lineBytes() == config.line_bytes,
             "simulateLayout: stream line size does not match cache config");
+    const std::uint64_t fingerprint =
+        simFingerprint(program, layout, stream, config, attribute);
     PhaseTimer timer("simulate");
     SimResult result;
     if (config.associativity == 1) {
         DirectMappedCache cache(config);
         result = replayDispatch(program, layout, stream, cache,
-                                attribute);
+                                attribute, control, fingerprint);
     } else {
         SetAssociativeCache cache(config);
         result = replayDispatch(program, layout, stream, cache,
-                                attribute);
+                                attribute, control, fingerprint);
     }
     timer.stop();
 
@@ -110,6 +215,7 @@ simulateLayout(const Program &program, const Layout &layout,
                   {"misses", result.misses},
                   {"evictions", result.evictions},
                   {"miss_rate", result.missRate()},
+                  {"completed", result.completed},
                   {"ms", timer.elapsedMs()}});
     }
     return result;

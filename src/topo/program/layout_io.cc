@@ -21,9 +21,9 @@ Layout
 readLayout(std::istream &is, const Program &program)
 {
     std::string line;
-    require(static_cast<bool>(std::getline(is, line)),
-            "readLayout: missing header");
-    require(trim(line) == "topo-layout v1",
+    requireData(static_cast<bool>(std::getline(is, line)),
+                "readLayout: missing header");
+    requireData(trim(line) == "topo-layout v1",
             "readLayout: bad header '" + line + "'");
     Layout layout(program.procCount());
     std::size_t line_no = 1;
@@ -36,20 +36,20 @@ readLayout(std::istream &is, const Program &program)
         std::string name;
         std::uint64_t address = 0;
         fields >> name >> address;
-        require(!fields.fail() && !name.empty(),
-                "readLayout: malformed entry at line " +
-                    std::to_string(line_no));
+        requireData(!fields.fail() && !name.empty(),
+                    "readLayout: malformed entry at line " +
+                        std::to_string(line_no));
         const ProcId id = program.findProc(name);
-        require(id != kInvalidProc, "readLayout: unknown procedure '" +
-                                        name + "' at line " +
-                                        std::to_string(line_no));
-        require(!layout.assigned(id),
-                "readLayout: duplicate procedure '" + name +
-                    "' at line " + std::to_string(line_no));
+        requireData(id != kInvalidProc,
+                    "readLayout: unknown procedure '" + name +
+                        "' at line " + std::to_string(line_no));
+        requireData(!layout.assigned(id),
+                    "readLayout: duplicate procedure '" + name +
+                        "' at line " + std::to_string(line_no));
         layout.setAddress(id, address);
     }
-    require(layout.complete(),
-            "readLayout: layout does not cover every procedure");
+    requireData(layout.complete(),
+                "readLayout: layout does not cover every procedure");
     return layout;
 }
 

@@ -23,9 +23,9 @@ Program
 readProgram(std::istream &is, const std::string &name)
 {
     std::string line;
-    require(static_cast<bool>(std::getline(is, line)),
-            "readProgram: missing header");
-    require(trim(line) == "topo-program v1",
+    requireData(static_cast<bool>(std::getline(is, line)),
+                "readProgram: missing header");
+    requireData(trim(line) == "topo-program v1",
             "readProgram: bad header '" + line + "'");
     Program program(name);
     std::size_t line_no = 1;
@@ -38,15 +38,15 @@ readProgram(std::istream &is, const std::string &name)
         std::string proc_name;
         std::uint64_t size = 0;
         fields >> proc_name >> size;
-        require(!fields.fail() && !proc_name.empty(),
-                "readProgram: malformed procedure at line " +
-                    std::to_string(line_no));
-        require(size > 0 && size <= ~std::uint32_t{0},
-                "readProgram: bad size at line " +
-                    std::to_string(line_no));
-        require(program.findProc(proc_name) == kInvalidProc,
-                "readProgram: duplicate procedure '" + proc_name +
-                    "' at line " + std::to_string(line_no));
+        requireData(!fields.fail() && !proc_name.empty(),
+                    "readProgram: malformed procedure at line " +
+                        std::to_string(line_no));
+        requireData(size > 0 && size <= ~std::uint32_t{0},
+                    "readProgram: bad size at line " +
+                        std::to_string(line_no));
+        requireData(program.findProc(proc_name) == kInvalidProc,
+                    "readProgram: duplicate procedure '" + proc_name +
+                        "' at line " + std::to_string(line_no));
         program.addProcedure(proc_name,
                              static_cast<std::uint32_t>(size));
     }

@@ -1,0 +1,162 @@
+#include "topo/resilience/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "topo/obs/log.hh"
+#include "topo/resilience/crc32.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'T', 'O', 'P', 'K'};
+constexpr std::uint64_t kVersion = 1;
+
+/** Frame-word ceiling: 1 GiB of tags, far above any simulated cache. */
+constexpr std::uint64_t kMaxWords = 1ULL << 27;
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t
+getU64(const std::string &in, std::size_t &pos, const std::string &path)
+{
+    requireData(pos + 8 <= in.size(), "truncated checkpoint", path);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(in[pos + i]))
+                 << (8 * i);
+    }
+    pos += 8;
+    return value;
+}
+
+void
+putWords(std::string &out, const std::vector<std::uint64_t> &words)
+{
+    putU64(out, words.size());
+    for (std::uint64_t w : words)
+        putU64(out, w);
+}
+
+std::vector<std::uint64_t>
+getWords(const std::string &in, std::size_t &pos, const std::string &path)
+{
+    const std::uint64_t count = getU64(in, pos, path);
+    requireData(count <= kMaxWords, "checkpoint word count implausible",
+                path);
+    requireData(pos + count * 8 <= in.size(), "truncated checkpoint",
+                path);
+    std::vector<std::uint64_t> words(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        words[i] = getU64(in, pos, path);
+    return words;
+}
+
+} // namespace
+
+void
+saveCheckpoint(const std::string &path, const SimCheckpoint &ckpt)
+{
+    std::string payload;
+    payload.reserve(48 + 8 * (ckpt.cache_words.size() +
+                              ckpt.misses_by_proc.size()));
+    putU64(payload, kVersion);
+    putU64(payload, ckpt.fingerprint);
+    putU64(payload, ckpt.cursor);
+    putU64(payload, ckpt.misses);
+    putWords(payload, ckpt.cache_words);
+    putWords(payload, ckpt.misses_by_proc);
+
+    std::string file;
+    file.reserve(payload.size() + 16);
+    file.append(kMagic, sizeof(kMagic));
+    putU32(file, crc32(payload));
+    putU64(file, payload.size());
+    file += payload;
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        require(os.good(),
+                "saveCheckpoint: cannot open '" + tmp + "'");
+        os.write(file.data(),
+                 static_cast<std::streamsize>(file.size()));
+        os.flush();
+        require(os.good(),
+                "saveCheckpoint: write failed for '" + tmp + "'");
+    }
+    require(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "saveCheckpoint: cannot rename '" + tmp + "' to '" + path +
+                "'");
+    logDebug("checkpoint", "saved",
+             {{"file", path}, {"cursor", ckpt.cursor},
+              {"misses", ckpt.misses}});
+}
+
+SimCheckpoint
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "loadCheckpoint: cannot open '" + path + "'");
+    std::string file((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    requireData(file.size() >= 16, "checkpoint too short", path);
+    requireData(file.compare(0, 4, kMagic, 4) == 0,
+                "bad checkpoint magic", path);
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+        crc |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(file[4 + i]))
+               << (8 * i);
+    }
+    std::size_t pos = 8;
+    const std::uint64_t payload_size = getU64(file, pos, path);
+    requireData(payload_size == file.size() - 16,
+                "checkpoint size mismatch", path);
+    const std::string payload = file.substr(16);
+    requireData(crc32(payload) == crc, "checkpoint CRC mismatch", path);
+
+    pos = 0;
+    SimCheckpoint ckpt;
+    const std::uint64_t version = getU64(payload, pos, path);
+    requireData(version == kVersion,
+                "unsupported checkpoint version " +
+                    std::to_string(version),
+                path);
+    ckpt.fingerprint = getU64(payload, pos, path);
+    ckpt.cursor = getU64(payload, pos, path);
+    ckpt.misses = getU64(payload, pos, path);
+    ckpt.cache_words = getWords(payload, pos, path);
+    ckpt.misses_by_proc = getWords(payload, pos, path);
+    requireData(pos == payload.size(),
+                "trailing bytes in checkpoint", path);
+    return ckpt;
+}
+
+std::uint64_t
+fingerprintMix(std::uint64_t acc, std::uint64_t value)
+{
+    std::uint64_t z = acc + value + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace topo

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic fault injection for the trace/simulation pipeline.
+ *
+ * A FaultPlan arms one or more fault kinds, each with an independent
+ * seeded Bernoulli stream, parsed from the --fault-spec grammar:
+ *
+ *   SPEC  := ARM ("," ARM)*
+ *   ARM   := KIND "@" PROB [":" SEED]
+ *   KIND  := "read_short" | "bitflip" | "throw_io"
+ *
+ * e.g. --fault-spec=read_short@0.001,bitflip@1e-5:42
+ *
+ * Injection points are threaded through trace_io, trace_binary,
+ * fetch_stream, and the simulator replay loop via the faultMaybe*
+ * helpers below. With no plan installed every helper is a single
+ * branch on a global pointer, so production paths pay nothing.
+ *
+ * Determinism: each kind draws from its own Rng stream seeded from
+ * the spec, so the fire/no-fire sequence of a kind depends only on
+ * its seed and how many times that kind's sites were visited — never
+ * on wall clock, other kinds, or unrelated code.
+ *
+ * What each kind models at a site:
+ *   read_short  a partial read: the reader sees fewer bytes than the
+ *               file holds (truncation mid-stream).
+ *   bitflip     silent media corruption: one random bit of a just-read
+ *               buffer is inverted.
+ *   throw_io    a hard I/O failure: the site throws a corrupt-input
+ *               TopoError naming the site.
+ */
+
+#ifndef TOPO_RESILIENCE_FAULT_HH
+#define TOPO_RESILIENCE_FAULT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "topo/util/rng.hh"
+
+namespace topo
+{
+
+/** Injectable fault kinds. */
+enum class FaultKind : int
+{
+    kReadShort = 0,
+    kBitflip,
+    kThrowIo,
+};
+
+/** Number of fault kinds (array sizing). */
+constexpr std::size_t kFaultKindCount = 3;
+
+/** Spec-grammar name of a kind ("read_short", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** A set of armed fault kinds with per-kind probability and stream. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse a --fault-spec string; throws a user-error TopoError on an
+     * unknown kind, a probability outside [0, 1], or a malformed arm.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Arm one kind programmatically (used by tests). */
+    void arm(FaultKind kind, double probability, std::uint64_t seed);
+
+    /** True when @p kind was armed. */
+    bool armed(FaultKind kind) const;
+
+    /** True when any kind is armed. */
+    bool any() const;
+
+    /**
+     * Deterministic Bernoulli draw on @p kind's stream; false (and no
+     * stream advance) when the kind is not armed.
+     */
+    bool fire(FaultKind kind);
+
+    /** Raw 64-bit draw on @p kind's stream (bit positions etc.). */
+    std::uint64_t draw(FaultKind kind);
+
+    /** Canonical spec string of the armed kinds (logging). */
+    std::string describe() const;
+
+  private:
+    struct Arm
+    {
+        bool armed = false;
+        double probability = 0.0;
+        Rng rng;
+    };
+
+    std::array<Arm, kFaultKindCount> arms_;
+};
+
+/**
+ * Install @p plan as the process-wide plan consulted by the
+ * injection helpers. Replaces any previous plan.
+ */
+void installFaultPlan(const FaultPlan &plan);
+
+/** Remove the process-wide plan (tests; also end of soak runs). */
+void clearFaultPlan();
+
+/** The installed plan, or nullptr when fault injection is off. */
+FaultPlan *activeFaultPlan();
+
+/** True when a plan is installed and arms @p kind. */
+inline bool
+faultArmed(FaultKind kind)
+{
+    FaultPlan *plan = activeFaultPlan();
+    return plan != nullptr && plan->armed(kind);
+}
+
+/**
+ * throw_io injection point: throws a corrupt-input TopoError naming
+ * @p site when the throw_io stream fires. Counted under the
+ * "fault.injected.throw_io" metric.
+ */
+void faultMaybeThrowIo(const char *site);
+
+/**
+ * read_short injection point: returns a byte count in [0, n) when the
+ * read_short stream fires, @p n otherwise. Callers treat the reduced
+ * count exactly as a short read from the OS.
+ */
+std::size_t faultMaybeShortenRead(const char *site, std::size_t n);
+
+/**
+ * bitflip injection point: inverts one random bit of @p data (length
+ * @p n > 0) when the bitflip stream fires.
+ */
+void faultMaybeCorrupt(const char *site, char *data, std::size_t n);
+
+} // namespace topo
+
+#endif // TOPO_RESILIENCE_FAULT_HH

@@ -1,0 +1,52 @@
+#include "topo/resilience/resilience.hh"
+
+#include <exception>
+#include <iostream>
+
+#include "topo/obs/obs.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+void
+initResilience(const Options &opts)
+{
+    const std::string spec = opts.getString("fault-spec", "");
+    if (spec.empty())
+        return;
+    const FaultPlan plan = FaultPlan::parse(spec);
+    installFaultPlan(plan);
+    logInfo("fault", "fault plan installed",
+            {{"plan", plan.describe()}});
+}
+
+int
+toolMain(int argc, const char *const *argv, const ToolSpec &spec)
+{
+    try {
+        const Options opts = Options::parse(argc, argv);
+        if (opts.helpRequested() || argc == 1) {
+            std::cout << spec.usage;
+            return argc == 1 ? exitCodeFor(ErrCode::kUser) : 0;
+        }
+        std::vector<std::string> known = spec.options;
+        known.insert(known.end(), {"log-level", "log-file",
+                                   "metrics-out", "fault-spec"});
+        opts.rejectUnknown(known);
+        initObservability(opts);
+        initResilience(opts);
+        const int rc = spec.run(opts);
+        writeMetricsIfRequested(opts);
+        return rc;
+    } catch (const TopoError &err) {
+        std::cerr << spec.name << ": error: " << err.what() << "\n";
+        return err.exitCode();
+    } catch (const std::exception &err) {
+        std::cerr << spec.name << ": internal error: " << err.what()
+                  << "\n";
+        return exitCodeFor(ErrCode::kInternal);
+    }
+}
+
+} // namespace topo

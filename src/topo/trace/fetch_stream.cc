@@ -1,5 +1,6 @@
 #include "topo/trace/fetch_stream.hh"
 
+#include "topo/resilience/fault.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -10,15 +11,23 @@ FetchStream::FetchStream(const Program &program, const Trace &trace,
     : line_bytes_(line_bytes)
 {
     require(line_bytes > 0, "FetchStream: zero line size");
+    // Fault hook armed once outside the loop so the common case stays
+    // a pure expansion; the periodic check keeps the injected-error
+    // path (mid-expansion failure) exercisable without a per-event
+    // cost when armed.
+    const bool faulty = faultArmed(FaultKind::kThrowIo);
     // Estimate: most runs span a couple of lines.
     refs_.reserve(trace.size() * 2);
+    std::size_t processed = 0;
     for (const TraceEvent &ev : trace.events()) {
-        require(ev.proc < program.procCount(),
-                "FetchStream: invalid procedure id in trace");
+        if (faulty && (++processed & 0xFF) == 0)
+            faultMaybeThrowIo("fetch_stream");
+        requireData(ev.proc < program.procCount(),
+                    "FetchStream: invalid procedure id in trace");
         const std::uint64_t end =
             static_cast<std::uint64_t>(ev.offset) + ev.length;
-        require(end <= program.proc(ev.proc).size_bytes,
-                "FetchStream: run exceeds procedure bounds");
+        requireData(end <= program.proc(ev.proc).size_bytes,
+                    "FetchStream: run exceeds procedure bounds");
         const std::uint32_t first = ev.offset / line_bytes;
         const std::uint32_t last =
             static_cast<std::uint32_t>((end - 1) / line_bytes);

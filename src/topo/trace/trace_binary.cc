@@ -5,6 +5,10 @@
 #include <istream>
 #include <ostream>
 
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/resilience/crc32.hh"
+#include "topo/resilience/fault.hh"
 #include "topo/trace/trace_io.hh"
 #include "topo/util/error.hh"
 
@@ -15,7 +19,30 @@ namespace
 {
 
 constexpr char kMagic[4] = {'T', 'O', 'P', 'B'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
+
+/**
+ * Validation ceilings for size fields read from untrusted input. A
+ * header field is never trusted for an allocation before it clears
+ * these bounds (a 12-byte file must not make us reserve 2^60 slots).
+ */
+constexpr std::uint64_t kMaxProcCount = 1ULL << 31;
+constexpr std::uint64_t kMaxChunkRecords = 1ULL << 22;
+/** Worst-case encoded record: 10+5+5 varint bytes, rounded up. */
+constexpr std::uint64_t kMaxRecordBytes = 30;
+/** Cap speculative reserve() for v1 headers (append still grows). */
+constexpr std::uint64_t kReserveCap = 1ULL << 20;
+
+void
+putVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>(0x80 | (value & 0x7f)));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
 
 void
 putVarint(std::ostream &os, std::uint64_t value)
@@ -28,15 +55,34 @@ putVarint(std::ostream &os, std::uint64_t value)
 }
 
 std::uint64_t
-getVarint(std::istream &is)
+getVarint(std::istream &is, const char *what)
 {
     std::uint64_t value = 0;
     int shift = 0;
     for (;;) {
         const int byte = is.get();
-        require(byte != std::char_traits<char>::eof(),
-                "readBinaryTrace: truncated varint");
-        require(shift < 64, "readBinaryTrace: varint overflow");
+        requireData(byte != std::char_traits<char>::eof(),
+                    std::string("truncated varint in ") + what);
+        requireData(shift < 64,
+                    std::string("varint overflow in ") + what);
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+    }
+}
+
+std::uint64_t
+getVarintBuf(const std::string &buf, std::size_t &pos, const char *what)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+        requireData(pos < buf.size(),
+                    std::string("truncated varint in ") + what);
+        requireData(shift < 64,
+                    std::string("varint overflow in ") + what);
+        const int byte = static_cast<unsigned char>(buf[pos++]);
         value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
         if (!(byte & 0x80))
             return value;
@@ -58,88 +104,316 @@ unzigzag(std::uint64_t value)
            -static_cast<std::int64_t>(value & 1);
 }
 
+/** Decode one run; shared by the v1 stream and v2 payload decoders. */
+TraceEvent
+decodeRecord(std::uint64_t zz_delta, std::uint64_t offset,
+             std::uint64_t length, std::int64_t &prev_proc,
+             std::uint64_t proc_count)
+{
+    const std::int64_t proc = prev_proc + unzigzag(zz_delta);
+    requireData(proc >= 0 &&
+                    proc < static_cast<std::int64_t>(proc_count),
+                "readBinaryTrace: procedure id out of range");
+    requireData(offset <= ~std::uint32_t{0} &&
+                    length <= ~std::uint32_t{0},
+                "readBinaryTrace: field overflow");
+    prev_proc = proc;
+    return TraceEvent{static_cast<ProcId>(proc),
+                      static_cast<std::uint32_t>(offset),
+                      static_cast<std::uint32_t>(length)};
+}
+
+/** v1 body: a single undelimited run stream (salvageable per record). */
+Trace
+readBodyV1(std::istream &is, std::uint64_t proc_count,
+           std::uint64_t run_count, const TraceReadOptions &ropts)
+{
+    Trace trace(proc_count);
+    trace.reserve(static_cast<std::size_t>(
+        std::min(run_count, kReserveCap)));
+    std::int64_t prev_proc = 0;
+    std::uint64_t got = 0;
+    try {
+        for (; got < run_count; ++got) {
+            const std::uint64_t zz =
+                getVarint(is, "v1 record");
+            const std::uint64_t offset = getVarint(is, "v1 record");
+            const std::uint64_t length = getVarint(is, "v1 record");
+            const TraceEvent ev = decodeRecord(
+                zz, offset, length, prev_proc, proc_count);
+            trace.append(ev.proc, ev.offset, ev.length);
+        }
+    } catch (const TopoError &) {
+        if (!ropts.recover)
+            throw;
+    }
+    if (got < run_count) {
+        if (!ropts.recover) {
+            failCorrupt("readBinaryTrace: trace promises " +
+                        std::to_string(run_count) + " records, found " +
+                        std::to_string(got));
+        }
+        MetricsRegistry &metrics = MetricsRegistry::global();
+        metrics.counter("trace.dropped_records").add(run_count - got);
+        logWarn("trace", "salvaged v1 binary trace",
+                {{"records_recovered", got},
+                 {"records_dropped", run_count - got}});
+        if (ropts.report != nullptr) {
+            ropts.report->recovered = true;
+            ropts.report->records_recovered = got;
+            ropts.report->records_dropped = run_count - got;
+        }
+    } else if (ropts.report != nullptr) {
+        ropts.report->records_recovered = got;
+    }
+    return trace;
+}
+
+/**
+ * Read and decode one v2 chunk into @p out. Throws a corrupt-input
+ * TopoError on truncation, implausible size fields, CRC mismatch, or
+ * malformed payload. Returns false on clean end-of-file before the
+ * chunk header.
+ */
+bool
+readChunkV2(std::istream &is, std::uint64_t proc_count,
+            std::vector<TraceEvent> &out)
+{
+    if (is.peek() == std::char_traits<char>::eof())
+        return false;
+    faultMaybeThrowIo("trace_binary.chunk");
+    const std::uint64_t record_count =
+        getVarint(is, "v2 chunk header");
+    requireData(record_count > 0 && record_count <= kMaxChunkRecords,
+                "readBinaryTrace: implausible chunk record count " +
+                    std::to_string(record_count));
+    const std::uint64_t payload_bytes =
+        getVarint(is, "v2 chunk header");
+    requireData(payload_bytes <= record_count * kMaxRecordBytes,
+                "readBinaryTrace: implausible chunk payload size " +
+                    std::to_string(payload_bytes));
+    char crc_bytes[4] = {};
+    is.read(crc_bytes, sizeof(crc_bytes));
+    requireData(is.gcount() == 4,
+                "readBinaryTrace: truncated chunk checksum");
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+        crc |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(crc_bytes[i]))
+               << (8 * i);
+    }
+
+    std::string payload(static_cast<std::size_t>(payload_bytes), '\0');
+    is.read(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+    std::size_t got_bytes = static_cast<std::size_t>(is.gcount());
+    got_bytes = faultMaybeShortenRead("trace_binary.payload",
+                                      got_bytes);
+    requireData(got_bytes == payload.size(),
+                "readBinaryTrace: truncated chunk payload");
+    faultMaybeCorrupt("trace_binary.payload", payload.data(),
+                      payload.size());
+    requireData(crc32(payload) == crc,
+                "readBinaryTrace: chunk CRC mismatch");
+
+    out.clear();
+    out.reserve(static_cast<std::size_t>(record_count));
+    std::size_t pos = 0;
+    std::int64_t prev_proc = 0;
+    for (std::uint64_t i = 0; i < record_count; ++i) {
+        const std::uint64_t zz = getVarintBuf(payload, pos, "v2 record");
+        const std::uint64_t offset =
+            getVarintBuf(payload, pos, "v2 record");
+        const std::uint64_t length =
+            getVarintBuf(payload, pos, "v2 record");
+        out.push_back(decodeRecord(zz, offset, length, prev_proc,
+                                   proc_count));
+    }
+    requireData(pos == payload.size(),
+                "readBinaryTrace: trailing bytes in chunk payload");
+    return true;
+}
+
+/** v2 body: CRC-guarded chunks (salvageable per chunk). */
+Trace
+readBodyV2(std::istream &is, std::uint64_t proc_count,
+           std::uint64_t run_count, const TraceReadOptions &ropts)
+{
+    Trace trace(proc_count);
+    trace.reserve(static_cast<std::size_t>(
+        std::min(run_count, kReserveCap)));
+    std::uint64_t chunks = 0;
+    std::uint64_t got = 0;
+    bool bad_chunk = false;
+    std::vector<TraceEvent> chunk;
+    for (;;) {
+        try {
+            if (!readChunkV2(is, proc_count, chunk))
+                break;
+        } catch (const TopoError &) {
+            if (!ropts.recover)
+                throw;
+            bad_chunk = true;
+            break;
+        }
+        for (const TraceEvent &ev : chunk)
+            trace.append(ev.proc, ev.offset, ev.length);
+        got += chunk.size();
+        ++chunks;
+    }
+    if (got != run_count || bad_chunk) {
+        if (!ropts.recover) {
+            failCorrupt("readBinaryTrace: trace promises " +
+                        std::to_string(run_count) + " records, found " +
+                        std::to_string(got));
+        }
+        const std::uint64_t dropped =
+            run_count > got ? run_count - got : 0;
+        MetricsRegistry &metrics = MetricsRegistry::global();
+        metrics.counter("trace.recovered_chunks").add(chunks);
+        metrics.counter("trace.dropped_records").add(dropped);
+        logWarn("trace", "salvaged corrupt/truncated trace",
+                {{"chunks_recovered", chunks},
+                 {"records_recovered", got},
+                 {"records_dropped", dropped}});
+        if (ropts.report != nullptr) {
+            ropts.report->recovered = true;
+            ropts.report->chunks_recovered = chunks;
+            ropts.report->records_recovered = got;
+            ropts.report->records_dropped = dropped;
+        }
+    } else if (ropts.report != nullptr) {
+        ropts.report->chunks_recovered = chunks;
+        ropts.report->records_recovered = got;
+    }
+    return trace;
+}
+
 } // namespace
 
 void
-writeBinaryTrace(std::ostream &os, const Trace &trace)
+writeBinaryTrace(std::ostream &os, const Trace &trace,
+                 const TraceWriteOptions &wopts)
 {
+    const std::size_t per_chunk =
+        std::max<std::size_t>(1, wopts.records_per_chunk);
     os.write(kMagic, sizeof(kMagic));
-    putVarint(os, kVersion);
+    putVarint(os, kVersionV2);
     putVarint(os, trace.procCount());
     putVarint(os, trace.size());
-    std::int64_t prev_proc = 0;
-    for (const TraceEvent &ev : trace.events()) {
-        putVarint(os, zigzag(static_cast<std::int64_t>(ev.proc) -
+    const std::vector<TraceEvent> &events = trace.events();
+    std::string payload;
+    for (std::size_t begin = 0; begin < events.size();
+         begin += per_chunk) {
+        const std::size_t end =
+            std::min(events.size(), begin + per_chunk);
+        payload.clear();
+        std::int64_t prev_proc = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            const TraceEvent &ev = events[i];
+            putVarint(payload,
+                      zigzag(static_cast<std::int64_t>(ev.proc) -
                              prev_proc));
-        putVarint(os, ev.offset);
-        putVarint(os, ev.length);
-        prev_proc = static_cast<std::int64_t>(ev.proc);
+            putVarint(payload, ev.offset);
+            putVarint(payload, ev.length);
+            prev_proc = static_cast<std::int64_t>(ev.proc);
+        }
+        putVarint(os, end - begin);
+        putVarint(os, payload.size());
+        const std::uint32_t crc = crc32(payload);
+        for (int i = 0; i < 4; ++i)
+            os.put(static_cast<char>((crc >> (8 * i)) & 0xFF));
+        os.write(payload.data(),
+                 static_cast<std::streamsize>(payload.size()));
     }
     require(os.good(), "writeBinaryTrace: stream failure");
 }
 
 Trace
-readBinaryTrace(std::istream &is)
+readBinaryTrace(std::istream &is, const TraceReadOptions &ropts)
 {
+    faultMaybeThrowIo("trace_binary.header");
     char magic[4] = {};
     is.read(magic, sizeof(magic));
-    require(is.good() && std::equal(magic, magic + 4, kMagic),
-            "readBinaryTrace: bad magic");
-    const std::uint64_t version = getVarint(is);
-    require(version == kVersion, "readBinaryTrace: unsupported version");
-    const std::uint64_t proc_count = getVarint(is);
-    const std::uint64_t run_count = getVarint(is);
-    Trace trace(proc_count);
-    trace.reserve(run_count);
-    std::int64_t prev_proc = 0;
-    for (std::uint64_t i = 0; i < run_count; ++i) {
-        const std::int64_t proc = prev_proc + unzigzag(getVarint(is));
-        require(proc >= 0 &&
-                    proc < static_cast<std::int64_t>(proc_count),
-                "readBinaryTrace: procedure id out of range");
-        const std::uint64_t offset = getVarint(is);
-        const std::uint64_t length = getVarint(is);
-        require(offset <= ~std::uint32_t{0} &&
-                    length <= ~std::uint32_t{0},
-                "readBinaryTrace: field overflow");
-        trace.append(static_cast<ProcId>(proc),
-                     static_cast<std::uint32_t>(offset),
-                     static_cast<std::uint32_t>(length));
-        prev_proc = proc;
-    }
-    return trace;
+    requireData(is.gcount() == 4 &&
+                    std::equal(magic, magic + 4, kMagic),
+                "readBinaryTrace: bad magic");
+    const std::uint64_t version = getVarint(is, "header");
+    requireData(version == kVersionV1 || version == kVersionV2,
+                "readBinaryTrace: unsupported version " +
+                    std::to_string(version));
+    const std::uint64_t proc_count = getVarint(is, "header");
+    requireData(proc_count <= kMaxProcCount,
+                "readBinaryTrace: implausible procedure count " +
+                    std::to_string(proc_count));
+    const std::uint64_t run_count = getVarint(is, "header");
+    if (version == kVersionV1)
+        return readBodyV1(is, proc_count, run_count, ropts);
+    return readBodyV2(is, proc_count, run_count, ropts);
 }
 
 void
-saveBinaryTrace(const std::string &path, const Trace &trace)
+saveBinaryTrace(const std::string &path, const Trace &trace,
+                const TraceWriteOptions &wopts)
 {
     std::ofstream os(path, std::ios::binary);
     require(os.good(), "saveBinaryTrace: cannot open '" + path + "'");
-    writeBinaryTrace(os, trace);
+    writeBinaryTrace(os, trace, wopts);
     require(os.good(), "saveBinaryTrace: write failed for '" + path +
                            "'");
 }
 
 Trace
-loadBinaryTrace(const std::string &path)
+loadBinaryTrace(const std::string &path, const TraceReadOptions &ropts)
 {
     std::ifstream is(path, std::ios::binary);
     require(is.good(), "loadBinaryTrace: cannot open '" + path + "'");
-    return readBinaryTrace(is);
+    return readBinaryTrace(is, ropts);
 }
 
 Trace
-loadAnyTrace(const std::string &path)
+loadAnyTrace(const std::string &path, const TraceReadOptions &ropts)
 {
     std::ifstream is(path, std::ios::binary);
     require(is.good(), "loadAnyTrace: cannot open '" + path + "'");
     char head[4] = {};
     is.read(head, sizeof(head));
-    require(is.gcount() == 4, "loadAnyTrace: file too short");
+    requireData(is.gcount() == 4, "loadAnyTrace: file too short",
+                path);
     is.seekg(0);
     if (std::equal(head, head + 4, kMagic))
-        return readBinaryTrace(is);
-    return readTrace(is);
+        return readBinaryTrace(is, ropts);
+    return readTrace(is, ropts);
+}
+
+std::vector<ChunkExtent>
+scanBinaryTraceChunks(const std::string &bytes)
+{
+    std::size_t pos = 0;
+    requireData(bytes.size() >= 4 &&
+                    std::equal(kMagic, kMagic + 4, bytes.begin()),
+                "scanBinaryTraceChunks: bad magic");
+    pos = 4;
+    const std::uint64_t version =
+        getVarintBuf(bytes, pos, "header");
+    requireData(version == kVersionV2,
+                "scanBinaryTraceChunks: not a v2 trace");
+    getVarintBuf(bytes, pos, "header"); // proc_count
+    getVarintBuf(bytes, pos, "header"); // run_count
+    std::vector<ChunkExtent> extents;
+    while (pos < bytes.size()) {
+        ChunkExtent extent;
+        extent.begin = pos;
+        extent.records = getVarintBuf(bytes, pos, "chunk header");
+        const std::uint64_t payload_bytes =
+            getVarintBuf(bytes, pos, "chunk header");
+        requireData(pos + 4 + payload_bytes <= bytes.size(),
+                    "scanBinaryTraceChunks: truncated chunk");
+        pos += 4 + static_cast<std::size_t>(payload_bytes);
+        extent.end = pos;
+        extents.push_back(extent);
+    }
+    return extents;
 }
 
 } // namespace topo

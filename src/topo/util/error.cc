@@ -9,4 +9,16 @@ fail(const std::string &msg)
     throw TopoError(msg);
 }
 
+void
+failCorrupt(const std::string &msg, const std::string &context)
+{
+    throw TopoError(msg, ErrCode::kCorrupt, context);
+}
+
+void
+failInternal(const std::string &msg, const std::string &context)
+{
+    throw TopoError(msg, ErrCode::kInternal, context);
+}
+
 } // namespace topo

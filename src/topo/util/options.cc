@@ -106,4 +106,33 @@ Options::set(const std::string &name, const std::string &value)
     values_[name] = value;
 }
 
+void
+Options::rejectUnknown(const std::vector<std::string> &known) const
+{
+    for (const auto &[name, value] : values_) {
+        bool found = false;
+        for (const std::string &k : known) {
+            if (name == k) {
+                found = true;
+                break;
+            }
+        }
+        if (found)
+            continue;
+        std::string hint;
+        std::size_t best = 4; // suggest only within edit distance 3
+        for (const std::string &k : known) {
+            const std::size_t d = editDistance(name, k);
+            if (d < best) {
+                best = d;
+                hint = k;
+            }
+        }
+        std::string msg = "unknown option '--" + name + "'";
+        if (!hint.empty())
+            msg += " (did you mean '--" + hint + "'?)";
+        fail(msg);
+    }
+}
+
 } // namespace topo

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace topo
 {
@@ -52,6 +53,16 @@ class Options
 
     /** Inject a value programmatically (used by tests). */
     void set(const std::string &name, const std::string &value);
+
+    /**
+     * Reject command-line options outside @p known (environment
+     * fallbacks are exempt). Throws a user-error TopoError naming the
+     * first unknown option, with a "did you mean --x" hint when a
+     * known name is within edit distance 3. Tools call this right
+     * after parse() so typos fail with exit code 1 instead of being
+     * silently ignored.
+     */
+    void rejectUnknown(const std::vector<std::string> &known) const;
 
   private:
     /** Fetch raw value from CLI map or environment; empty if absent. */

@@ -1,5 +1,6 @@
 #include "topo/util/string_utils.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -72,6 +73,26 @@ parseDouble(const std::string &text, const std::string &what)
     require(endp && *endp == '\0' && endp != s.c_str(),
             what + ": malformed number '" + text + "'");
     return value;
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Single-row dynamic program; strings here are short option names.
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
 }
 
 } // namespace topo

@@ -28,6 +28,12 @@ std::int64_t parseInt(const std::string &text, const std::string &what);
 /** Parse a double; throws TopoError naming @p what on failure. */
 double parseDouble(const std::string &text, const std::string &what);
 
+/**
+ * Levenshtein edit distance between two strings. Used for the
+ * "did you mean" hints on unknown command-line options.
+ */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
 } // namespace topo
 
 #endif // TOPO_UTIL_STRING_UTILS_HH

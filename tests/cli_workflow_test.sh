@@ -105,4 +105,99 @@ grep -q '"gbsc.merge_steps"' "$WORK/place_metrics.json" || {
 grep -q "merge pass" "$WORK/place2.log" || {
     echo "FAIL: --log-level=debug shows no per-pass lines"; exit 1; }
 
-echo "PASS: cli workflow (default $def_mr% -> gbsc $gbsc_mr%)"
+# --- Resilience workflow -------------------------------------------
+
+# Unknown options are a user error (exit 1) with a spelling hint.
+set +e
+"$TOOLS_DIR/topo_sim" --progam="$WORK/m.prog" 2> "$WORK/unknown.log"
+rc=$?
+set -e
+[ "$rc" = "1" ] || {
+    echo "FAIL: unknown option exited $rc, want 1"; exit 1; }
+grep -q "did you mean '--program'" "$WORK/unknown.log" || {
+    echo "FAIL: unknown option gave no spelling hint"; exit 1; }
+
+# A binary trace damaged by topo_corrupt is corrupt input: exit 2.
+"$TOOLS_DIR/topo_trace_gen" --benchmark=m88ksim --input=train \
+    --trace-scale=0.02 --out-trace="$WORK/m.btrace" --binary \
+    2> /dev/null
+"$TOOLS_DIR/topo_corrupt" --in="$WORK/m.btrace" \
+    --out="$WORK/bad.btrace" --truncate-frac=0.5 2> /dev/null
+set +e
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/bad.btrace" > /dev/null 2> "$WORK/corrupt.log"
+rc=$?
+set -e
+[ "$rc" = "2" ] || {
+    echo "FAIL: corrupt trace exited $rc, want 2"; exit 1; }
+
+# --recover salvages the valid prefix and reports the loss in metrics.
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/bad.btrace" --recover \
+    --metrics-out="$WORK/recover_metrics.json" > "$WORK/recover.txt" \
+    2> /dev/null
+grep -q "miss rate:" "$WORK/recover.txt" || {
+    echo "FAIL: --recover run printed no miss rate"; exit 1; }
+grep -q '"trace.dropped_records"' "$WORK/recover_metrics.json" || {
+    echo "FAIL: --recover reported no dropped records"; exit 1; }
+
+# Deterministic bit corruption is caught by the chunk CRC.
+"$TOOLS_DIR/topo_corrupt" --in="$WORK/m.btrace" \
+    --out="$WORK/flip.btrace" --random-flips=3 --seed=9 2> /dev/null
+set +e
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/flip.btrace" > /dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" = "2" ] || {
+    echo "FAIL: bit-flipped trace exited $rc, want 2"; exit 1; }
+
+# Checkpoint/resume: an interrupted run resumed from its checkpoint
+# must report exactly the miss count of the uninterrupted run.
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.btrace" > "$WORK/whole.txt" 2> /dev/null
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.btrace" --checkpoint="$WORK/sim.ckpt" \
+    --checkpoint-every=1000 --stop-after=12345 > "$WORK/part.txt" \
+    2> /dev/null
+grep -q "interrupted at 12345" "$WORK/part.txt" || {
+    echo "FAIL: interrupted run printed no resume hint"; exit 1; }
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.btrace" --resume="$WORK/sim.ckpt" \
+    > "$WORK/resumed.txt" 2> /dev/null
+whole_misses=$(sed -n 's/^misses: *\([0-9]*\)/\1/p' "$WORK/whole.txt")
+resumed_misses=$(sed -n 's/^misses: *\([0-9]*\)/\1/p' \
+    "$WORK/resumed.txt")
+[ -n "$whole_misses" ] && [ "$whole_misses" = "$resumed_misses" ] || {
+    echo "FAIL: resume gave $resumed_misses misses, want $whole_misses"
+    exit 1; }
+
+# The in-process --benchmark pipeline checkpoints and resumes the
+# same way: interrupted + resumed must equal uninterrupted.
+"$TOOLS_DIR/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    > "$WORK/bwhole.txt" 2> /dev/null
+"$TOOLS_DIR/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    --checkpoint="$WORK/bench.ckpt" --stop-after=7777 > /dev/null \
+    2> /dev/null
+"$TOOLS_DIR/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    --resume="$WORK/bench.ckpt" > "$WORK/bresumed.txt" 2> /dev/null
+bwhole=$(sed -n 's/^misses: *\([0-9]*\)/\1/p' "$WORK/bwhole.txt")
+bresumed=$(sed -n 's/^misses: *\([0-9]*\)/\1/p' "$WORK/bresumed.txt")
+[ -n "$bwhole" ] && [ "$bwhole" = "$bresumed" ] || {
+    echo "FAIL: benchmark resume gave $bresumed misses, want $bwhole"
+    exit 1; }
+
+# A corrupted checkpoint must be refused as corrupt input.
+"$TOOLS_DIR/topo_corrupt" --in="$WORK/sim.ckpt" \
+    --out="$WORK/bad.ckpt" --bitflip=20 --flip-bit=3 2> /dev/null
+set +e
+"$TOOLS_DIR/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.btrace" --resume="$WORK/bad.ckpt" \
+    > /dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" = "2" ] || {
+    echo "FAIL: corrupt checkpoint exited $rc, want 2"; exit 1; }
+
+echo "PASS: cli workflow (default $def_mr% -> gbsc $gbsc_mr%," \
+    "resume $resumed_misses misses)"

@@ -120,6 +120,33 @@ TEST(LayoutIo, RejectsBadInput)
     }
 }
 
+TEST(ProgramIo, MalformedInputCarriesTheCorruptCode)
+{
+    // Damaged interchange files must map to exit code 2, not a generic
+    // failure: the CLI layer relies on the code to tell "your file is
+    // broken" apart from "you passed the wrong flags".
+    std::stringstream ss("not-a-program\n");
+    try {
+        readProgram(ss);
+        FAIL() << "expected a TopoError";
+    } catch (const TopoError &err) {
+        EXPECT_EQ(err.code(), ErrCode::kCorrupt);
+        EXPECT_EQ(err.exitCode(), 2);
+    }
+}
+
+TEST(LayoutIo, MalformedInputCarriesTheCorruptCode)
+{
+    const Program p = sampleProgram();
+    std::stringstream ss("topo-layout v1\nmystery 0\n");
+    try {
+        readLayout(ss, p);
+        FAIL() << "expected a TopoError";
+    } catch (const TopoError &err) {
+        EXPECT_EQ(err.code(), ErrCode::kCorrupt);
+    }
+}
+
 TEST(LayoutIo, PreservesGaps)
 {
     const Program p = sampleProgram();

@@ -24,6 +24,7 @@
 #include "topo/profile/trg_builder.hh"
 #include "topo/profile/wcg_builder.hh"
 #include "topo/program/program_io.hh"
+#include "topo/resilience/resilience.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
 #include "topo/util/table.hh"
@@ -41,11 +42,13 @@ run(const Options &opts)
     require(!program_path.empty() && !trace_path.empty(),
             "topo_compare: --program and --trace are required");
     const Program program = loadProgram(program_path);
-    Trace train = loadAnyTrace(trace_path);
+    TraceReadOptions ropts;
+    ropts.recover = opts.getBool("recover", false);
+    Trace train = loadAnyTrace(trace_path, ropts);
     train.validate(program);
     const std::string test_path = opts.getString("test-trace", "");
     Trace test = test_path.empty() ? Trace(program.procCount())
-                                   : loadAnyTrace(test_path);
+                                   : loadAnyTrace(test_path, ropts);
     const bool has_test = !test_path.empty();
     if (has_test)
         test.validate(program);
@@ -123,24 +126,18 @@ run(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    using namespace topo;
-    const Options opts = Options::parse(argc, argv);
-    if (opts.helpRequested() || argc == 1) {
-        std::cout <<
-            "topo_compare: all placement algorithms side by side.\n"
-            "  --program=FILE --trace=FILE [--test-trace=FILE]\n"
-            "  [--refine] --cache-kb=N --line-bytes=N --assoc=N\n"
-            "  --chunk-bytes=N --coverage=F --q-factor=F\n"
-            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
-        return argc == 1 ? 2 : 0;
-    }
-    try {
-        initObservability(opts);
-        const int rc = run(opts);
-        writeMetricsIfRequested(opts);
-        return rc;
-    } catch (const TopoError &err) {
-        std::cerr << "error: " << err.what() << "\n";
-        return 1;
-    }
+    const topo::ToolSpec spec{
+        "topo_compare",
+        "topo_compare: all placement algorithms side by side.\n"
+        "  --program=FILE --trace=FILE [--test-trace=FILE]\n"
+        "  [--refine] [--recover] --cache-kb=N --line-bytes=N\n"
+        "  --assoc=N --chunk-bytes=N --coverage=F --q-factor=F\n"
+        "  --fault-spec=KIND@P[:seed]\n"
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
+        {"program", "trace", "test-trace", "refine", "recover",
+         "cache-kb", "line-bytes", "assoc", "chunk-bytes", "coverage",
+         "q-factor"},
+        run,
+    };
+    return topo::toolMain(argc, argv, spec);
 }

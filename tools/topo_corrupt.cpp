@@ -1,0 +1,150 @@
+/**
+ * @file
+ * topo_corrupt: deterministic file-damage tool for resilience testing.
+ *
+ *   topo_corrupt --in=app.btrace --out=damaged.btrace --truncate=100
+ *   topo_corrupt --in=app.btrace --out=d.btrace --bitflip=512
+ *   topo_corrupt --in=app.btrace --out=d.btrace --random-flips=8 --seed=7
+ *   topo_corrupt --in=app.btrace --out=d.btrace --drop-chunk=1
+ *
+ * Damage kinds (exactly one per invocation):
+ *   --truncate=N        keep only the first N bytes
+ *   --truncate-frac=F   keep the first F fraction of bytes (0..1)
+ *   --bitflip=OFF       flip one bit at byte offset OFF (bit index via
+ *                       --flip-bit=B, default 0)
+ *   --random-flips=N    flip N random bits, seeded with --seed
+ *   --drop-chunk=K      excise the K-th v2 trace chunk (binary traces
+ *                       only; chunk 0 is the first after the header)
+ *
+ * Every mode is a pure function of its flags, so failures found by the
+ * soak harness replay exactly.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "topo/resilience/resilience.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/util/error.hh"
+#include "topo/util/rng.hh"
+
+namespace
+{
+
+using namespace topo;
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "topo_corrupt: cannot open '" + path + "'");
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+void
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    require(os.good(), "topo_corrupt: cannot open '" + path + "'");
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    require(os.good(), "topo_corrupt: write to '" + path + "' failed");
+}
+
+int
+run(const Options &opts)
+{
+    const std::string in_path = opts.getString("in", "");
+    const std::string out_path = opts.getString("out", "");
+    require(!in_path.empty() && !out_path.empty(),
+            "topo_corrupt: --in and --out are required");
+    std::string bytes = readFileBytes(in_path);
+
+    int modes = 0;
+    for (const char *flag : {"truncate", "truncate-frac", "bitflip",
+                             "random-flips", "drop-chunk"}) {
+        if (!opts.getString(flag, "").empty())
+            ++modes;
+    }
+    require(modes == 1,
+            "topo_corrupt: pick exactly one of --truncate, "
+            "--truncate-frac, --bitflip, --random-flips, --drop-chunk");
+
+    if (!opts.getString("truncate", "").empty()) {
+        const auto keep =
+            static_cast<std::size_t>(opts.getInt("truncate", 0));
+        require(keep <= bytes.size(),
+                "topo_corrupt: --truncate beyond the file size");
+        bytes.resize(keep);
+    } else if (!opts.getString("truncate-frac", "").empty()) {
+        const double frac = opts.getDouble("truncate-frac", 1.0);
+        require(frac >= 0.0 && frac <= 1.0,
+                "topo_corrupt: --truncate-frac must be in [0, 1]");
+        bytes.resize(static_cast<std::size_t>(
+            static_cast<double>(bytes.size()) * frac));
+    } else if (!opts.getString("bitflip", "").empty()) {
+        const auto off =
+            static_cast<std::size_t>(opts.getInt("bitflip", 0));
+        require(off < bytes.size(),
+                "topo_corrupt: --bitflip offset beyond the file size");
+        const int bit = static_cast<int>(opts.getInt("flip-bit", 0));
+        require(bit >= 0 && bit < 8,
+                "topo_corrupt: --flip-bit must be in [0, 7]");
+        bytes[off] = static_cast<char>(
+            static_cast<unsigned char>(bytes[off]) ^ (1u << bit));
+    } else if (!opts.getString("random-flips", "").empty()) {
+        const auto flips =
+            static_cast<std::uint64_t>(opts.getInt("random-flips", 1));
+        require(!bytes.empty(), "topo_corrupt: input file is empty");
+        Rng rng(static_cast<std::uint64_t>(opts.getInt("seed", 1)));
+        for (std::uint64_t i = 0; i < flips; ++i) {
+            const std::size_t off = static_cast<std::size_t>(
+                rng.nextBelow(bytes.size()));
+            const int bit = static_cast<int>(rng.nextBelow(8));
+            bytes[off] = static_cast<char>(
+                static_cast<unsigned char>(bytes[off]) ^ (1u << bit));
+        }
+    } else {
+        const auto drop = static_cast<std::size_t>(
+            opts.getInt("drop-chunk", 0));
+        const std::vector<ChunkExtent> chunks =
+            scanBinaryTraceChunks(bytes);
+        require(drop < chunks.size(),
+                "topo_corrupt: --drop-chunk index out of range (file "
+                "has " + std::to_string(chunks.size()) + " chunks)");
+        bytes.erase(chunks[drop].begin,
+                    chunks[drop].end - chunks[drop].begin);
+        std::cerr << "dropped chunk " << drop << " ("
+                  << chunks[drop].records << " records)\n";
+    }
+
+    writeFileBytes(out_path, bytes);
+    std::cerr << "wrote " << bytes.size() << " bytes to " << out_path
+              << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const topo::ToolSpec spec{
+        "topo_corrupt",
+        "topo_corrupt: damage a file deterministically for resilience "
+        "tests.\n"
+        "  --in=FILE --out=FILE\n"
+        "  --truncate=N | --truncate-frac=F\n"
+        "  --bitflip=OFFSET [--flip-bit=B]\n"
+        "  --random-flips=N [--seed=S]\n"
+        "  --drop-chunk=K   (binary topo traces only)\n",
+        {"in", "out", "truncate", "truncate-frac", "bitflip",
+         "flip-bit", "random-flips", "seed", "drop-chunk"},
+        run,
+    };
+    return topo::toolMain(argc, argv, spec);
+}

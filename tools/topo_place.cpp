@@ -26,6 +26,7 @@
 #include "topo/program/layout_io.hh"
 #include "topo/program/layout_script.hh"
 #include "topo/program/program_io.hh"
+#include "topo/resilience/resilience.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
 
@@ -43,7 +44,9 @@ run(const Options &opts)
             "topo_place: --program and --trace are required");
 
     const Program program = loadProgram(program_path);
-    Trace trace = loadAnyTrace(trace_path);
+    TraceReadOptions ropts;
+    ropts.recover = opts.getBool("recover", false);
+    Trace trace = loadAnyTrace(trace_path, ropts);
     require(trace.procCount() == program.procCount(),
             "topo_place: trace and program disagree on the procedure "
             "count");
@@ -138,30 +141,25 @@ run(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    using namespace topo;
-    const Options opts = Options::parse(argc, argv);
-    if (opts.helpRequested() || argc == 1) {
-        std::cout <<
-            "topo_place: profile-driven procedure placement.\n"
-            "  --program=FILE     program description (topo-program v1)\n"
-            "  --trace=FILE       profiling trace (topo-trace v1)\n"
-            "  --algorithm=NAME   gbsc (default) | ph | hkc | default\n"
-            "  --out-layout=FILE  write the layout (topo-layout v1)\n"
-            "  --out-script=FILE  write a GNU-ld script fragment\n"
-            "  --print-map        print a human-readable placement map\n"
-            "  --evaluate         simulate miss rates before/after\n"
-            "  --cache-kb=N --line-bytes=N --assoc=N --chunk-bytes=N\n"
-            "  --coverage=F --q-factor=F\n"
-            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
-        return argc == 1 ? 2 : 0;
-    }
-    try {
-        initObservability(opts);
-        const int rc = run(opts);
-        writeMetricsIfRequested(opts);
-        return rc;
-    } catch (const TopoError &err) {
-        std::cerr << "error: " << err.what() << "\n";
-        return 1;
-    }
+    const topo::ToolSpec spec{
+        "topo_place",
+        "topo_place: profile-driven procedure placement.\n"
+        "  --program=FILE     program description (topo-program v1)\n"
+        "  --trace=FILE       profiling trace (topo-trace v1)\n"
+        "  --algorithm=NAME   gbsc (default) | ph | hkc | default\n"
+        "  --out-layout=FILE  write the layout (topo-layout v1)\n"
+        "  --out-script=FILE  write a GNU-ld script fragment\n"
+        "  --print-map        print a human-readable placement map\n"
+        "  --evaluate         simulate miss rates before/after\n"
+        "  --recover          salvage a damaged trace and continue\n"
+        "  --cache-kb=N --line-bytes=N --assoc=N --chunk-bytes=N\n"
+        "  --coverage=F --q-factor=F\n"
+        "  --fault-spec=KIND@P[:seed]\n"
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
+        {"program", "trace", "algorithm", "out-layout", "out-script",
+         "print-map", "evaluate", "recover", "cache-kb", "line-bytes",
+         "assoc", "chunk-bytes", "coverage", "q-factor"},
+        run,
+    };
+    return topo::toolMain(argc, argv, spec);
 }

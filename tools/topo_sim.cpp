@@ -12,6 +12,11 @@
  * paper-suite benchmark — synthesis, profiling, placement, and
  * simulation — which makes it the one-command way to capture phase
  * timings with --metrics-out.
+ *
+ * Resilience knobs: --recover salvages the valid prefix of a damaged
+ * trace instead of exiting with code 2; --checkpoint/--checkpoint-every
+ * write periodic simulator checkpoints, --resume continues from one
+ * bit-identically, and --stop-after emulates a preemption point.
  */
 
 #include <algorithm>
@@ -26,6 +31,7 @@
 #include "topo/placement/pettis_hansen.hh"
 #include "topo/program/layout_io.hh"
 #include "topo/program/program_io.hh"
+#include "topo/resilience/resilience.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
 #include "topo/util/table.hh"
@@ -35,6 +41,54 @@ namespace
 {
 
 using namespace topo;
+
+/** Checkpoint/resume directives shared by both run paths. */
+struct ControlState
+{
+    SimCheckpoint resume_ckpt;
+    SimControl control;
+    bool active = false;
+};
+
+ControlState
+controlFrom(const Options &opts)
+{
+    ControlState state;
+    state.control.checkpoint_path = opts.getString("checkpoint", "");
+    state.control.checkpoint_every = static_cast<std::uint64_t>(
+        opts.getInt("checkpoint-every", 0));
+    state.control.stop_after =
+        static_cast<std::uint64_t>(opts.getInt("stop-after", 0));
+    require(state.control.checkpoint_every == 0 ||
+                !state.control.checkpoint_path.empty(),
+            "topo_sim: --checkpoint-every requires --checkpoint");
+    require(state.control.stop_after == 0 ||
+                !state.control.checkpoint_path.empty(),
+            "topo_sim: --stop-after requires --checkpoint");
+    const std::string resume_path = opts.getString("resume", "");
+    if (!resume_path.empty()) {
+        state.resume_ckpt = loadCheckpoint(resume_path);
+        state.control.resume = &state.resume_ckpt;
+    }
+    state.active = state.control.resume != nullptr ||
+                   !state.control.checkpoint_path.empty();
+    return state;
+}
+
+void
+printResult(const SimResult &result, const SimControl &control)
+{
+    std::cout << "accesses:   " << result.accesses
+              << " line fetches\n";
+    std::cout << "misses:     " << result.misses << "\n";
+    std::cout << "miss rate:  " << result.missRate() * 100.0 << "%\n";
+    if (!result.completed) {
+        std::cout << "status:     interrupted at " << result.accesses
+                  << " fetches; checkpoint written to "
+                  << control.checkpoint_path << " (resume with --resume="
+                  << control.checkpoint_path << ")\n";
+    }
+}
 
 /**
  * Full pipeline on a synthetic paper benchmark: synthesise traces,
@@ -70,16 +124,16 @@ runBenchmark(const Options &opts)
     const PlacementContext ctx = bundle.makeContext();
     const Layout layout = algo->place(ctx);
     layout.validate(bundle.program(), eval.cache.line_bytes);
+    ControlState ctl = controlFrom(opts);
     const SimResult result = simulateLayout(
         bundle.program(), layout, bundle.testStream(), eval.cache,
-        opts.getBool("attribute", false));
+        opts.getBool("attribute", false),
+        ctl.active ? &ctl.control : nullptr);
 
     std::cout << "benchmark:  " << bundle.name() << "\n";
     std::cout << "cache:      " << eval.cache.describe() << "\n";
     std::cout << "algorithm:  " << algo->name() << "\n";
-    std::cout << "accesses:   " << result.accesses << " line fetches\n";
-    std::cout << "misses:     " << result.misses << "\n";
-    std::cout << "miss rate:  " << result.missRate() * 100.0 << "%\n";
+    printResult(result, ctl.control);
     return 0;
 }
 
@@ -93,7 +147,9 @@ run(const Options &opts)
     require(!program_path.empty() && !trace_path.empty(),
             "topo_sim: --program and --trace are required");
     const Program program = loadProgram(program_path);
-    Trace trace = loadAnyTrace(trace_path);
+    TraceReadOptions ropts;
+    ropts.recover = opts.getBool("recover", false);
+    Trace trace = loadAnyTrace(trace_path, ropts);
     trace.validate(program);
     const EvalOptions eval = evalOptionsFrom(opts);
 
@@ -106,17 +162,17 @@ run(const Options &opts)
 
     const FetchStream stream(program, trace, eval.cache.line_bytes);
     const bool attribute = opts.getBool("attribute", false);
+    ControlState ctl = controlFrom(opts);
     const SimResult result =
-        simulateLayout(program, layout, stream, eval.cache, attribute);
+        simulateLayout(program, layout, stream, eval.cache, attribute,
+                       ctl.active ? &ctl.control : nullptr);
 
     std::cout << "cache:      " << eval.cache.describe() << "\n";
     std::cout << "layout:     "
               << (layout_path.empty() ? "default (source order)"
                                       : layout_path)
               << "\n";
-    std::cout << "accesses:   " << result.accesses << " line fetches\n";
-    std::cout << "misses:     " << result.misses << "\n";
-    std::cout << "miss rate:  " << result.missRate() * 100.0 << "%\n";
+    printResult(result, ctl.control);
 
     if (attribute) {
         std::vector<std::pair<std::uint64_t, ProcId>> by_misses;
@@ -153,26 +209,25 @@ run(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    using namespace topo;
-    const Options opts = Options::parse(argc, argv);
-    if (opts.helpRequested() || argc == 1) {
-        std::cout <<
-            "topo_sim: simulate a trace under a layout.\n"
-            "  --program=FILE --trace=FILE [--layout=FILE]\n"
-            "  --benchmark=NAME [--algorithm=NAME] (full in-process\n"
-            "      pipeline on a paper-suite benchmark instead)\n"
-            "  --cache-kb=N --line-bytes=N --assoc=N\n"
-            "  --attribute (per-procedure misses) --pages\n"
-            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
-        return argc == 1 ? 2 : 0;
-    }
-    try {
-        initObservability(opts);
-        const int rc = run(opts);
-        writeMetricsIfRequested(opts);
-        return rc;
-    } catch (const TopoError &err) {
-        std::cerr << "error: " << err.what() << "\n";
-        return 1;
-    }
+    const ToolSpec spec{
+        "topo_sim",
+        "topo_sim: simulate a trace under a layout.\n"
+        "  --program=FILE --trace=FILE [--layout=FILE]\n"
+        "  --benchmark=NAME [--algorithm=NAME] (full in-process\n"
+        "      pipeline on a paper-suite benchmark instead)\n"
+        "  --cache-kb=N --line-bytes=N --assoc=N\n"
+        "  --attribute (per-procedure misses) --pages\n"
+        "  --recover (salvage a damaged trace and continue)\n"
+        "  --checkpoint=FILE --checkpoint-every=N (periodic state)\n"
+        "  --resume=FILE (continue bit-identically) --stop-after=N\n"
+        "  --fault-spec=KIND@P[:seed] (read_short|bitflip|throw_io)\n"
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
+        {"program", "trace", "layout", "benchmark", "algorithm",
+         "trace-scale", "cache-kb", "line-bytes", "assoc",
+         "chunk-bytes", "coverage", "q-factor", "attribute", "pages",
+         "recover", "checkpoint", "checkpoint-every", "resume",
+         "stop-after"},
+        run,
+    };
+    return topo::toolMain(argc, argv, spec);
 }

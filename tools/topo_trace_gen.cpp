@@ -12,6 +12,7 @@
 
 #include "topo/obs/obs.hh"
 #include "topo/program/program_io.hh"
+#include "topo/resilience/resilience.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/trace/trace_io.hh"
 #include "topo/util/error.hh"
@@ -63,25 +64,17 @@ run(const Options &opts)
 int
 main(int argc, char **argv)
 {
-    using namespace topo;
-    const Options opts = Options::parse(argc, argv);
-    if (opts.helpRequested() || argc == 1) {
-        std::cout <<
-            "topo_trace_gen: emit synthetic benchmark files.\n"
-            "  --benchmark=NAME (gcc go ghostscript m88ksim perl "
-            "vortex)\n"
-            "  --input=train|test --trace-scale=F\n"
-            "  --out-program=FILE --out-trace=FILE --binary\n"
-            "  --log-level=L --log-file=FILE --metrics-out=FILE\n";
-        return argc == 1 ? 2 : 0;
-    }
-    try {
-        initObservability(opts);
-        const int rc = run(opts);
-        writeMetricsIfRequested(opts);
-        return rc;
-    } catch (const TopoError &err) {
-        std::cerr << "error: " << err.what() << "\n";
-        return 1;
-    }
+    const topo::ToolSpec spec{
+        "topo_trace_gen",
+        "topo_trace_gen: emit synthetic benchmark files.\n"
+        "  --benchmark=NAME (gcc go ghostscript m88ksim perl "
+        "vortex)\n"
+        "  --input=train|test --trace-scale=F\n"
+        "  --out-program=FILE --out-trace=FILE --binary\n"
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
+        {"benchmark", "input", "trace-scale", "out-program",
+         "out-trace", "binary"},
+        run,
+    };
+    return topo::toolMain(argc, argv, spec);
 }
