@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "topo/cache/attribution.hh"
 #include "topo/cache/simulate.hh"
 #include "topo/eval/experiment.hh"
 #include "topo/placement/cache_coloring.hh"
@@ -28,7 +29,8 @@ main()
     const CacheColoring hkc;
     const Gbsc gbsc;
 
-    TextTable table({"case", "cache", "default", "PH", "HKC", "GBSC"});
+    TextTable table({"case", "cache", "default", "PH", "HKC", "GBSC",
+                     "default's worst conflict"});
     std::vector<std::pair<std::string, std::string>> lessons;
     for (const MicroCase &mc : microsuite()) {
         const ChunkMap chunks(mc.program, 256);
@@ -59,8 +61,24 @@ main()
             return fmtPercent(layoutMissRate(
                 mc.program, algo.place(ctx), stream, mc.cache));
         };
+        // Attribute the default layout's misses so each row also names
+        // the procedure pair that thrashes before placement fixes it.
+        const Layout base = def.place(ctx);
+        AttributionSink sink(mc.program, base, mc.cache,
+                             mc.cache.line_bytes);
+        SimObservers observers;
+        observers.attribution = &sink;
+        simulateLayout(mc.program, base, stream, mc.cache, false,
+                       nullptr, &observers);
+        const std::vector<ConflictPair> top = sink.topPairs(1);
+        const std::string conflict =
+            top.empty() ? "-"
+                        : mc.program.proc(top[0].evictor).name +
+                              " evicts " +
+                              mc.program.proc(top[0].victim).name +
+                              " x" + std::to_string(top[0].count);
         table.addRow({mc.name, mc.cache.describe(), mr(def), mr(ph),
-                      mr(hkc), mr(gbsc)});
+                      mr(hkc), mr(gbsc), conflict});
         lessons.emplace_back(mc.name, mc.lesson);
     }
     table.render(std::cout,

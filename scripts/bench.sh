@@ -1,0 +1,31 @@
+#!/bin/sh
+# Performance snapshot: run every placement algorithm on a paper-suite
+# benchmark and record wall time, blocks/sec, peak RSS, and miss rates
+# as BENCH_<date>.json (the topo_bench schema, parsable by the in-tree
+# JSON parser; validate with `topo_report --check-json=FILE`).
+#
+# Usage: scripts/bench.sh [out.json] [build-dir]
+#   out.json   output path (default: BENCH_$(date -u +%Y%m%d).json)
+#   build-dir  existing/created build tree (default: build)
+# Knobs: TOPO_BENCH_SCALE (trace scale, default 0.05),
+#        TOPO_BENCH_NAMES (comma list, default m88ksim,vortex)
+set -e
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_$(date -u +%Y%m%d).json}"
+BUILD="${2:-build}"
+SCALE="${TOPO_BENCH_SCALE:-0.05}"
+NAMES="${TOPO_BENCH_NAMES:-m88ksim,vortex}"
+
+echo "== build ($BUILD) =="
+cmake -B "$BUILD" -S . > /dev/null
+cmake --build "$BUILD" -j --target topo_sim topo_report > /dev/null
+
+echo "== bench ($NAMES, scale $SCALE) =="
+"$BUILD/tools/topo_sim" --benchmark="$NAMES" \
+    --algorithms=default,ph,hkc,gbsc --trace-scale="$SCALE" \
+    --bench-out="$OUT"
+
+"$BUILD/tools/topo_report" --check-json="$OUT" > /dev/null || {
+    echo "FAIL: $OUT is not valid JSON"; exit 1; }
+echo "OK: wrote $OUT"

@@ -33,6 +33,27 @@ for key in '"topo_metrics": 1' '"phase.synthesis.ms"' \
         echo "FAIL: metrics snapshot missing $key"; exit 1; }
 done
 
+echo "== report smoke =="
+"$BUILD/tools/topo_report" --microsuite=thrash_pair \
+    --algorithms=default,ph,gbsc --out="$WORK/report.md" \
+    --json-out="$WORK/report.json" > /dev/null
+grep -q "Top conflicting procedure pairs" "$WORK/report.md" || {
+    echo "FAIL: report.md missing the conflict-pair section"; exit 1; }
+"$BUILD/tools/topo_report" --check-json="$WORK/report.json" \
+    > /dev/null || {
+    echo "FAIL: report.json is not valid JSON"; exit 1; }
+
+echo "== bench smoke =="
+TOPO_BENCH_SCALE=0.02 TOPO_BENCH_NAMES=m88ksim \
+    scripts/bench.sh "$WORK/BENCH_smoke.json" "$BUILD" > /dev/null
+[ -s "$WORK/BENCH_smoke.json" ] || {
+    echo "FAIL: bench.sh produced no BENCH json"; exit 1; }
+grep -q '"topo_bench": 1' "$WORK/BENCH_smoke.json" || {
+    echo "FAIL: BENCH json missing the topo_bench marker"; exit 1; }
+"$BUILD/tools/topo_report" --check-json="$WORK/BENCH_smoke.json" \
+    > /dev/null || {
+    echo "FAIL: BENCH json does not parse"; exit 1; }
+
 SAN="$BUILD-asan"
 echo "== configure ($SAN, ASan+UBSan) =="
 cmake -B "$SAN" -S . \

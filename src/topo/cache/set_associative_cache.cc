@@ -53,6 +53,30 @@ SetAssociativeCache::access(std::uint64_t line_addr)
     return false;
 }
 
+bool
+SetAssociativeCache::accessTracked(std::uint64_t line_addr,
+                                   std::uint32_t &set,
+                                   std::uint64_t &victim,
+                                   bool &victim_valid)
+{
+    set = mapSet(line_addr);
+    std::uint64_t *base = &tags_[static_cast<std::size_t>(set) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w] == line_addr) {
+            for (std::uint32_t k = w; k > 0; --k)
+                base[k] = base[k - 1];
+            base[0] = line_addr;
+            return true;
+        }
+    }
+    victim = base[ways_ - 1];
+    victim_valid = victim != kInvalidTag;
+    for (std::uint32_t k = ways_ - 1; k > 0; --k)
+        base[k] = base[k - 1];
+    base[0] = line_addr;
+    return false;
+}
+
 void
 SetAssociativeCache::reset()
 {

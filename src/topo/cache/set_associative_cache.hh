@@ -32,6 +32,21 @@ class SetAssociativeCache
      */
     bool access(std::uint64_t line_addr);
 
+    /**
+     * Access with eviction reporting, for the attribution replay path.
+     * Identical cache behaviour to access(); additionally reports the
+     * set index and, on a miss that displaced a valid (LRU) line, that
+     * line's address.
+     *
+     * @param line_addr    Byte address divided by the line size.
+     * @param set          Out: set index of the access.
+     * @param victim       Out: displaced line address (miss only).
+     * @param victim_valid Out: true when a valid line was displaced.
+     * @return True on hit, false on miss.
+     */
+    bool accessTracked(std::uint64_t line_addr, std::uint32_t &set,
+                       std::uint64_t &victim, bool &victim_valid);
+
     /** Invalidate all frames. */
     void reset();
 

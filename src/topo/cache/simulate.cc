@@ -1,10 +1,12 @@
 #include "topo/cache/simulate.hh"
 
+#include "topo/cache/attribution.hh"
 #include "topo/cache/direct_mapped_cache.hh"
 #include "topo/cache/set_associative_cache.hh"
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/obs/timeline.hh"
 #include "topo/resilience/fault.hh"
 #include "topo/util/error.hh"
 
@@ -23,15 +25,18 @@ constexpr std::uint64_t kFaultMask = (1ULL << 12) - 1; // 4096
 /**
  * Shared replay loop; Cache is DirectMappedCache or
  * SetAssociativeCache, both exposing bool access(uint64). The
- * heartbeat and controlled (checkpoint/resume/fault) variants are
- * compiled separately so the default path pays nothing for progress
- * reporting or resilience hooks.
+ * heartbeat, controlled (checkpoint/resume/fault), and observed
+ * (attribution/timeline) variants are compiled separately so the
+ * default path pays nothing for progress reporting, resilience hooks,
+ * or observation sinks.
  */
-template <typename Cache, bool kHeartbeat, bool kControlled>
+template <typename Cache, bool kHeartbeat, bool kControlled,
+          bool kObserved>
 SimResult
 replay(const Program &program, const Layout &layout,
        const FetchStream &stream, Cache &cache, bool attribute,
-       const SimControl *control, std::uint64_t fingerprint)
+       const SimControl *control, std::uint64_t fingerprint,
+       const SimObservers *observers)
 {
     // Precompute each procedure's base line so the hot loop is a single
     // add + cache probe per reference.
@@ -85,10 +90,31 @@ replay(const Program &program, const Layout &layout,
             .add();
     };
     (void)write_ckpt; // only invoked in the controlled instantiation
+    (void)observers;  // only read in the observed instantiation
     for (; cursor < total; ++cursor) {
         const FetchRef &ref = refs[cursor];
         const std::uint64_t line_addr = base_line[ref.proc] + ref.line;
-        if (!cache.access(line_addr)) {
+        if constexpr (kObserved) {
+            std::uint32_t set = 0;
+            std::uint64_t victim = 0;
+            bool victim_valid = false;
+            const bool hit =
+                cache.accessTracked(line_addr, set, victim,
+                                    victim_valid);
+            if (observers->attribution != nullptr)
+                observers->attribution->recordAccess(ref.proc, set);
+            if (!hit) {
+                ++result.misses;
+                if (attribute)
+                    ++result.misses_by_proc[ref.proc];
+                if (observers->attribution != nullptr) {
+                    observers->attribution->recordMiss(
+                        ref.proc, set, victim, victim_valid);
+                }
+            }
+            if (observers->timeline != nullptr)
+                observers->timeline->record(ref.proc, !hit);
+        } else if (!cache.access(line_addr)) {
             ++result.misses;
             if (attribute)
                 ++result.misses_by_proc[ref.proc];
@@ -138,28 +164,45 @@ template <typename Cache>
 SimResult
 replayDispatch(const Program &program, const Layout &layout,
                const FetchStream &stream, Cache &cache, bool attribute,
-               const SimControl *control, std::uint64_t fingerprint)
+               const SimControl *control, std::uint64_t fingerprint,
+               const SimObservers *observers)
 {
     const bool controlled =
         control != nullptr || faultArmed(FaultKind::kThrowIo);
     const bool heartbeat = logEnabled(LogLevel::kDebug);
+    const bool observed = observers != nullptr && observers->any();
+    if (observed) {
+        // Observers never combine with checkpoint/resume (enforced by
+        // simulateLayout), so the controlled variants are not needed
+        // here; a heartbeat variant keeps long attributed runs
+        // debuggable.
+        if (heartbeat) {
+            return replay<Cache, true, false, true>(
+                program, layout, stream, cache, attribute, nullptr,
+                fingerprint, observers);
+        }
+        return replay<Cache, false, false, true>(
+            program, layout, stream, cache, attribute, nullptr,
+            fingerprint, observers);
+    }
     if (controlled) {
         if (heartbeat) {
-            return replay<Cache, true, true>(program, layout, stream,
-                                             cache, attribute, control,
-                                             fingerprint);
+            return replay<Cache, true, true, false>(
+                program, layout, stream, cache, attribute, control,
+                fingerprint, nullptr);
         }
-        return replay<Cache, false, true>(program, layout, stream,
-                                          cache, attribute, control,
-                                          fingerprint);
+        return replay<Cache, false, true, false>(
+            program, layout, stream, cache, attribute, control,
+            fingerprint, nullptr);
     }
     if (heartbeat) {
-        return replay<Cache, true, false>(program, layout, stream,
-                                          cache, attribute, nullptr,
-                                          fingerprint);
+        return replay<Cache, true, false, false>(
+            program, layout, stream, cache, attribute, nullptr,
+            fingerprint, nullptr);
     }
-    return replay<Cache, false, false>(program, layout, stream, cache,
-                                       attribute, nullptr, fingerprint);
+    return replay<Cache, false, false, false>(
+        program, layout, stream, cache, attribute, nullptr,
+        fingerprint, nullptr);
 }
 
 } // namespace
@@ -184,10 +227,16 @@ simFingerprint(const Program &program, const Layout &layout,
 SimResult
 simulateLayout(const Program &program, const Layout &layout,
                const FetchStream &stream, const CacheConfig &config,
-               bool attribute, const SimControl *control)
+               bool attribute, const SimControl *control,
+               const SimObservers *observers)
 {
     require(stream.lineBytes() == config.line_bytes,
             "simulateLayout: stream line size does not match cache config");
+    const bool observed = observers != nullptr && observers->any();
+    require(!observed || control == nullptr,
+            "simulateLayout: attribution/timeline observers do not "
+            "combine with checkpoint/resume (observer state is not "
+            "checkpointed)");
     const std::uint64_t fingerprint =
         simFingerprint(program, layout, stream, config, attribute);
     PhaseTimer timer("simulate");
@@ -195,12 +244,16 @@ simulateLayout(const Program &program, const Layout &layout,
     if (config.associativity == 1) {
         DirectMappedCache cache(config);
         result = replayDispatch(program, layout, stream, cache,
-                                attribute, control, fingerprint);
+                                attribute, control, fingerprint,
+                                observers);
     } else {
         SetAssociativeCache cache(config);
         result = replayDispatch(program, layout, stream, cache,
-                                attribute, control, fingerprint);
+                                attribute, control, fingerprint,
+                                observers);
     }
+    if (observed && observers->timeline != nullptr)
+        observers->timeline->finish();
     timer.stop();
 
     MetricsRegistry &metrics = MetricsRegistry::global();
@@ -208,6 +261,14 @@ simulateLayout(const Program &program, const Layout &layout,
     metrics.counter("cache.accesses").add(result.accesses);
     metrics.counter("cache.misses").add(result.misses);
     metrics.counter("cache.evictions").add(result.evictions);
+    if (observed && observers->attribution != nullptr) {
+        const AttributionSink &sink = *observers->attribution;
+        metrics.counter("attribution.evictions").add(sink.evictions());
+        metrics.counter("attribution.dropped_pairs")
+            .add(sink.droppedPairs());
+        metrics.gauge("attribution.tracked_pairs")
+            .set(static_cast<double>(sink.trackedPairs()));
+    }
     if (logEnabled(LogLevel::kDebug)) {
         logDebug("simulate", "replay finished",
                  {{"cache", config.describe()},

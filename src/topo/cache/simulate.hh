@@ -29,6 +29,9 @@
 namespace topo
 {
 
+class AttributionSink;
+class TimelineRecorder;
+
 /** Result of a cache simulation. */
 struct SimResult
 {
@@ -50,6 +53,28 @@ struct SimResult
         return accesses ? static_cast<double>(misses) /
                               static_cast<double>(accesses)
                         : 0.0;
+    }
+};
+
+/**
+ * Optional observation sinks fed by the replay loop. Attaching any
+ * sink selects a separate instrumented instantiation of the loop, so
+ * the default (unobserved) path is byte-identical with or without
+ * this feature compiled in. Observers do not compose with
+ * checkpoint/resume: their state is not checkpointed, so a resumed
+ * run would attribute only the tail.
+ */
+struct SimObservers
+{
+    /** Per-procedure / per-set / conflict-matrix attribution. */
+    AttributionSink *attribution = nullptr;
+    /** Windowed miss-rate / working-set sampling. */
+    TimelineRecorder *timeline = nullptr;
+
+    bool
+    any() const
+    {
+        return attribution != nullptr || timeline != nullptr;
     }
 };
 
@@ -90,11 +115,14 @@ std::uint64_t simFingerprint(const Program &program, const Layout &layout,
  * @param config        Cache geometry (any associativity).
  * @param attribute     When true, fill SimResult::misses_by_proc.
  * @param control       Optional checkpoint/resume directives.
+ * @param observers     Optional attribution/timeline sinks (mutually
+ *                      exclusive with @p control).
  */
 SimResult simulateLayout(const Program &program, const Layout &layout,
                          const FetchStream &stream, const CacheConfig &config,
                          bool attribute = false,
-                         const SimControl *control = nullptr);
+                         const SimControl *control = nullptr,
+                         const SimObservers *observers = nullptr);
 
 /**
  * Miss rate shortcut for harness code.

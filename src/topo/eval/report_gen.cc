@@ -1,0 +1,316 @@
+#include "topo/eval/report_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "topo/cache/attribution.hh"
+#include "topo/cache/simulate.hh"
+#include "topo/obs/phase_timer.hh"
+#include "topo/util/error.hh"
+#include "topo/util/table.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/** Down-sample a timeline to at most @p cap points by window merging. */
+std::vector<double>
+missRateSeries(const std::vector<TimelineSample> &samples,
+               std::size_t cap)
+{
+    std::vector<double> series;
+    if (samples.empty())
+        return series;
+    const std::size_t stride = (samples.size() + cap - 1) / cap;
+    for (std::size_t i = 0; i < samples.size(); i += stride) {
+        std::uint64_t accesses = 0, misses = 0;
+        for (std::size_t j = i;
+             j < samples.size() && j < i + stride; ++j) {
+            accesses += samples[j].accesses;
+            misses += samples[j].misses;
+        }
+        series.push_back(accesses ? static_cast<double>(misses) /
+                                        static_cast<double>(accesses)
+                                  : 0.0);
+    }
+    return series;
+}
+
+} // namespace
+
+std::string
+sparkline(const std::vector<double> &values, double lo, double hi)
+{
+    static const char *kBlocks[] = {"▁", "▂", "▃",
+                                    "▄", "▅", "▆",
+                                    "▇", "█"};
+    std::string out;
+    const double span = hi > lo ? hi - lo : 1.0;
+    for (const double value : values) {
+        const double unit =
+            std::clamp((value - lo) / span, 0.0, 1.0);
+        out += kBlocks[static_cast<int>(unit * 7.0 + 0.5)];
+    }
+    return out;
+}
+
+ComparisonReport
+buildComparisonReport(const Program &program, const FetchStream &stream,
+                      const CacheConfig &cache,
+                      const std::vector<LayoutCandidate> &candidates,
+                      const ReportOptions &options)
+{
+    require(!candidates.empty(),
+            "buildComparisonReport: no candidate layouts");
+    PhaseTimer timer("report");
+
+    ComparisonReport report;
+    report.cache = cache.describe();
+    report.program = program.name();
+    report.stream_blocks = stream.size();
+    report.timeline_window =
+        options.timeline_window != 0
+            ? options.timeline_window
+            : std::max<std::uint64_t>(1, stream.size() / 64);
+
+    for (const LayoutCandidate &candidate : candidates) {
+        candidate.layout.validate(program, cache.line_bytes);
+        AttributionSink::Options sink_opts;
+        sink_opts.max_pairs = options.max_pairs;
+        AttributionSink sink(program, candidate.layout, cache,
+                             stream.lineBytes(), sink_opts);
+        TimelineRecorder timeline(report.timeline_window,
+                                  program.procCount());
+        SimObservers observers;
+        observers.attribution = &sink;
+        observers.timeline = &timeline;
+        const SimResult sim =
+            simulateLayout(program, candidate.layout, stream, cache,
+                           false, nullptr, &observers);
+
+        LayoutReport entry;
+        entry.label = candidate.label;
+        entry.accesses = sim.accesses;
+        entry.misses = sim.misses;
+        entry.evictions = sim.evictions;
+        entry.miss_rate = sim.missRate();
+        for (const ConflictPair &pair :
+             sink.topPairs(options.top_pairs)) {
+            entry.top_pairs.push_back(
+                {program.proc(pair.evictor).name,
+                 program.proc(pair.victim).name, pair.count});
+        }
+        entry.tracked_pairs = sink.trackedPairs();
+        entry.dropped_pairs = sink.droppedPairs();
+        entry.set_misses = sink.missesBySet();
+        std::vector<std::uint32_t> by_misses(entry.set_misses.size());
+        for (std::uint32_t s = 0; s < by_misses.size(); ++s)
+            by_misses[s] = s;
+        std::stable_sort(by_misses.begin(), by_misses.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return entry.set_misses[a] >
+                                    entry.set_misses[b];
+                         });
+        for (std::size_t i = 0;
+             i < by_misses.size() && i < options.hot_sets; ++i) {
+            const std::uint32_t s = by_misses[i];
+            if (entry.set_misses[s] == 0)
+                break;
+            entry.hot_sets.push_back(
+                {s, sink.accessesBySet()[s], entry.set_misses[s]});
+        }
+        entry.timeline = timeline.samples();
+        report.layouts.push_back(std::move(entry));
+    }
+
+    // Timeline deltas vs the first (baseline) candidate. Windows are
+    // aligned: every layout replays the same stream with the same
+    // window size.
+    const std::vector<TimelineSample> &base =
+        report.layouts.front().timeline;
+    for (std::size_t i = 1; i < report.layouts.size(); ++i) {
+        LayoutReport &entry = report.layouts[i];
+        const std::size_t windows =
+            std::min(base.size(), entry.timeline.size());
+        for (std::size_t w = 0; w < windows; ++w) {
+            const double delta = entry.timeline[w].missRate() -
+                                 base[w].missRate();
+            if (delta < 0.0)
+                ++entry.windows_better;
+            else if (delta > 0.0)
+                ++entry.windows_worse;
+            if (std::abs(delta) > std::abs(entry.max_window_delta))
+                entry.max_window_delta = delta;
+        }
+    }
+    return report;
+}
+
+void
+renderReportMarkdown(const ComparisonReport &report, std::ostream &os)
+{
+    os << "# Layout comparison report";
+    if (!report.title.empty())
+        os << " — " << report.title;
+    os << "\n\n";
+    os << "- program: `" << report.program << "`\n";
+    os << "- cache: " << report.cache << "\n";
+    os << "- stream: " << report.stream_blocks << " line fetches\n";
+    os << "- timeline window: " << report.timeline_window
+       << " fetches\n\n";
+
+    os << "## Miss rates\n\n";
+    os << "| layout | miss rate | misses | evictions |\n";
+    os << "|---|---|---|---|\n";
+    for (const LayoutReport &entry : report.layouts) {
+        os << "| " << entry.label << " | "
+           << fmtPercent(entry.miss_rate) << " | " << entry.misses
+           << " | " << entry.evictions << " |\n";
+    }
+    os << "\n";
+
+    for (const LayoutReport &entry : report.layouts) {
+        os << "## " << entry.label << "\n\n";
+        os << "### Top conflicting procedure pairs\n\n";
+        if (entry.top_pairs.empty()) {
+            os << "(no valid-line evictions — the working set fits "
+                  "the cache)\n\n";
+        } else {
+            os << "| evictor | victim | evictions |\n";
+            os << "|---|---|---|\n";
+            for (const ConflictPairRow &pair : entry.top_pairs) {
+                os << "| `" << pair.evictor << "` | `" << pair.victim
+                   << "` | " << pair.count << " |\n";
+            }
+            os << "\n";
+            if (entry.dropped_pairs != 0) {
+                os << "(" << entry.dropped_pairs
+                   << " evictions fell outside the " << entry.tracked_pairs
+                   << "-cell pair budget)\n\n";
+            }
+        }
+        os << "### Set pressure (hottest sets)\n\n";
+        if (entry.hot_sets.empty()) {
+            os << "(no misses)\n\n";
+        } else {
+            os << "| set | accesses | misses |\n";
+            os << "|---|---|---|\n";
+            for (const SetPressureRow &row : entry.hot_sets) {
+                os << "| " << row.set << " | " << row.accesses << " | "
+                   << row.misses << " |\n";
+            }
+            os << "\n";
+        }
+    }
+
+    os << "## Timeline (miss rate per window)\n\n";
+    double hi = 0.0;
+    for (const LayoutReport &entry : report.layouts) {
+        for (const TimelineSample &sample : entry.timeline)
+            hi = std::max(hi, sample.missRate());
+    }
+    os << "Scale: 0 .. " << fmtPercent(hi) << " per glyph column.\n\n";
+    for (const LayoutReport &entry : report.layouts) {
+        os << "- `" << entry.label << "` "
+           << sparkline(missRateSeries(entry.timeline, 60), 0.0, hi)
+           << "\n";
+    }
+    os << "\n";
+    for (std::size_t i = 1; i < report.layouts.size(); ++i) {
+        const LayoutReport &entry = report.layouts[i];
+        os << "- `" << entry.label << "` vs `"
+           << report.layouts.front().label << "`: better in "
+           << entry.windows_better << " windows, worse in "
+           << entry.windows_worse << " (largest gap "
+           << fmtPercent(entry.max_window_delta) << ")\n";
+    }
+    if (report.layouts.size() > 1)
+        os << "\n";
+}
+
+JsonValue
+reportToJson(const ComparisonReport &report)
+{
+    JsonValue root = JsonValue::object();
+    root.set("topo_report", JsonValue::number(1));
+    root.set("title", JsonValue::string(report.title));
+    root.set("program", JsonValue::string(report.program));
+    root.set("cache", JsonValue::string(report.cache));
+    root.set("stream_blocks",
+             JsonValue::number(
+                 static_cast<double>(report.stream_blocks)));
+    root.set("timeline_window",
+             JsonValue::number(
+                 static_cast<double>(report.timeline_window)));
+
+    JsonValue layouts = JsonValue::array();
+    for (const LayoutReport &entry : report.layouts) {
+        JsonValue row = JsonValue::object();
+        row.set("label", JsonValue::string(entry.label));
+        row.set("accesses", JsonValue::number(
+                                static_cast<double>(entry.accesses)));
+        row.set("misses", JsonValue::number(
+                              static_cast<double>(entry.misses)));
+        row.set("evictions",
+                JsonValue::number(
+                    static_cast<double>(entry.evictions)));
+        row.set("miss_rate", JsonValue::number(entry.miss_rate));
+
+        JsonValue pairs = JsonValue::array();
+        for (const ConflictPairRow &pair : entry.top_pairs) {
+            JsonValue cell = JsonValue::object();
+            cell.set("evictor", JsonValue::string(pair.evictor));
+            cell.set("victim", JsonValue::string(pair.victim));
+            cell.set("count", JsonValue::number(
+                                  static_cast<double>(pair.count)));
+            pairs.push(std::move(cell));
+        }
+        row.set("top_pairs", std::move(pairs));
+        row.set("tracked_pairs",
+                JsonValue::number(
+                    static_cast<double>(entry.tracked_pairs)));
+        row.set("dropped_pairs",
+                JsonValue::number(
+                    static_cast<double>(entry.dropped_pairs)));
+
+        JsonValue sets = JsonValue::array();
+        for (const std::uint64_t misses : entry.set_misses)
+            sets.push(JsonValue::number(static_cast<double>(misses)));
+        row.set("set_misses", std::move(sets));
+
+        JsonValue timeline = JsonValue::array();
+        for (const TimelineSample &sample : entry.timeline) {
+            JsonValue cell = JsonValue::object();
+            cell.set("start", JsonValue::number(
+                                  static_cast<double>(sample.start)));
+            cell.set("accesses",
+                     JsonValue::number(
+                         static_cast<double>(sample.accesses)));
+            cell.set("misses",
+                     JsonValue::number(
+                         static_cast<double>(sample.misses)));
+            cell.set("miss_rate", JsonValue::number(sample.missRate()));
+            cell.set("working_set_procs",
+                     JsonValue::number(static_cast<double>(
+                         sample.distinct_procs)));
+            timeline.push(std::move(cell));
+        }
+        row.set("timeline", std::move(timeline));
+        row.set("windows_better",
+                JsonValue::number(
+                    static_cast<double>(entry.windows_better)));
+        row.set("windows_worse",
+                JsonValue::number(
+                    static_cast<double>(entry.windows_worse)));
+        row.set("max_window_delta",
+                JsonValue::number(entry.max_window_delta));
+        layouts.push(std::move(row));
+    }
+    root.set("layouts", std::move(layouts));
+    return root;
+}
+
+} // namespace topo

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Comparison reports: "why did this layout win" as data.
+ *
+ * buildComparisonReport() replays one fetch stream against several
+ * candidate layouts with attribution and timeline sinks attached, and
+ * collects everything a human (or a regression harness) needs to
+ * explain the outcome: side-by-side miss rates, the heaviest
+ * evictor→victim procedure pairs, per-set pressure, and windowed
+ * miss-rate timelines with per-layout deltas against the first
+ * (baseline) candidate. Renderers emit self-contained Markdown and a
+ * JSON document parsable by the in-tree JsonValue parser.
+ */
+
+#ifndef TOPO_EVAL_REPORT_GEN_HH
+#define TOPO_EVAL_REPORT_GEN_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/obs/json.hh"
+#include "topo/obs/timeline.hh"
+#include "topo/program/layout.hh"
+#include "topo/program/program.hh"
+#include "topo/trace/fetch_stream.hh"
+
+namespace topo
+{
+
+/** One labelled layout to include in a comparison. */
+struct LayoutCandidate
+{
+    std::string label;
+    Layout layout;
+};
+
+/** Report knobs. */
+struct ReportOptions
+{
+    /** Conflict pairs listed per layout. */
+    std::size_t top_pairs = 5;
+    /** Hottest sets listed per layout. */
+    std::size_t hot_sets = 8;
+    /**
+     * Timeline window in fetch blocks; 0 picks a window giving ~64
+     * samples over the stream.
+     */
+    std::uint64_t timeline_window = 0;
+    /** Conflict-matrix cell budget per layout. */
+    std::size_t max_pairs = 4096;
+};
+
+/** One conflict-matrix row with names resolved. */
+struct ConflictPairRow
+{
+    std::string evictor;
+    std::string victim;
+    std::uint64_t count = 0;
+};
+
+/** One cache set's pressure. */
+struct SetPressureRow
+{
+    std::uint32_t set = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Everything measured for one candidate layout. */
+struct LayoutReport
+{
+    std::string label;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double miss_rate = 0.0;
+    std::vector<ConflictPairRow> top_pairs;
+    std::uint64_t tracked_pairs = 0;
+    std::uint64_t dropped_pairs = 0;
+    /** Hottest sets by miss count, descending. */
+    std::vector<SetPressureRow> hot_sets;
+    /** Full per-set miss counts (heatmap data; JSON only). */
+    std::vector<std::uint64_t> set_misses;
+    std::vector<TimelineSample> timeline;
+    /** Windows where this layout beats / loses to the baseline. */
+    std::uint64_t windows_better = 0;
+    std::uint64_t windows_worse = 0;
+    /** Largest per-window miss-rate gap vs the baseline (signed). */
+    double max_window_delta = 0.0;
+};
+
+/** A full multi-layout comparison over one stream. */
+struct ComparisonReport
+{
+    std::string title;
+    std::string cache;
+    std::string program;
+    std::uint64_t stream_blocks = 0;
+    std::uint64_t timeline_window = 0;
+    std::vector<LayoutReport> layouts;
+};
+
+/**
+ * Simulate every candidate with attribution + timeline sinks and
+ * assemble the comparison. The first candidate is the baseline for
+ * timeline deltas. Layouts must be complete and valid for @p program.
+ */
+ComparisonReport
+buildComparisonReport(const Program &program, const FetchStream &stream,
+                      const CacheConfig &cache,
+                      const std::vector<LayoutCandidate> &candidates,
+                      const ReportOptions &options = {});
+
+/** Render as a self-contained Markdown document. */
+void renderReportMarkdown(const ComparisonReport &report,
+                          std::ostream &os);
+
+/** Serialise as {"topo_report": 1, ...}. */
+JsonValue reportToJson(const ComparisonReport &report);
+
+/**
+ * Unicode block sparkline of a series scaled to [lo, hi]; one glyph
+ * per point (empty string for an empty series).
+ */
+std::string sparkline(const std::vector<double> &values, double lo,
+                      double hi);
+
+} // namespace topo
+
+#endif // TOPO_EVAL_REPORT_GEN_HH

@@ -7,11 +7,31 @@
 namespace topo
 {
 
+Histogram::Histogram()
+{
+    // Pre-size the reservoir so observe() never reallocates: the
+    // attribution tests assert the simulator's disabled path performs
+    // a constant number of allocations per run.
+    reservoir_.reserve(kReservoirSize);
+}
+
 void
 Histogram::observe(double value)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     stats_.add(value);
+    ++seen_;
+    if (reservoir_.size() < kReservoirSize) {
+        reservoir_.push_back(value);
+        return;
+    }
+    // Algorithm R with a deterministic xorshift64 stream.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const std::uint64_t slot = rng_state_ % seen_;
+    if (slot < kReservoirSize)
+        reservoir_[static_cast<std::size_t>(slot)] = value;
 }
 
 RunningStats
@@ -19,6 +39,22 @@ Histogram::stats() const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+double
+Histogram::quantile(double pct) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (reservoir_.empty())
+        return 0.0;
+    return percentile(reservoir_, pct);
+}
+
+std::vector<double>
+Histogram::reservoirSnapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reservoir_;
 }
 
 MetricsRegistry &
@@ -116,6 +152,9 @@ MetricsRegistry::toJson() const
         entry.set("max", JsonValue::number(
                              stats.count() ? stats.max() : 0.0));
         entry.set("stddev", JsonValue::number(stats.stddev()));
+        entry.set("p50", JsonValue::number(histogram->quantile(50.0)));
+        entry.set("p90", JsonValue::number(histogram->quantile(90.0)));
+        entry.set("p99", JsonValue::number(histogram->quantile(99.0)));
         histograms.set(name, std::move(entry));
     }
     root.set("histograms", std::move(histograms));

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "topo/obs/json.hh"
 #include "topo/util/stats.hh"
@@ -69,19 +70,44 @@ class Gauge
     std::atomic<double> value_{0.0};
 };
 
-/** Distribution metric backed by RunningStats. */
+/**
+ * Distribution metric backed by RunningStats plus a bounded reservoir
+ * for quantile estimates. The reservoir keeps kReservoirSize uniform
+ * samples (algorithm R with a deterministic internal generator, so
+ * snapshots are reproducible run-to-run); up to that many observations
+ * the quantiles are exact.
+ */
 class Histogram
 {
   public:
+    /** Reservoir capacity (memory bound per histogram). */
+    static constexpr std::size_t kReservoirSize = 1024;
+
+    Histogram();
+
     /** Record one observation. */
     void observe(double value);
 
     /** Copy of the accumulated summary. */
     RunningStats stats() const;
 
+    /**
+     * Percentile estimate in [0, 100] from the reservoir (linear
+     * interpolation between order statistics); 0 when empty.
+     */
+    double quantile(double pct) const;
+
+    /** Copy of the current reservoir sample (tests). */
+    std::vector<double> reservoirSnapshot() const;
+
   private:
     mutable std::mutex mutex_;
     RunningStats stats_;
+    std::vector<double> reservoir_;
+    /** Observations seen (reservoir replacement denominator). */
+    std::uint64_t seen_ = 0;
+    /** xorshift64 state for reservoir replacement (fixed seed). */
+    std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
 };
 
 /**
@@ -113,7 +139,8 @@ class MetricsRegistry
     /**
      * Snapshot as JSON:
      * {"topo_metrics": 1, "counters": {...}, "gauges": {...},
-     *  "histograms": {name: {count,sum,mean,min,max,stddev}}}
+     *  "histograms":
+     *      {name: {count,sum,mean,min,max,stddev,p50,p90,p99}}}
      */
     JsonValue toJson() const;
 

@@ -14,6 +14,8 @@ initObservability(const Options &opts)
     const std::string log_file = opts.getString("log-file", "");
     if (!log_file.empty())
         logger.addSink(std::make_shared<FileSink>(log_file));
+    if (!opts.getString("trace-out", "").empty())
+        ChromeTraceLog::global().setEnabled(true);
 }
 
 bool
@@ -24,6 +26,19 @@ writeMetricsIfRequested(const Options &opts)
         return false;
     MetricsRegistry::global().writeJsonFile(path);
     logInfo("metrics", "snapshot written", {{"file", path}});
+    return true;
+}
+
+bool
+writeTraceIfRequested(const Options &opts)
+{
+    const std::string path = opts.getString("trace-out", "");
+    if (path.empty())
+        return false;
+    ChromeTraceLog &trace = ChromeTraceLog::global();
+    trace.writeFile(path);
+    logInfo("trace", "trace events written",
+            {{"file", path}, {"events", trace.size()}});
     return true;
 }
 

@@ -10,6 +10,9 @@
  *   --log-level=LEVEL   trace|debug|info|warn|error|off (default info)
  *   --log-file=FILE     additionally append log lines to FILE
  *   --metrics-out=FILE  write the metrics registry as JSON on exit
+ *   --trace-out=FILE    collect Chrome trace events (phase spans,
+ *                       simulation timelines) and write them on exit;
+ *                       load the file in Perfetto or chrome://tracing
  */
 
 #ifndef TOPO_OBS_OBS_HH
@@ -19,6 +22,8 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/obs/timeline.hh"
+#include "topo/obs/trace_events.hh"
 #include "topo/util/options.hh"
 
 namespace topo
@@ -26,7 +31,8 @@ namespace topo
 
 /**
  * Configure the global logger from --log-level / --log-file (and
- * their TOPO_LOG_LEVEL / TOPO_LOG_FILE environment fallbacks).
+ * their TOPO_LOG_LEVEL / TOPO_LOG_FILE environment fallbacks), and
+ * enable trace-event collection when --trace-out names a file.
  * Throws TopoError on an unknown level name or unwritable log file.
  */
 void initObservability(const Options &opts);
@@ -39,6 +45,15 @@ void initObservability(const Options &opts);
  *         absent.
  */
 bool writeMetricsIfRequested(const Options &opts);
+
+/**
+ * Write the global trace-event log to the file named by --trace-out /
+ * TOPO_TRACE_OUT as Chrome Trace Event Format JSON.
+ *
+ * @return True when a trace was written, false when the option was
+ *         absent.
+ */
+bool writeTraceIfRequested(const Options &opts);
 
 } // namespace topo
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "topo/obs/log.hh"
+#include "topo/obs/trace_events.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -55,6 +56,9 @@ PhaseTimer::stop()
                 "' is not the innermost live span)");
     t_phase_stack.pop_back();
     registry_->histogram("phase." + path_ + ".ms").observe(final_ms_);
+    ChromeTraceLog &trace = ChromeTraceLog::global();
+    if (trace.enabled())
+        trace.addSpan(path_, trace.tsFrom(start_), final_ms_ * 1000.0);
     if (logEnabled(LogLevel::kDebug)) {
         logDebug("phase", "end",
                  {{"phase", path_}, {"ms", final_ms_}});

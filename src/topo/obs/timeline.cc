@@ -1,0 +1,71 @@
+#include "topo/obs/timeline.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+TimelineRecorder::TimelineRecorder(std::uint64_t window_blocks,
+                                   std::size_t proc_count)
+    : window_blocks_(window_blocks)
+{
+    require(window_blocks > 0,
+            "TimelineRecorder: window size must be positive");
+    proc_epoch_.assign(proc_count, 0);
+}
+
+void
+TimelineRecorder::flushWindow()
+{
+    current_.start = next_start_;
+    next_start_ += current_.accesses;
+    samples_.push_back(current_);
+    current_ = TimelineSample{};
+    ++epoch_;
+}
+
+void
+TimelineRecorder::finish()
+{
+    if (current_.accesses != 0)
+        flushWindow();
+}
+
+void
+TimelineRecorder::exportCounters(ChromeTraceLog &log,
+                                 const std::string &track) const
+{
+    for (const TimelineSample &sample : samples_) {
+        const double ts = static_cast<double>(sample.start);
+        log.addCounter(track, "miss_rate", ts, sample.missRate());
+        log.addCounter(track, "working_set_procs", ts,
+                       static_cast<double>(sample.distinct_procs));
+    }
+}
+
+JsonValue
+TimelineRecorder::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    root.set("window_blocks",
+             JsonValue::number(static_cast<double>(window_blocks_)));
+    JsonValue list = JsonValue::array();
+    for (const TimelineSample &sample : samples_) {
+        JsonValue row = JsonValue::object();
+        row.set("start",
+                JsonValue::number(static_cast<double>(sample.start)));
+        row.set("accesses",
+                JsonValue::number(static_cast<double>(sample.accesses)));
+        row.set("misses",
+                JsonValue::number(static_cast<double>(sample.misses)));
+        row.set("miss_rate", JsonValue::number(sample.missRate()));
+        row.set("working_set_procs",
+                JsonValue::number(
+                    static_cast<double>(sample.distinct_procs)));
+        list.push(std::move(row));
+    }
+    root.set("samples", std::move(list));
+    return root;
+}
+
+} // namespace topo

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TimelineRecorder: interval-resolved cache behaviour.
+ *
+ * Aggregate miss counts hide *when* a layout loses; interval samples
+ * (every N fetch blocks: miss rate and working-set size) expose the
+ * phase structure that temporal-ordering placement exploits. The
+ * simulator feeds a recorder one (procedure, miss?) event per line
+ * fetch; the recorder buckets them into fixed windows and keeps one
+ * sample per window — memory is O(stream / window), independent of
+ * the per-window activity.
+ *
+ * Samples export as Chrome trace counter events (block-index
+ * pseudo-time) via exportCounters(), alongside the wall-clock phase
+ * spans already in the ChromeTraceLog.
+ */
+
+#ifndef TOPO_OBS_TIMELINE_HH
+#define TOPO_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/obs/json.hh"
+#include "topo/obs/trace_events.hh"
+#include "topo/program/procedure.hh"
+
+namespace topo
+{
+
+/** One fixed-size window of simulation activity. */
+struct TimelineSample
+{
+    /** Block index of the window's first fetch. */
+    std::uint64_t start = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Distinct procedures fetched from within the window. */
+    std::uint32_t distinct_procs = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Windowed miss-rate / working-set sampler for one simulation. */
+class TimelineRecorder
+{
+  public:
+    /**
+     * @param window_blocks Fetch blocks per window (non-zero).
+     * @param proc_count    Procedure inventory size (working-set
+     *                      tracking).
+     */
+    TimelineRecorder(std::uint64_t window_blocks, std::size_t proc_count);
+
+    /** Record one line fetch (hot path). */
+    void
+    record(ProcId proc, bool miss)
+    {
+        if (proc_epoch_[proc] != epoch_) {
+            proc_epoch_[proc] = epoch_;
+            ++current_.distinct_procs;
+        }
+        ++current_.accesses;
+        current_.misses += miss ? 1 : 0;
+        if (current_.accesses == window_blocks_)
+            flushWindow();
+    }
+
+    /** Close the trailing partial window (idempotent). */
+    void finish();
+
+    /** Blocks per window. */
+    std::uint64_t windowBlocks() const { return window_blocks_; }
+
+    /** Completed samples, in stream order (call finish() first). */
+    const std::vector<TimelineSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /**
+     * Export the samples as counter events ("miss_rate",
+     * "working_set_procs") on track @p track of @p log; timestamps are
+     * block indices.
+     */
+    void exportCounters(ChromeTraceLog &log,
+                        const std::string &track) const;
+
+    /** {"window_blocks": W, "samples": [{start,accesses,misses,...}]}. */
+    JsonValue toJson() const;
+
+  private:
+    void flushWindow();
+
+    std::uint64_t window_blocks_;
+    std::uint64_t next_start_ = 0;
+    TimelineSample current_;
+    /** Epoch stamp per procedure; matches epoch_ if seen this window. */
+    std::vector<std::uint64_t> proc_epoch_;
+    std::uint64_t epoch_ = 1;
+    std::vector<TimelineSample> samples_;
+};
+
+} // namespace topo
+
+#endif // TOPO_OBS_TIMELINE_HH

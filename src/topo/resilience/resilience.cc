@@ -32,12 +32,14 @@ toolMain(int argc, const char *const *argv, const ToolSpec &spec)
         }
         std::vector<std::string> known = spec.options;
         known.insert(known.end(), {"log-level", "log-file",
-                                   "metrics-out", "fault-spec"});
+                                   "metrics-out", "trace-out",
+                                   "fault-spec"});
         opts.rejectUnknown(known);
         initObservability(opts);
         initResilience(opts);
         const int rc = spec.run(opts);
         writeMetricsIfRequested(opts);
+        writeTraceIfRequested(opts);
         return rc;
     } catch (const TopoError &err) {
         std::cerr << spec.name << ": error: " << err.what() << "\n";

@@ -12,7 +12,8 @@
  * Standard knobs accepted by every tool (also via TOPO_* environment):
  *
  *   --fault-spec=KIND@P[:seed][,...]  arm deterministic fault injection
- *   --log-level / --log-file / --metrics-out  (observability layer)
+ *   --log-level / --log-file / --metrics-out / --trace-out
+ *     (observability layer; --trace-out emits Chrome trace events)
  */
 
 #ifndef TOPO_RESILIENCE_RESILIENCE_HH

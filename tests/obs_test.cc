@@ -226,5 +226,133 @@ TEST(MetricsTest, SnapshotRoundTrip)
     EXPECT_DOUBLE_EQ(hist.at("max").asNumber(), 4.0);
 }
 
+TEST(MetricsTest, HistogramQuantilesExactUnderReservoirCapacity)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("test.q");
+    for (int i = 1; i <= 100; ++i)
+        h.observe(static_cast<double>(i));
+    // 100 <= kReservoirSize, so quantiles are exact order statistics
+    // with linear interpolation.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(100.0), 100.0);
+    EXPECT_NEAR(h.quantile(50.0), 50.5, 1e-9);
+    EXPECT_NEAR(h.quantile(90.0), 90.1, 1e-9);
+    EXPECT_NEAR(h.quantile(99.0), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(registry.histogram("test.empty").quantile(50.0),
+                     0.0);
+}
+
+TEST(MetricsTest, HistogramReservoirStaysBounded)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("test.big");
+    for (int i = 0; i < 10000; ++i)
+        h.observe(static_cast<double>(i % 97));
+    const std::vector<double> reservoir = h.reservoirSnapshot();
+    EXPECT_EQ(reservoir.size(), Histogram::kReservoirSize);
+    EXPECT_EQ(h.stats().count(), 10000u);
+    // Samples are in-range and the estimate is sane for a uniform-ish
+    // distribution over [0, 96].
+    for (double v : reservoir) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 96.0);
+    }
+    EXPECT_GT(h.quantile(90.0), h.quantile(50.0));
+}
+
+TEST(MetricsTest, SnapshotCarriesQuantiles)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("phase.x.ms");
+    for (int i = 1; i <= 4; ++i)
+        h.observe(static_cast<double>(i));
+    const JsonValue snapshot =
+        JsonValue::parse(registry.toJson().toString());
+    const JsonValue &hist = snapshot.at("histograms").at("phase.x.ms");
+    EXPECT_NEAR(hist.at("p50").asNumber(), 2.5, 1e-9);
+    EXPECT_NEAR(hist.at("p90").asNumber(), 3.7, 1e-9);
+    EXPECT_NEAR(hist.at("p99").asNumber(), 3.97, 1e-9);
+}
+
+TEST(TimelineTest, WindowsAndWorkingSet)
+{
+    TimelineRecorder recorder(4, 3);
+    // Window 1: procs {0, 1}, 1 miss.  Window 2: proc {2}, 4 misses.
+    // Trailing partial window: proc {0}, 0 misses.
+    recorder.record(0, true);
+    recorder.record(0, false);
+    recorder.record(1, false);
+    recorder.record(1, false);
+    for (int i = 0; i < 4; ++i)
+        recorder.record(2, true);
+    recorder.record(0, false);
+    recorder.finish();
+    recorder.finish(); // idempotent
+
+    const std::vector<TimelineSample> &samples = recorder.samples();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].start, 0u);
+    EXPECT_EQ(samples[0].accesses, 4u);
+    EXPECT_EQ(samples[0].misses, 1u);
+    EXPECT_EQ(samples[0].distinct_procs, 2u);
+    EXPECT_DOUBLE_EQ(samples[0].missRate(), 0.25);
+    EXPECT_EQ(samples[1].start, 4u);
+    EXPECT_EQ(samples[1].distinct_procs, 1u);
+    EXPECT_DOUBLE_EQ(samples[1].missRate(), 1.0);
+    EXPECT_EQ(samples[2].start, 8u);
+    EXPECT_EQ(samples[2].accesses, 1u);
+
+    const JsonValue json = JsonValue::parse(recorder.toJson().toString());
+    EXPECT_DOUBLE_EQ(json.at("window_blocks").asNumber(), 4.0);
+    EXPECT_EQ(json.at("samples").size(), 3u);
+
+    EXPECT_THROW(TimelineRecorder(0, 1), TopoError);
+}
+
+TEST(TraceEventsTest, SpansCountersAndJson)
+{
+    ChromeTraceLog &log = ChromeTraceLog::global();
+    log.clear();
+    log.addSpan("simulate", 100.0, 250.0);
+    log.addCounter("timeline:gbsc", "miss_rate", 0.0, 0.5);
+    log.addCounter("timeline:gbsc", "miss_rate", 8.0, 0.25);
+
+    // 1 span + 1 track-name metadata + 2 counters.
+    EXPECT_EQ(log.size(), 4u);
+    const JsonValue json = JsonValue::parse(log.toJson().toString());
+    EXPECT_EQ(json.at("displayTimeUnit").asString(), "ms");
+    const JsonValue &events = json.at("traceEvents");
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.at(std::size_t{0}).at("ph").asString(), "X");
+    EXPECT_EQ(events.at(std::size_t{0}).at("name").asString(),
+              "simulate");
+    EXPECT_DOUBLE_EQ(events.at(std::size_t{0}).at("dur").asNumber(),
+                     250.0);
+    EXPECT_EQ(events.at(std::size_t{1}).at("ph").asString(), "M");
+    const JsonValue &counter = events.at(std::size_t{2});
+    EXPECT_EQ(counter.at("ph").asString(), "C");
+    EXPECT_DOUBLE_EQ(counter.at("args").at("miss_rate").asNumber(), 0.5);
+    // Counter tracks live on their own pid, apart from wall spans.
+    EXPECT_GE(counter.at("pid").asNumber(),
+              static_cast<double>(ChromeTraceLog::kFirstCounterPid));
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceEventsTest, TimelineExportsCounters)
+{
+    ChromeTraceLog &log = ChromeTraceLog::global();
+    log.clear();
+    TimelineRecorder recorder(2, 2);
+    recorder.record(0, true);
+    recorder.record(1, false);
+    recorder.finish();
+    recorder.exportCounters(log, "timeline:test");
+    // 1 metadata + 2 counter series samples for the single window.
+    EXPECT_EQ(log.size(), 3u);
+    log.clear();
+}
+
 } // namespace
 } // namespace topo

@@ -25,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "topo/obs/obs.hh"
 #include "topo/resilience/resilience.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
@@ -63,6 +64,8 @@ run(const Options &opts)
     require(!in_path.empty() && !out_path.empty(),
             "topo_corrupt: --in and --out are required");
     std::string bytes = readFileBytes(in_path);
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("corrupt.bytes_in").add(bytes.size());
 
     int modes = 0;
     for (const char *flag : {"truncate", "truncate-frac", "bitflip",
@@ -123,6 +126,11 @@ run(const Options &opts)
     }
 
     writeFileBytes(out_path, bytes);
+    metrics.counter("corrupt.bytes_out").add(bytes.size());
+    logInfo("corrupt", "damage applied",
+            {{"in", in_path},
+             {"out", out_path},
+             {"bytes_out", bytes.size()}});
     std::cerr << "wrote " << bytes.size() << " bytes to " << out_path
               << "\n";
     return 0;
@@ -141,7 +149,10 @@ main(int argc, char **argv)
         "  --truncate=N | --truncate-frac=F\n"
         "  --bitflip=OFFSET [--flip-bit=B]\n"
         "  --random-flips=N [--seed=S]\n"
-        "  --drop-chunk=K   (binary topo traces only)\n",
+        "  --drop-chunk=K   (binary topo traces only)\n"
+        "  --fault-spec=KIND@P[:seed] (read_short|bitflip|throw_io)\n"
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n"
+        "  --trace-out=FILE (Chrome trace events for Perfetto)\n",
         {"in", "out", "truncate", "truncate-frac", "bitflip",
          "flip-bit", "random-flips", "seed", "drop-chunk"},
         run,

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * topo_report: self-contained "why did this layout win" reports.
+ *
+ * Three ways to name the workload:
+ *
+ *   topo_report --benchmark=NAME [--algorithms=default,ph,hkc,gbsc]
+ *       full in-process pipeline on a paper-suite benchmark; one
+ *       candidate layout per algorithm.
+ *
+ *   topo_report --microsuite[=CASE] [--algorithms=...]
+ *       same head-to-head on the adversarial micro workloads (all
+ *       cases, or one named case).
+ *
+ *   topo_report --program=F --trace=F --layouts=a.layout,b.layout
+ *       compare explicit layout files over a recorded trace.
+ *
+ * Output is Markdown on stdout (or --out=FILE); --json-out=FILE writes
+ * the same data as JSON parsable by the in-tree JsonValue parser. The
+ * first candidate is the baseline for timeline deltas.
+ *
+ * Utility mode: --check-json=FILE parses FILE with the in-tree JSON
+ * parser and exits 0 (valid) or 2 (malformed) — used by check.sh to
+ * validate report/bench artefacts without python.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "topo/eval/experiment.hh"
+#include "topo/eval/report_gen.hh"
+#include "topo/eval/reports.hh"
+#include "topo/obs/obs.hh"
+#include "topo/placement/cache_coloring.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/placement/popularity.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/program/layout_io.hh"
+#include "topo/program/program_io.hh"
+#include "topo/resilience/resilience.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/util/error.hh"
+#include "topo/util/string_utils.hh"
+#include "topo/workload/microsuite.hh"
+#include "topo/workload/paper_suite.hh"
+
+namespace
+{
+
+using namespace topo;
+
+/** Resolve one algorithm name; throws a user error on unknowns. */
+const PlacementAlgorithm &
+algorithmByName(const std::string &name)
+{
+    static const DefaultPlacement def;
+    static const PettisHansen ph;
+    static const CacheColoring hkc;
+    static const Gbsc gbsc;
+    if (name == "default")
+        return def;
+    if (name == "ph")
+        return ph;
+    if (name == "hkc")
+        return hkc;
+    if (name == "gbsc")
+        return gbsc;
+    fail("topo_report: unknown algorithm '" + name +
+         "' (use default, ph, hkc, or gbsc)");
+}
+
+std::vector<std::string>
+algorithmListFrom(const Options &opts)
+{
+    const std::string raw =
+        opts.getString("algorithms", "default,ph,gbsc");
+    std::vector<std::string> names = split(raw, ',');
+    require(!names.empty(), "topo_report: --algorithms is empty");
+    for (const std::string &name : names)
+        algorithmByName(name); // validate early
+    return names;
+}
+
+ReportOptions
+reportOptionsFrom(const Options &opts)
+{
+    ReportOptions ropts;
+    ropts.top_pairs = static_cast<std::size_t>(
+        opts.getInt("top-pairs", static_cast<std::int64_t>(
+                                     ropts.top_pairs)));
+    ropts.hot_sets = static_cast<std::size_t>(
+        opts.getInt("hot-sets",
+                    static_cast<std::int64_t>(ropts.hot_sets)));
+    ropts.timeline_window = static_cast<std::uint64_t>(
+        opts.getInt("timeline-window", 0));
+    return ropts;
+}
+
+/** Place every requested algorithm over one context. */
+std::vector<LayoutCandidate>
+placeCandidates(const std::vector<std::string> &algorithms,
+                const Program &program, std::uint32_t line_bytes,
+                const PlacementContext &ctx)
+{
+    std::vector<LayoutCandidate> candidates;
+    for (const std::string &name : algorithms) {
+        const PlacementAlgorithm &algo = algorithmByName(name);
+        LayoutCandidate cand{algo.name(), algo.place(ctx)};
+        cand.layout.validate(program, line_bytes);
+        candidates.push_back(std::move(cand));
+    }
+    return candidates;
+}
+
+/** Emit one finished report to stdout/--out/--json-out. */
+struct ReportWriter
+{
+    std::string out_path;
+    std::string json_path;
+    std::ostringstream markdown;
+    JsonValue json_reports = JsonValue::array();
+
+    void
+    add(const ComparisonReport &report)
+    {
+        renderReportMarkdown(report, markdown);
+        markdown << '\n';
+        json_reports.push(reportToJson(report));
+    }
+
+    int
+    finish()
+    {
+        if (out_path.empty()) {
+            std::cout << markdown.str();
+        } else {
+            std::ofstream os(out_path);
+            require(os.good(),
+                    "topo_report: cannot open --out file '" + out_path +
+                        "'");
+            os << markdown.str();
+            logInfo("report", "markdown written",
+                    {{"file", out_path}});
+        }
+        if (!json_path.empty()) {
+            JsonValue root = JsonValue::object();
+            root.set("topo_report_suite", JsonValue::number(1));
+            root.set("reports", std::move(json_reports));
+            std::ofstream os(json_path);
+            require(os.good(),
+                    "topo_report: cannot open --json-out file '" +
+                        json_path + "'");
+            os << root.toString() << '\n';
+            logInfo("report", "json written", {{"file", json_path}});
+        }
+        return 0;
+    }
+};
+
+ReportWriter
+writerFrom(const Options &opts)
+{
+    ReportWriter writer;
+    writer.out_path = opts.getString("out", "");
+    writer.json_path = opts.getString("json-out", "");
+    return writer;
+}
+
+int
+runBenchmarkReport(const Options &opts)
+{
+    const std::string name = opts.getString("benchmark", "");
+    const BenchmarkCase bench =
+        paperBenchmark(name, traceScaleFrom(opts));
+    const EvalOptions eval = evalOptionsFrom(opts);
+    const ProfileBundle bundle(bench, eval);
+    const std::vector<std::string> algorithms = algorithmListFrom(opts);
+
+    const PlacementContext ctx = bundle.makeContext();
+    const std::vector<LayoutCandidate> candidates = placeCandidates(
+        algorithms, bundle.program(), eval.cache.line_bytes, ctx);
+    ComparisonReport report = buildComparisonReport(
+        bundle.program(), bundle.testStream(), eval.cache, candidates,
+        reportOptionsFrom(opts));
+    report.title = "Benchmark " + bundle.name();
+
+    ReportWriter writer = writerFrom(opts);
+    writer.add(report);
+    return writer.finish();
+}
+
+/** Build the standard profiling context for one microsuite case. */
+ComparisonReport
+microCaseReport(const MicroCase &mc,
+                const std::vector<std::string> &algorithms,
+                const ReportOptions &ropts)
+{
+    const ChunkMap chunks(mc.program, 256);
+    const TraceStats stats = computeTraceStats(mc.program, mc.trace);
+    const PopularSet popular = selectPopular(mc.program, stats);
+    const WeightedGraph wcg = buildWcg(mc.program, mc.trace);
+    TrgBuildOptions topts;
+    topts.byte_budget = 2 * mc.cache.size_bytes;
+    topts.popular = &popular.mask;
+    const TrgBuildResult trgs =
+        buildTrgs(mc.program, chunks, mc.trace, topts);
+
+    PlacementContext ctx;
+    ctx.program = &mc.program;
+    ctx.cache = mc.cache;
+    ctx.chunks = &chunks;
+    ctx.wcg = &wcg;
+    ctx.trg_select = &trgs.select;
+    ctx.trg_place = &trgs.place;
+    ctx.popular = popular.mask;
+    ctx.heat.assign(mc.program.procCount(), 0.0);
+    for (std::size_t i = 0; i < ctx.heat.size(); ++i)
+        ctx.heat[i] = static_cast<double>(stats.bytes_fetched[i]);
+
+    const std::vector<LayoutCandidate> candidates = placeCandidates(
+        algorithms, mc.program, mc.cache.line_bytes, ctx);
+    const FetchStream stream(mc.program, mc.trace,
+                             mc.cache.line_bytes);
+    ComparisonReport report = buildComparisonReport(
+        mc.program, stream, mc.cache, candidates, ropts);
+    report.title = "Microsuite case " + mc.name + " — " + mc.lesson;
+    return report;
+}
+
+int
+runMicrosuiteReport(const Options &opts)
+{
+    const std::string which = opts.getString("microsuite", "");
+    const std::vector<std::string> algorithms = algorithmListFrom(opts);
+    const ReportOptions ropts = reportOptionsFrom(opts);
+
+    std::vector<MicroCase> cases;
+    if (which.empty() || which == "1" || which == "all")
+        cases = microsuite();
+    else
+        cases.push_back(microCase(which));
+
+    ReportWriter writer = writerFrom(opts);
+    for (const MicroCase &mc : cases)
+        writer.add(microCaseReport(mc, algorithms, ropts));
+    return writer.finish();
+}
+
+int
+runFileReport(const Options &opts)
+{
+    const std::string program_path = opts.getString("program", "");
+    const std::string trace_path = opts.getString("trace", "");
+    const std::string layouts_raw = opts.getString("layouts", "");
+    require(!program_path.empty() && !trace_path.empty() &&
+                !layouts_raw.empty(),
+            "topo_report: file mode needs --program, --trace, and "
+            "--layouts=a.layout,b.layout");
+    const Program program = loadProgram(program_path);
+    Trace trace = loadAnyTrace(trace_path, TraceReadOptions{});
+    trace.validate(program);
+    const EvalOptions eval = evalOptionsFrom(opts);
+
+    std::vector<LayoutCandidate> candidates;
+    for (const std::string &path : split(layouts_raw, ',')) {
+        LayoutCandidate cand{path, loadLayout(path, program)};
+        cand.layout.validate(program, eval.cache.line_bytes);
+        candidates.push_back(std::move(cand));
+    }
+    const FetchStream stream(program, trace, eval.cache.line_bytes);
+    ComparisonReport report =
+        buildComparisonReport(program, stream, eval.cache, candidates,
+                              reportOptionsFrom(opts));
+    report.title = "Trace " + trace_path;
+
+    ReportWriter writer = writerFrom(opts);
+    writer.add(report);
+    return writer.finish();
+}
+
+/** Parse FILE with the in-tree JSON parser; exit 0 valid, 2 corrupt. */
+int
+runCheckJson(const Options &opts)
+{
+    const std::string path = opts.getString("check-json", "");
+    std::ifstream is(path, std::ios::binary);
+    requireData(is.good(), "cannot open file", path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    try {
+        JsonValue::parse(buf.str());
+    } catch (const TopoError &err) {
+        failCorrupt(err.what(), path);
+    }
+    std::cout << "valid JSON: " << path << "\n";
+    return 0;
+}
+
+int
+run(const Options &opts)
+{
+    if (!opts.getString("check-json", "").empty())
+        return runCheckJson(opts);
+    if (!opts.getString("benchmark", "").empty())
+        return runBenchmarkReport(opts);
+    if (opts.has("microsuite"))
+        return runMicrosuiteReport(opts);
+    return runFileReport(opts);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ToolSpec spec{
+        "topo_report",
+        "topo_report: attribution/timeline comparison reports.\n"
+        "  --benchmark=NAME (paper-suite pipeline) or\n"
+        "  --microsuite[=CASE] (adversarial micro workloads) or\n"
+        "  --program=FILE --trace=FILE --layouts=a.layout,b.layout\n"
+        "  --algorithms=default,ph,hkc,gbsc (pipeline modes)\n"
+        "  --out=FILE (Markdown; default stdout) --json-out=FILE\n"
+        "  --top-pairs=N --hot-sets=N --timeline-window=BLOCKS\n"
+        "  --cache-kb=N --line-bytes=N --assoc=N --trace-scale=S\n"
+        "  --check-json=FILE (validate a JSON artefact; exit 0/2)\n"
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n"
+        "  --trace-out=FILE (Chrome trace events for Perfetto)\n",
+        {"benchmark", "microsuite", "program", "trace", "layouts",
+         "algorithms", "out", "json-out", "top-pairs", "hot-sets",
+         "timeline-window", "trace-scale", "cache-kb", "line-bytes",
+         "assoc", "chunk-bytes", "coverage", "q-factor", "check-json"},
+        run,
+    };
+    return topo::toolMain(argc, argv, spec);
+}

@@ -4,14 +4,22 @@
  *
  *   topo_sim --program=app.prog --trace=app.trace \
  *            [--layout=app.layout] [--cache-kb=8 --assoc=1] \
- *            [--attribute] [--pages]
+ *            [--attribute] [--attribution] [--pages]
  *
  * Without --layout the default (source-order) layout is simulated.
  *
- * With --benchmark=NAME the full pipeline runs in-process on a
- * paper-suite benchmark — synthesis, profiling, placement, and
+ * With --benchmark=NAME[,NAME...] the full pipeline runs in-process on
+ * paper-suite benchmarks — synthesis, profiling, placement, and
  * simulation — which makes it the one-command way to capture phase
- * timings with --metrics-out.
+ * timings with --metrics-out. --algorithms=default,ph,hkc,gbsc runs
+ * several placements head-to-head; --bench-out=FILE records every run
+ * (wall time, blocks/sec, peak RSS, miss rate) as a BENCH_*.json
+ * document for scripts/bench.sh.
+ *
+ * Observability: --attribution attaches the per-procedure /
+ * per-set attribution sink and prints the top conflicting procedure
+ * pairs; --timeline-window=N samples windowed miss rates, exported as
+ * Chrome trace counters when --trace-out is given.
  *
  * Resilience knobs: --recover salvages the valid prefix of a damaged
  * trace instead of exiting with code 2; --checkpoint/--checkpoint-every
@@ -20,12 +28,17 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "topo/cache/attribution.hh"
 #include "topo/cache/simulate.hh"
 #include "topo/eval/page_metric.hh"
 #include "topo/eval/reports.hh"
 #include "topo/obs/obs.hh"
+#include "topo/obs/timeline.hh"
 #include "topo/placement/cache_coloring.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/placement/pettis_hansen.hh"
@@ -34,6 +47,8 @@
 #include "topo/resilience/resilience.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
+#include "topo/util/string_utils.hh"
+#include "topo/util/sysinfo.hh"
 #include "topo/util/table.hh"
 #include "topo/workload/paper_suite.hh"
 
@@ -90,50 +105,235 @@ printResult(const SimResult &result, const SimControl &control)
     }
 }
 
+/** Print the heaviest evictor→victim pairs from an attribution sink. */
+void
+printConflicts(const Program &program, const AttributionSink &sink)
+{
+    std::cout << '\n';
+    const std::vector<ConflictPair> pairs = sink.topPairs(10);
+    if (pairs.empty()) {
+        std::cout << "no valid-line evictions — the working set fits "
+                     "the cache\n";
+        return;
+    }
+    TextTable table({"evictor", "victim", "evictions"});
+    for (const ConflictPair &pair : pairs) {
+        table.addRow({program.proc(pair.evictor).name,
+                      program.proc(pair.victim).name,
+                      std::to_string(pair.count)});
+    }
+    table.render(std::cout, "Top conflicting procedure pairs");
+    if (sink.droppedPairs() != 0) {
+        std::cout << "(pair budget exhausted; " << sink.droppedPairs()
+                  << " evictions over untracked pairs)\n";
+    }
+}
+
+/** Observation sinks for one simulation, built on request. */
+struct Observation
+{
+    std::unique_ptr<AttributionSink> attribution;
+    std::unique_ptr<TimelineRecorder> timeline;
+    SimObservers observers;
+    bool active = false;
+};
+
 /**
- * Full pipeline on a synthetic paper benchmark: synthesise traces,
- * profile, place with one algorithm, and simulate the testing trace.
+ * Build the requested sinks: --attribution arms the attribution sink;
+ * a timeline is recorded when --timeline-window is given or a Chrome
+ * trace is being captured (--trace-out).
+ */
+Observation
+observationFrom(const Options &opts, const Program &program,
+                const Layout &layout, const CacheConfig &cache,
+                std::uint64_t stream_blocks)
+{
+    Observation obs;
+    if (opts.getBool("attribution", false)) {
+        obs.attribution = std::make_unique<AttributionSink>(
+            program, layout, cache, cache.line_bytes);
+        obs.observers.attribution = obs.attribution.get();
+    }
+    std::uint64_t window = static_cast<std::uint64_t>(
+        opts.getInt("timeline-window", 0));
+    if (window == 0 && ChromeTraceLog::global().enabled())
+        window = std::max<std::uint64_t>(1, stream_blocks / 64);
+    if (window != 0) {
+        obs.timeline = std::make_unique<TimelineRecorder>(
+            window, program.procCount());
+        obs.observers.timeline = obs.timeline.get();
+    }
+    obs.active = obs.observers.any();
+    return obs;
+}
+
+/** Timed simulation; returns wall milliseconds via @p wall_ms. */
+SimResult
+timedSimulate(const Program &program, const Layout &layout,
+              const FetchStream &stream, const CacheConfig &cache,
+              bool attribute, const SimControl *control,
+              const SimObservers *observers, double &wall_ms)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = simulateLayout(
+        program, layout, stream, cache, attribute, control, observers);
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    return result;
+}
+
+/** Post-run reporting shared by both paths. */
+void
+reportObservation(const Program &program, const Observation &obs,
+                  const std::string &track)
+{
+    if (obs.attribution)
+        printConflicts(program, *obs.attribution);
+    if (obs.timeline && ChromeTraceLog::global().enabled())
+        obs.timeline->exportCounters(ChromeTraceLog::global(), track);
+}
+
+/** One simulated (benchmark, algorithm) cell of a bench run. */
+struct RunRecord
+{
+    std::string benchmark;
+    std::string algorithm;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    double miss_rate = 0.0;
+    double wall_ms = 0.0;
+
+    double
+    blocksPerSec() const
+    {
+        return wall_ms > 0.0 ? static_cast<double>(accesses) /
+                                   (wall_ms / 1000.0)
+                             : 0.0;
+    }
+};
+
+/** Write the BENCH_*.json document consumed by scripts/bench.sh. */
+void
+writeBenchJson(const std::string &path, const std::string &benchmarks,
+               double trace_scale, const CacheConfig &cache,
+               const std::vector<RunRecord> &runs)
+{
+    JsonValue root = JsonValue::object();
+    root.set("topo_bench", JsonValue::number(1));
+    root.set("date", JsonValue::string(utcTimestamp()));
+    root.set("benchmarks", JsonValue::string(benchmarks));
+    root.set("trace_scale", JsonValue::number(trace_scale));
+    root.set("cache", JsonValue::string(cache.describe()));
+    root.set("peak_rss_kb",
+             JsonValue::number(static_cast<double>(peakRssKb())));
+    JsonValue list = JsonValue::array();
+    for (const RunRecord &run : runs) {
+        JsonValue row = JsonValue::object();
+        row.set("benchmark", JsonValue::string(run.benchmark));
+        row.set("algorithm", JsonValue::string(run.algorithm));
+        row.set("accesses",
+                JsonValue::number(static_cast<double>(run.accesses)));
+        row.set("misses",
+                JsonValue::number(static_cast<double>(run.misses)));
+        row.set("miss_rate", JsonValue::number(run.miss_rate));
+        row.set("wall_ms", JsonValue::number(run.wall_ms));
+        row.set("blocks_per_sec", JsonValue::number(run.blocksPerSec()));
+        list.push(std::move(row));
+    }
+    root.set("runs", std::move(list));
+    std::ofstream os(path);
+    require(os.good(),
+            "topo_sim: cannot open --bench-out file '" + path + "'");
+    os << root.toString() << '\n';
+    logInfo("bench", "bench record written",
+            {{"file", path}, {"runs", runs.size()}});
+}
+
+const PlacementAlgorithm &
+algorithmByName(const std::string &name)
+{
+    static const DefaultPlacement def;
+    static const PettisHansen ph;
+    static const CacheColoring hkc;
+    static const Gbsc gbsc;
+    if (name == "gbsc")
+        return gbsc;
+    if (name == "ph")
+        return ph;
+    if (name == "hkc")
+        return hkc;
+    if (name == "default")
+        return def;
+    fail("topo_sim: unknown algorithm '" + name +
+         "' (use gbsc, ph, hkc, or default)");
+}
+
+/**
+ * Full pipeline on synthetic paper benchmarks: synthesise traces,
+ * profile, place with each requested algorithm, and simulate the
+ * testing trace.
  */
 int
 runBenchmark(const Options &opts)
 {
-    const std::string name = opts.getString("benchmark", "");
+    const std::string bench_names = opts.getString("benchmark", "");
     const double scale = traceScaleFrom(opts);
-    const BenchmarkCase bench = paperBenchmark(name, scale);
     const EvalOptions eval = evalOptionsFrom(opts);
-    const ProfileBundle bundle(bench, eval);
 
-    const std::string algorithm = opts.getString("algorithm", "gbsc");
-    const DefaultPlacement def;
-    const PettisHansen ph;
-    const CacheColoring hkc;
-    const Gbsc gbsc;
-    const PlacementAlgorithm *algo = nullptr;
-    if (algorithm == "gbsc")
-        algo = &gbsc;
-    else if (algorithm == "ph")
-        algo = &ph;
-    else if (algorithm == "hkc")
-        algo = &hkc;
-    else if (algorithm == "default")
-        algo = &def;
+    std::vector<std::string> algorithms;
+    if (opts.has("algorithms"))
+        algorithms = split(opts.getString("algorithms", ""), ',');
     else
-        fail("topo_sim: unknown algorithm '" + algorithm +
-             "' (use gbsc, ph, hkc, or default)");
+        algorithms.push_back(opts.getString("algorithm", "gbsc"));
+    require(!algorithms.empty(), "topo_sim: --algorithms is empty");
+    for (const std::string &name : algorithms)
+        algorithmByName(name); // validate early
 
-    const PlacementContext ctx = bundle.makeContext();
-    const Layout layout = algo->place(ctx);
-    layout.validate(bundle.program(), eval.cache.line_bytes);
     ControlState ctl = controlFrom(opts);
-    const SimResult result = simulateLayout(
-        bundle.program(), layout, bundle.testStream(), eval.cache,
-        opts.getBool("attribute", false),
-        ctl.active ? &ctl.control : nullptr);
+    const std::vector<std::string> benches = split(bench_names, ',');
+    const bool single = benches.size() == 1 && algorithms.size() == 1;
+    require(!ctl.active || single,
+            "topo_sim: checkpoint/resume needs a single benchmark and "
+            "algorithm");
 
-    std::cout << "benchmark:  " << bundle.name() << "\n";
-    std::cout << "cache:      " << eval.cache.describe() << "\n";
-    std::cout << "algorithm:  " << algo->name() << "\n";
-    printResult(result, ctl.control);
+    std::vector<RunRecord> runs;
+    for (const std::string &bench_name : benches) {
+        const BenchmarkCase bench = paperBenchmark(bench_name, scale);
+        const ProfileBundle bundle(bench, eval);
+        const PlacementContext ctx = bundle.makeContext();
+        std::cout << "benchmark:  " << bundle.name() << "\n";
+        std::cout << "cache:      " << eval.cache.describe() << "\n";
+        for (const std::string &algo_name : algorithms) {
+            const PlacementAlgorithm &algo = algorithmByName(algo_name);
+            const Layout layout = algo.place(ctx);
+            layout.validate(bundle.program(), eval.cache.line_bytes);
+
+            Observation obs = observationFrom(
+                opts, bundle.program(), layout, eval.cache,
+                bundle.testStream().size());
+            require(!obs.active || !ctl.active,
+                    "topo_sim: --attribution/--timeline-window do not "
+                    "combine with checkpoint/resume");
+            double wall_ms = 0.0;
+            const SimResult result = timedSimulate(
+                bundle.program(), layout, bundle.testStream(),
+                eval.cache, opts.getBool("attribute", false),
+                ctl.active ? &ctl.control : nullptr,
+                obs.active ? &obs.observers : nullptr, wall_ms);
+
+            std::cout << "algorithm:  " << algo.name() << "\n";
+            printResult(result, ctl.control);
+            reportObservation(bundle.program(), obs,
+                              bundle.name() + "/" + algo_name);
+            std::cout << "\n";
+            runs.push_back({bundle.name(), algo_name, result.accesses,
+                            result.misses, result.missRate(), wall_ms});
+        }
+    }
+    const std::string bench_out = opts.getString("bench-out", "");
+    if (!bench_out.empty())
+        writeBenchJson(bench_out, bench_names, scale, eval.cache, runs);
     return 0;
 }
 
@@ -163,9 +363,16 @@ run(const Options &opts)
     const FetchStream stream(program, trace, eval.cache.line_bytes);
     const bool attribute = opts.getBool("attribute", false);
     ControlState ctl = controlFrom(opts);
-    const SimResult result =
-        simulateLayout(program, layout, stream, eval.cache, attribute,
-                       ctl.active ? &ctl.control : nullptr);
+    Observation obs = observationFrom(opts, program, layout, eval.cache,
+                                      stream.size());
+    require(!obs.active || !ctl.active,
+            "topo_sim: --attribution/--timeline-window do not combine "
+            "with checkpoint/resume");
+    double wall_ms = 0.0;
+    const SimResult result = timedSimulate(
+        program, layout, stream, eval.cache, attribute,
+        ctl.active ? &ctl.control : nullptr,
+        obs.active ? &obs.observers : nullptr, wall_ms);
 
     std::cout << "cache:      " << eval.cache.describe() << "\n";
     std::cout << "layout:     "
@@ -173,6 +380,16 @@ run(const Options &opts)
                                       : layout_path)
               << "\n";
     printResult(result, ctl.control);
+    reportObservation(program, obs, "sim");
+
+    const std::string bench_out = opts.getString("bench-out", "");
+    if (!bench_out.empty()) {
+        const std::string label =
+            layout_path.empty() ? "default" : layout_path;
+        writeBenchJson(bench_out, trace_path, 1.0, eval.cache,
+                       {{trace_path, label, result.accesses,
+                         result.misses, result.missRate(), wall_ms}});
+    }
 
     if (attribute) {
         std::vector<std::pair<std::uint64_t, ProcId>> by_misses;
@@ -213,18 +430,24 @@ main(int argc, char **argv)
         "topo_sim",
         "topo_sim: simulate a trace under a layout.\n"
         "  --program=FILE --trace=FILE [--layout=FILE]\n"
-        "  --benchmark=NAME [--algorithm=NAME] (full in-process\n"
-        "      pipeline on a paper-suite benchmark instead)\n"
+        "  --benchmark=NAME[,NAME...] [--algorithm=NAME]\n"
+        "      [--algorithms=default,ph,hkc,gbsc] (full in-process\n"
+        "      pipeline on paper-suite benchmarks instead)\n"
         "  --cache-kb=N --line-bytes=N --assoc=N\n"
         "  --attribute (per-procedure misses) --pages\n"
+        "  --attribution (conflict-pair attribution sink)\n"
+        "  --timeline-window=N (windowed miss-rate samples)\n"
+        "  --bench-out=FILE (BENCH_*.json run record)\n"
         "  --recover (salvage a damaged trace and continue)\n"
         "  --checkpoint=FILE --checkpoint-every=N (periodic state)\n"
         "  --resume=FILE (continue bit-identically) --stop-after=N\n"
         "  --fault-spec=KIND@P[:seed] (read_short|bitflip|throw_io)\n"
-        "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
+        "  --log-level=L --log-file=FILE --metrics-out=FILE\n"
+        "  --trace-out=FILE (Chrome trace events for Perfetto)\n",
         {"program", "trace", "layout", "benchmark", "algorithm",
-         "trace-scale", "cache-kb", "line-bytes", "assoc",
-         "chunk-bytes", "coverage", "q-factor", "attribute", "pages",
+         "algorithms", "trace-scale", "cache-kb", "line-bytes", "assoc",
+         "chunk-bytes", "coverage", "q-factor", "attribute",
+         "attribution", "timeline-window", "bench-out", "pages",
          "recover", "checkpoint", "checkpoint-every", "resume",
          "stop-after"},
         run,
