@@ -8,7 +8,9 @@
 #   out.json   output path (default: BENCH_$(date -u +%Y%m%d).json)
 #   build-dir  existing/created build tree (default: build)
 # Knobs: TOPO_BENCH_SCALE (trace scale, default 0.05),
-#        TOPO_BENCH_NAMES (comma list, default m88ksim,vortex)
+#        TOPO_BENCH_NAMES (comma list, default m88ksim,vortex),
+#        TOPO_BENCH_JOBS (worker threads, default: hardware concurrency;
+#        results are jobs-invariant, only the wall times change)
 set -e
 
 cd "$(dirname "$0")/.."
@@ -16,15 +18,16 @@ OUT="${1:-BENCH_$(date -u +%Y%m%d).json}"
 BUILD="${2:-build}"
 SCALE="${TOPO_BENCH_SCALE:-0.05}"
 NAMES="${TOPO_BENCH_NAMES:-m88ksim,vortex}"
+JOBS="${TOPO_BENCH_JOBS:-$(nproc 2> /dev/null || echo 1)}"
 
 echo "== build ($BUILD) =="
 cmake -B "$BUILD" -S . > /dev/null
 cmake --build "$BUILD" -j --target topo_sim topo_report > /dev/null
 
-echo "== bench ($NAMES, scale $SCALE) =="
+echo "== bench ($NAMES, scale $SCALE, jobs $JOBS) =="
 "$BUILD/tools/topo_sim" --benchmark="$NAMES" \
     --algorithms=default,ph,hkc,gbsc --trace-scale="$SCALE" \
-    --bench-out="$OUT"
+    --jobs="$JOBS" --bench-out="$OUT"
 
 "$BUILD/tools/topo_report" --check-json="$OUT" > /dev/null || {
     echo "FAIL: $OUT is not valid JSON"; exit 1; }

@@ -175,4 +175,32 @@ else
     echo "note: run finished before a checkpoint landed; resume skipped"
 fi
 
+TSAN="$BUILD-tsan"
+echo "== configure ($TSAN, TSan) =="
+cmake -B "$TSAN" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+    > /dev/null
+
+echo "== build (TSan targets) =="
+cmake --build "$TSAN" -j \
+    --target topo_sim topo_report exec_test determinism_test
+
+echo "== parallel smoke (TSan) =="
+# exitcode=66 separates "TSan found a race" from the tools' own codes.
+export TSAN_OPTIONS="exitcode=66:halt_on_error=1"
+"$TSAN/tests/exec_test" > /dev/null
+"$TSAN/tests/determinism_test" > /dev/null
+"$TSAN/tools/topo_sim" --benchmark='*' --algorithms=ph,gbsc,hkc \
+    --trace-scale=0.01 --jobs=4 > "$WORK/tsan_j4.txt" 2> /dev/null
+"$TSAN/tools/topo_sim" --benchmark='*' --algorithms=ph,gbsc,hkc \
+    --trace-scale=0.01 --jobs=1 > "$WORK/tsan_j1.txt" 2> /dev/null
+cmp -s "$WORK/tsan_j1.txt" "$WORK/tsan_j4.txt" || {
+    echo "FAIL: --jobs=4 output differs from --jobs=1 under TSan"
+    exit 1; }
+"$TSAN/tools/topo_report" --microsuite --algorithms=default,ph,gbsc \
+    --jobs=4 --out="$WORK/tsan_report.md" > /dev/null
+unset TSAN_OPTIONS
+
 echo "OK: all checks passed"

@@ -85,7 +85,7 @@ replay(const Program &program, const Layout &layout,
         ckpt.cache_words = cache.stateWords();
         ckpt.misses_by_proc = result.misses_by_proc;
         saveCheckpoint(control->checkpoint_path, ckpt);
-        MetricsRegistry::global()
+        MetricsRegistry::current()
             .counter("sim.checkpoints_written")
             .add();
     };
@@ -256,7 +256,7 @@ simulateLayout(const Program &program, const Layout &layout,
         observers->timeline->finish();
     timer.stop();
 
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     metrics.counter("cache.simulations").add();
     metrics.counter("cache.accesses").add(result.accesses);
     metrics.counter("cache.misses").add(result.misses);

@@ -61,7 +61,7 @@ ProfileBundle::ProfileBundle(const BenchmarkCase &bench,
         if (options_.pair_prune > 0.0)
             pairs_.prune(options_.pair_prune);
     }
-    MetricsRegistry::global().counter("eval.bundles").add();
+    MetricsRegistry::current().counter("eval.bundles").add();
     if (logEnabled(LogLevel::kDebug)) {
         logDebug("eval", "profile bundle ready",
                  {{"benchmark", name_},

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <ostream>
 
 #include "topo/cache/attribution.hh"
 #include "topo/cache/simulate.hh"
+#include "topo/exec/exec.hh"
+#include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
 #include "topo/util/error.hh"
 #include "topo/util/table.hh"
@@ -76,54 +79,74 @@ buildComparisonReport(const Program &program, const FetchStream &stream,
             ? options.timeline_window
             : std::max<std::uint64_t>(1, stream.size() / 64);
 
-    for (const LayoutCandidate &candidate : candidates) {
-        candidate.layout.validate(program, cache.line_bytes);
-        AttributionSink::Options sink_opts;
-        sink_opts.max_pairs = options.max_pairs;
-        AttributionSink sink(program, candidate.layout, cache,
-                             stream.lineBytes(), sink_opts);
-        TimelineRecorder timeline(report.timeline_window,
-                                  program.procCount());
-        SimObservers observers;
-        observers.attribution = &sink;
-        observers.timeline = &timeline;
-        const SimResult sim =
-            simulateLayout(program, candidate.layout, stream, cache,
-                           false, nullptr, &observers);
-
+    // Candidates replay the same stream independently, so they fan out
+    // on the shared pool. Each candidate records into a private
+    // metrics registry; registries merge in candidate order at join,
+    // keeping the report and --metrics-out byte-identical for every
+    // --jobs value (DESIGN.md §9).
+    struct CandidateResult
+    {
         LayoutReport entry;
-        entry.label = candidate.label;
-        entry.accesses = sim.accesses;
-        entry.misses = sim.misses;
-        entry.evictions = sim.evictions;
-        entry.miss_rate = sim.missRate();
-        for (const ConflictPair &pair :
-             sink.topPairs(options.top_pairs)) {
-            entry.top_pairs.push_back(
-                {program.proc(pair.evictor).name,
-                 program.proc(pair.victim).name, pair.count});
-        }
-        entry.tracked_pairs = sink.trackedPairs();
-        entry.dropped_pairs = sink.droppedPairs();
-        entry.set_misses = sink.missesBySet();
-        std::vector<std::uint32_t> by_misses(entry.set_misses.size());
-        for (std::uint32_t s = 0; s < by_misses.size(); ++s)
-            by_misses[s] = s;
-        std::stable_sort(by_misses.begin(), by_misses.end(),
-                         [&](std::uint32_t a, std::uint32_t b) {
-                             return entry.set_misses[a] >
-                                    entry.set_misses[b];
-                         });
-        for (std::size_t i = 0;
-             i < by_misses.size() && i < options.hot_sets; ++i) {
-            const std::uint32_t s = by_misses[i];
-            if (entry.set_misses[s] == 0)
-                break;
-            entry.hot_sets.push_back(
-                {s, sink.accessesBySet()[s], entry.set_misses[s]});
-        }
-        entry.timeline = timeline.samples();
-        report.layouts.push_back(std::move(entry));
+        std::unique_ptr<MetricsRegistry> metrics;
+    };
+    std::vector<CandidateResult> results = parallelMap(
+        candidates.size(), [&](std::size_t c) {
+            const LayoutCandidate &candidate = candidates[c];
+            CandidateResult out;
+            out.metrics = std::make_unique<MetricsRegistry>();
+            MetricsScope scope(*out.metrics);
+            candidate.layout.validate(program, cache.line_bytes);
+            AttributionSink::Options sink_opts;
+            sink_opts.max_pairs = options.max_pairs;
+            AttributionSink sink(program, candidate.layout, cache,
+                                 stream.lineBytes(), sink_opts);
+            TimelineRecorder timeline(report.timeline_window,
+                                      program.procCount());
+            SimObservers observers;
+            observers.attribution = &sink;
+            observers.timeline = &timeline;
+            const SimResult sim =
+                simulateLayout(program, candidate.layout, stream,
+                               cache, false, nullptr, &observers);
+
+            LayoutReport &entry = out.entry;
+            entry.label = candidate.label;
+            entry.accesses = sim.accesses;
+            entry.misses = sim.misses;
+            entry.evictions = sim.evictions;
+            entry.miss_rate = sim.missRate();
+            for (const ConflictPair &pair :
+                 sink.topPairs(options.top_pairs)) {
+                entry.top_pairs.push_back(
+                    {program.proc(pair.evictor).name,
+                     program.proc(pair.victim).name, pair.count});
+            }
+            entry.tracked_pairs = sink.trackedPairs();
+            entry.dropped_pairs = sink.droppedPairs();
+            entry.set_misses = sink.missesBySet();
+            std::vector<std::uint32_t> by_misses(
+                entry.set_misses.size());
+            for (std::uint32_t s = 0; s < by_misses.size(); ++s)
+                by_misses[s] = s;
+            std::stable_sort(by_misses.begin(), by_misses.end(),
+                             [&](std::uint32_t a, std::uint32_t b) {
+                                 return entry.set_misses[a] >
+                                        entry.set_misses[b];
+                             });
+            for (std::size_t i = 0;
+                 i < by_misses.size() && i < options.hot_sets; ++i) {
+                const std::uint32_t s = by_misses[i];
+                if (entry.set_misses[s] == 0)
+                    break;
+                entry.hot_sets.push_back(
+                    {s, sink.accessesBySet()[s], entry.set_misses[s]});
+            }
+            entry.timeline = timeline.samples();
+            return out;
+        });
+    for (CandidateResult &result : results) {
+        MetricsRegistry::current().mergeFrom(*result.metrics);
+        report.layouts.push_back(std::move(result.entry));
     }
 
     // Timeline deltas vs the first (baseline) candidate. Windows are

@@ -152,12 +152,14 @@ void
 Logger::addSink(std::shared_ptr<LogSink> sink)
 {
     require(sink != nullptr, "Logger::addSink: null sink");
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
     sinks_.push_back(std::move(sink));
 }
 
 void
 Logger::setSinks(std::vector<std::shared_ptr<LogSink>> sinks)
 {
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
     sinks_ = std::move(sinks);
 }
 
@@ -174,6 +176,7 @@ Logger::log(LogLevel level, std::string_view component,
     record.fields = std::move(fields);
     record.elapsed_ms =
         static_cast<double>(steadyNowNs() - origin_ns_) / 1e6;
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
     for (const std::shared_ptr<LogSink> &sink : sinks_)
         sink->write(record);
 }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -144,12 +145,20 @@ class Logger
     /** Replace all sinks. */
     void setSinks(std::vector<std::shared_ptr<LogSink>> sinks);
 
-    /** Emit a record if @p level is enabled. */
+    /**
+     * Emit a record if @p level is enabled. Sink fan-out is serialised
+     * by an internal mutex, so concurrent emitters (pool workers)
+     * never interleave characters within a line or race a sink's
+     * stream state; relative line order across threads follows lock
+     * acquisition order.
+     */
     void log(LogLevel level, std::string_view component,
              std::string_view message, std::vector<LogField> fields = {});
 
   private:
     LogLevel level_;
+    /** Serialises sink mutation and record fan-out. */
+    std::mutex sink_mutex_;
     std::vector<std::shared_ptr<LogSink>> sinks_;
     /** steady_clock origin for elapsed_ms, in nanoseconds. */
     std::uint64_t origin_ns_ = 0;

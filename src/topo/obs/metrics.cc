@@ -1,6 +1,8 @@
 #include "topo/obs/metrics.hh"
 
+#include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "topo/util/error.hh"
 
@@ -57,11 +59,101 @@ Histogram::reservoirSnapshot() const
     return reservoir_;
 }
 
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    // Copy the other side under its own lock first; taking both locks
+    // at once is unnecessary (merges happen at join points where the
+    // source is quiescent) and would demand a lock order.
+    RunningStats other_stats;
+    std::vector<double> other_reservoir;
+    std::uint64_t other_seen = 0;
+    {
+        const std::lock_guard<std::mutex> lock(other.mutex_);
+        other_stats = other.stats_;
+        other_reservoir = other.reservoir_;
+        other_seen = other.seen_;
+    }
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.merge(other_stats);
+    // Replay the surviving samples through our own deterministic
+    // algorithm-R stream. seen_ advances per replayed sample and then
+    // jumps to the true combined count, so later observations keep the
+    // right replacement probability.
+    for (const double value : other_reservoir) {
+        ++seen_;
+        if (reservoir_.size() < kReservoirSize) {
+            reservoir_.push_back(value);
+            continue;
+        }
+        rng_state_ ^= rng_state_ << 13;
+        rng_state_ ^= rng_state_ >> 7;
+        rng_state_ ^= rng_state_ << 17;
+        const std::uint64_t slot = rng_state_ % seen_;
+        if (slot < kReservoirSize)
+            reservoir_[static_cast<std::size_t>(slot)] = value;
+    }
+    seen_ += other_seen - std::min<std::uint64_t>(
+                              other_seen, other_reservoir.size());
+}
+
 MetricsRegistry &
 MetricsRegistry::global()
 {
     static MetricsRegistry *instance = new MetricsRegistry;
     return *instance;
+}
+
+namespace
+{
+
+/** Innermost MetricsScope registry for this thread (null = global). */
+thread_local MetricsRegistry *t_current_registry = nullptr;
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::current()
+{
+    return t_current_registry ? *t_current_registry : global();
+}
+
+MetricsScope::MetricsScope(MetricsRegistry &registry)
+    : previous_(t_current_registry)
+{
+    t_current_registry = &registry;
+}
+
+MetricsScope::~MetricsScope()
+{
+    t_current_registry = previous_;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    require(&other != this, "MetricsRegistry: cannot merge into itself");
+    // Snapshot the other side's metric pointers under its lock; the
+    // metric objects themselves are stable for the registry lifetime.
+    std::vector<std::pair<std::string, const Counter *>> counters;
+    std::vector<std::pair<std::string, const Gauge *>> gauges;
+    std::vector<std::pair<std::string, const Histogram *>> histograms;
+    {
+        const std::lock_guard<std::mutex> lock(other.mutex_);
+        for (const auto &[name, counter] : other.counters_)
+            counters.emplace_back(name, counter.get());
+        for (const auto &[name, gauge] : other.gauges_)
+            gauges.emplace_back(name, gauge.get());
+        for (const auto &[name, histogram] : other.histograms_)
+            histograms.emplace_back(name, histogram.get());
+    }
+    for (const auto &[name, other_counter] : counters)
+        counter(name).add(other_counter->value());
+    for (const auto &[name, other_gauge] : gauges)
+        gauge(name).set(other_gauge->value());
+    for (const auto &[name, other_histogram] : histograms)
+        histogram(name).mergeFrom(*other_histogram);
 }
 
 Counter &

@@ -9,8 +9,20 @@
  * registry's lifetime — hot code fetches the reference once, outside
  * its loop, and bumps it cheaply.
  *
- * Counter/gauge updates are relaxed atomics; histogram observation
- * takes a mutex (observations are per-phase, not per-access).
+ * Concurrency guarantee: counter/gauge updates are relaxed atomics;
+ * Histogram::observe() takes the histogram's mutex around the WHOLE
+ * update — running summary, observation counter, and the algorithm-R
+ * reservoir slot draw are one atomic step, so concurrent observers
+ * never tear the counter/slot pair and the reservoir always holds a
+ * valid sample of the observed stream. What the mutex cannot give is
+ * cross-run reproducibility under contention: the interleaving of
+ * observers (and therefore which samples survive in the reservoir) is
+ * scheduler-dependent. Deterministic parallel runs therefore record
+ * into a per-task registry (MetricsScope / MetricsRegistry::current())
+ * where each histogram has exactly one writer, and merge the task
+ * registries into the parent in fixed task order at join — that
+ * sequence is independent of thread scheduling, so `--jobs N`
+ * snapshots are byte-identical to `--jobs 1`.
  */
 
 #ifndef TOPO_OBS_METRICS_HH
@@ -100,6 +112,16 @@ class Histogram
     /** Copy of the current reservoir sample (tests). */
     std::vector<double> reservoirSnapshot() const;
 
+    /**
+     * Fold another histogram into this one: exact summary combine
+     * (RunningStats::merge) plus a deterministic reservoir merge that
+     * replays the other reservoir's samples through this histogram's
+     * own algorithm-R stream. Quantiles after a merge are an
+     * approximation of the combined stream; the result depends only
+     * on merge order, never on thread scheduling.
+     */
+    void mergeFrom(const Histogram &other);
+
   private:
     mutable std::mutex mutex_;
     RunningStats stats_;
@@ -122,6 +144,21 @@ class MetricsRegistry
   public:
     /** The process-wide registry used by default everywhere. */
     static MetricsRegistry &global();
+
+    /**
+     * The calling thread's active registry: the innermost MetricsScope
+     * on this thread, or global() when none is active. Pipeline code
+     * records through current() so parallel tasks can redirect their
+     * metrics into a private registry and merge it deterministically.
+     */
+    static MetricsRegistry &current();
+
+    /**
+     * Fold @p other into this registry in name order: counters add,
+     * gauges last-write-wins, histograms Histogram::mergeFrom. Call
+     * once per task, in fixed task order, after the parallel join.
+     */
+    void mergeFrom(const MetricsRegistry &other);
 
     /** Find-or-create a counter. */
     Counter &counter(const std::string &name);
@@ -152,6 +189,27 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * RAII redirection of MetricsRegistry::current() for the calling
+ * thread. A parallel task constructs a scope around its own private
+ * registry; everything the task records (counters, PhaseTimer
+ * histograms, ...) lands there instead of the global registry, and
+ * the caller merges the private registries in task order at join.
+ * Scopes nest; destruction restores the previous registry.
+ */
+class MetricsScope
+{
+  public:
+    explicit MetricsScope(MetricsRegistry &registry);
+    ~MetricsScope();
+
+    MetricsScope(const MetricsScope &) = delete;
+    MetricsScope &operator=(const MetricsScope &) = delete;
+
+  private:
+    MetricsRegistry *previous_;
 };
 
 } // namespace topo

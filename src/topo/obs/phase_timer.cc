@@ -18,7 +18,7 @@ thread_local std::vector<std::string> t_phase_stack;
 } // namespace
 
 PhaseTimer::PhaseTimer(std::string name, MetricsRegistry *registry)
-    : registry_(registry ? registry : &MetricsRegistry::global()),
+    : registry_(registry ? registry : &MetricsRegistry::current()),
       start_(std::chrono::steady_clock::now())
 {
     require(!name.empty(), "PhaseTimer: empty phase name");

@@ -30,7 +30,9 @@ class PhaseTimer
      * names of the enclosing live PhaseTimers on this thread.
      *
      * @param name     Phase name ("trg_build", "placement.gbsc", ...).
-     * @param registry Destination registry; global() when null.
+     * @param registry Destination registry; the calling thread's
+     *                 MetricsRegistry::current() when null, so spans
+     *                 inside a MetricsScope land in the task registry.
      */
     explicit PhaseTimer(std::string name,
                         MetricsRegistry *registry = nullptr);

@@ -7,6 +7,24 @@
 namespace topo
 {
 
+namespace
+{
+
+/** Next Chrome tid to hand out (1 = first-emitting thread). */
+std::atomic<int> g_next_tid{1};
+/** This thread's Chrome tid; 0 until first use. */
+thread_local int t_tid = 0;
+
+} // namespace
+
+int
+ChromeTraceLog::currentTid()
+{
+    if (t_tid == 0)
+        t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return t_tid;
+}
+
 ChromeTraceLog::ChromeTraceLog()
     : origin_(std::chrono::steady_clock::now())
 {}
@@ -32,16 +50,37 @@ ChromeTraceLog::nowUs() const
 }
 
 void
+ChromeTraceLog::announceThreadLocked(int tid)
+{
+    for (const int known : announced_tids_) {
+        if (known == tid)
+            return;
+    }
+    announced_tids_.push_back(tid);
+    ChromeTraceEvent meta;
+    meta.name = "thread_name";
+    meta.ph = 'M';
+    meta.pid = kWallPid;
+    meta.tid = tid;
+    meta.arg_name =
+        tid == 1 ? "main" : "worker-" + std::to_string(tid - 1);
+    events_.push_back(std::move(meta));
+}
+
+void
 ChromeTraceLog::addSpan(const std::string &name, double ts_us,
                        double dur_us)
 {
+    const int tid = currentTid();
     const std::lock_guard<std::mutex> lock(mutex_);
+    announceThreadLocked(tid);
     ChromeTraceEvent event;
     event.name = name;
     event.ph = 'X';
     event.ts = ts_us;
     event.dur = dur_us;
     event.pid = kWallPid;
+    event.tid = tid;
     events_.push_back(std::move(event));
 }
 
@@ -91,6 +130,7 @@ ChromeTraceLog::clear()
     const std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
     counter_tracks_.clear();
+    announced_tids_.clear();
 }
 
 JsonValue

@@ -81,7 +81,20 @@ class ChromeTraceLog
     /** Microseconds from the log's origin to now. */
     double nowUs() const;
 
-    /** Append a wall-clock span on the phase track (thread-safe). */
+    /**
+     * Chrome `tid` of the calling thread: 1 for the first thread that
+     * emits (the main thread in practice), then sequential in
+     * first-emission order. Pool workers therefore render as separate
+     * lanes under the wall-clock track in Perfetto.
+     */
+    static int currentTid();
+
+    /**
+     * Append a wall-clock span on the phase track (thread-safe;
+     * mutex-guarded emission). The span lands in the calling thread's
+     * lane (currentTid()), and the first span from a new thread also
+     * emits a thread_name metadata event naming the lane.
+     */
     void addSpan(const std::string &name, double ts_us, double dur_us);
 
     /**
@@ -112,12 +125,17 @@ class ChromeTraceLog
   private:
     ChromeTraceLog();
 
+    /** Emit thread_name metadata for @p tid once (mutex_ held). */
+    void announceThreadLocked(int tid);
+
     std::atomic<bool> enabled_{false};
     std::chrono::steady_clock::time_point origin_;
     mutable std::mutex mutex_;
     std::vector<ChromeTraceEvent> events_;
     /** track name -> pid of already-announced counter tracks. */
     std::vector<std::pair<std::string, int>> counter_tracks_;
+    /** tids whose thread_name metadata has been emitted. */
+    std::vector<int> announced_tids_;
 };
 
 } // namespace topo

@@ -107,7 +107,9 @@ struct Coloring
         const std::uint64_t q_lines = lines(q);
 
         std::vector<double> cost(cache_lines, 0.0);
-        for (const auto &[n, w] : wcg.neighbors(q)) {
+        // Sorted neighbours: the FP accumulation order must not depend
+        // on hash layout (DESIGN.md §9).
+        for (const auto &[n, w] : wcg.sortedNeighbors(q)) {
             if (unit_of[n] == ui)
                 accumulateConflicts(cost, n, w, q_lines);
         }
@@ -149,7 +151,7 @@ struct Coloring
         // when colour(p-line) == colour(q-line) after b is shifted to
         // start at colour s; accumulate w at the offending s.
         for (const auto &[q, q_off] : b.procs) {
-            for (const auto &[p, w] : wcg.neighbors(q)) {
+            for (const auto &[p, w] : wcg.sortedNeighbors(q)) {
                 if (unit_of[p] != ua)
                     continue;
                 const std::uint64_t p_start = start_line[p];
@@ -220,7 +222,7 @@ CacheColoring::place(const PlacementContext &ctx) const
                   return x.v < y.v;
               });
 
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     const bool log_passes = logEnabled(LogLevel::kDebug);
     std::uint64_t units_created = 0, attaches = 0, unit_merges = 0;
     for (const WeightedGraph::Edge &e : edges) {

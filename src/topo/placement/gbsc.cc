@@ -1,8 +1,8 @@
 #include "topo/placement/gbsc.hh"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
-#include <unordered_map>
 
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
@@ -17,9 +17,14 @@ namespace topo
 namespace
 {
 
-/** Chunk occupancy of a node: chunk id -> cache-line colours. */
-using ChunkColors =
-    std::unordered_map<ChunkId, std::vector<std::uint32_t>>;
+/**
+ * Chunk occupancy of a node: chunk id -> cache-line colours. Ordered
+ * map: alignmentCost iterates this into a floating-point cost
+ * accumulation, so the iteration order must be deterministic (hash
+ * order would make the best-offset argmin depend on insertion history
+ * — the DESIGN.md §9 determinism contract forbids that).
+ */
+using ChunkColors = std::map<ChunkId, std::vector<std::uint32_t>>;
 
 /** Derive the chunk/colour occupancy of a node's current layout. */
 ChunkColors
@@ -72,7 +77,8 @@ Gbsc::alignmentCost(const PlacementContext &ctx, const GbscNode &n1,
     const ChunkColors &mine = iterate_first ? colors1 : colors2;
     const ChunkColors &theirs = iterate_first ? colors2 : colors1;
     for (const auto &[chunk, my_colors] : mine) {
-        for (const auto &[other, weight] : trg_place.neighbors(chunk)) {
+        for (const auto &[other, weight] :
+             trg_place.sortedNeighbors(chunk)) {
             auto it = theirs.find(other);
             if (it == theirs.end())
                 continue;
@@ -202,7 +208,7 @@ Gbsc::place(const PlacementContext &ctx) const
     MergeGraph working(*ctx.trg_select, &popular_mask);
     if (has_tie_seed_)
         working.setTieBreaker(tie_seed_);
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     const bool log_passes = logEnabled(LogLevel::kDebug);
     std::uint64_t merge_steps = 0;
     while (!working.done()) {

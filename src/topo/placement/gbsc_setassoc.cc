@@ -1,7 +1,7 @@
 #include "topo/placement/gbsc_setassoc.hh"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "topo/util/error.hh"
 
@@ -34,7 +34,12 @@ setsCovered(const PlacementContext &ctx, ProcId proc, std::uint32_t offset)
     return covered;
 }
 
-using SetMap = std::unordered_map<ProcId, std::vector<std::uint32_t>>;
+/**
+ * Ordered map per the determinism audit (DESIGN.md §9): only keyed
+ * lookups touch it today, but every container feeding placement
+ * decisions stays ordered so no future loop can inherit hash order.
+ */
+using SetMap = std::map<ProcId, std::vector<std::uint32_t>>;
 
 SetMap
 nodeSets(const PlacementContext &ctx, const GbscNode &node)

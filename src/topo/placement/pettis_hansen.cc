@@ -71,7 +71,7 @@ PettisHansen::place(const PlacementContext &ctx) const
     MergeGraph working(wcg);
     if (has_tie_seed_)
         working.setTieBreaker(tie_seed_);
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     const bool log_passes = logEnabled(LogLevel::kDebug);
     std::uint64_t merge_steps = 0;
     std::uint64_t edges_scanned = 0;
@@ -91,6 +91,9 @@ PettisHansen::place(const PlacementContext &ctx) const
         const Chain &smaller = a.procs.size() <= b.procs.size() ? a : b;
         const std::uint32_t other = (&smaller == &a) ? cb : ca;
         for (ProcId p : smaller.procs) {
+            // Hash-order iteration is safe here: the argmax below
+            // carries an explicit (w, p, q) tie-break, so the selected
+            // edge does not depend on visitation order (DESIGN.md §9).
             for (const auto &[q, w] : wcg.neighbors(p)) {
                 ++edges_scanned;
                 if (chain_of[q] != other)

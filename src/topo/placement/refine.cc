@@ -1,7 +1,7 @@
 #include "topo/placement/refine.hh"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
@@ -15,8 +15,13 @@ namespace topo
 namespace
 {
 
-/** Cache-line colours currently occupied by each placed chunk. */
-using ColorMap = std::unordered_map<ChunkId, std::vector<std::uint32_t>>;
+/**
+ * Cache-line colours currently occupied by each placed chunk. Ordered
+ * map so that no future iteration can pick up hash order; today only
+ * keyed lookups touch it, but the determinism audit (DESIGN.md §9)
+ * keeps every container feeding placement decisions ordered.
+ */
+using ColorMap = std::map<ChunkId, std::vector<std::uint32_t>>;
 
 /** Add or remove one procedure's chunks from the colour map. */
 void
@@ -99,8 +104,10 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
             for (std::uint32_t line = 0; line < len; ++line) {
                 const ChunkId chunk =
                     ctx.chunks->chunkAtLine(proc, line, line_bytes);
+                // Sorted neighbours: deterministic FP accumulation
+                // order regardless of hash layout (DESIGN.md §9).
                 for (const auto &[other, weight] :
-                     trg_place.neighbors(chunk)) {
+                     trg_place.sortedNeighbors(chunk)) {
                     auto it = colors.find(other);
                     if (it == colors.end())
                         continue;
@@ -140,7 +147,7 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
     result.layout = Layout::fromCacheOffsets(
         program, base.orderByAddress(), offsets, line_bytes,
         cache_lines);
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     metrics.counter("refine.passes").add(result.passes);
     metrics.counter("refine.moves").add(result.moves);
     timer.stop();

@@ -174,7 +174,7 @@ splitProcedures(const Program &program, const Trace &training,
         }
         split.cold_bytes_ += cold.bytes;
     }
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     metrics.counter("split.runs").add();
     metrics.counter("split.procs_split").add(split.split_count_);
     metrics.counter("split.cold_bytes").add(split.cold_bytes_);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "topo/exec/exec.hh"
 #include "topo/profile/temporal_queue.hh"
+#include "topo/profile/trg_builder.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -35,6 +37,14 @@ PairDatabase::get(BlockId p, BlockId r, BlockId s) const
 }
 
 void
+PairDatabase::merge(const PairDatabase &other)
+{
+    require(&other != this, "PairDatabase::merge: self merge");
+    for (const auto &[packed, weight] : other.table_)
+        table_[packed] += weight;
+}
+
+void
 PairDatabase::prune(double min_weight)
 {
     for (auto it = table_.begin(); it != table_.end();) {
@@ -58,27 +68,47 @@ PairDatabase::entries() const
         e.weight = weight;
         out.push_back(e);
     }
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        if (a.p != b.p)
+            return a.p < b.p;
+        if (a.r != b.r)
+            return a.r < b.r;
+        return a.s < b.s;
+    });
     return out;
 }
 
-PairDatabase
-buildPairDatabase(const Program &program, const Trace &trace,
-                  const PairBuildOptions &options)
+namespace
 {
-    require(trace.procCount() == program.procCount(),
-            "buildPairDatabase: program/trace mismatch");
-    require(options.pair_window >= 2,
-            "buildPairDatabase: pair window must be at least 2");
 
+/** Shards below this many events are not worth the fan-out. */
+constexpr std::size_t kMinEventsPerShard = 8192;
+
+std::vector<std::uint32_t>
+procSizesOf(const Program &program)
+{
     std::vector<std::uint32_t> sizes(program.procCount());
     for (std::size_t i = 0; i < program.procCount(); ++i)
         sizes[i] = program.proc(static_cast<ProcId>(i)).size_bytes;
-    TemporalQueue q(std::move(sizes), options.byte_budget);
+    return sizes;
+}
 
-    PairDatabase db;
+/**
+ * The Section 6 walk over events [begin, end), with the queue and the
+ * run-dedup state seeded to the serial walk's state at @p begin.
+ */
+void
+collectPairs(const Program &program, const Trace &trace,
+             const PairBuildOptions &options, std::size_t begin,
+             std::size_t end, const std::vector<BlockId> &queue_seed,
+             ProcId last, PairDatabase &db)
+{
+    TemporalQueue q(procSizesOf(program), options.byte_budget);
+    q.loadState(queue_seed);
     std::vector<BlockId> between;
-    ProcId last = kInvalidProc;
-    for (const TraceEvent &ev : trace.events()) {
+    const std::vector<TraceEvent> &events = trace.events();
+    for (std::size_t n = begin; n < end; ++n) {
+        const TraceEvent &ev = events[n];
         if (options.popular && !(*options.popular)[ev.proc])
             continue;
         if (ev.proc == last)
@@ -96,6 +126,48 @@ buildPairDatabase(const Program &program, const Trace &trace,
                 db.add(ev.proc, between[i], between[j], 1.0);
         }
     }
+}
+
+} // namespace
+
+PairDatabase
+buildPairDatabase(const Program &program, const Trace &trace,
+                  const PairBuildOptions &options)
+{
+    require(trace.procCount() == program.procCount(),
+            "buildPairDatabase: program/trace mismatch");
+    require(options.pair_window >= 2,
+            "buildPairDatabase: pair window must be at least 2");
+
+    const std::size_t jobs = static_cast<std::size_t>(execJobs());
+    const std::size_t shard_count =
+        std::min(jobs, trace.size() / kMinEventsPerShard);
+    PairDatabase db;
+    if (shard_count <= 1) {
+        collectPairs(program, trace, options, 0, trace.size(), {},
+                     kInvalidProc, db);
+        return db;
+    }
+
+    // Reuse the TRG shard planner at procedure granularity; this walk
+    // has the same popularity filter, run dedup, and queue budget.
+    TrgBuildOptions plan_options;
+    plan_options.byte_budget = options.byte_budget;
+    plan_options.build_select = true;
+    plan_options.build_place = false;
+    plan_options.popular = options.popular;
+    const ChunkMap plan_chunks(program);
+    const std::vector<TraceShard> shards = planTraceShards(
+        program, plan_chunks, trace, plan_options, shard_count);
+
+    std::vector<PairDatabase> shard_dbs(shards.size());
+    parallelFor(shards.size(), [&](std::size_t s) {
+        collectPairs(program, trace, options, shards[s].begin,
+                     shards[s].end, shards[s].proc_queue,
+                     shards[s].last_proc, shard_dbs[s]);
+    });
+    for (PairDatabase &shard_db : shard_dbs)
+        db.merge(shard_db);
     return db;
 }
 

@@ -50,6 +50,14 @@ class PairDatabase
     /** Drop entries with weight below @p min_weight. */
     void prune(double min_weight);
 
+    /**
+     * Fold another database into this one: weights of shared
+     * (p,{r,s}) keys add, unshared keys are inserted. Associative and
+     * commutative up to FP addition order; weights are integer counts
+     * in practice, so shard merges are exact (DESIGN.md §9).
+     */
+    void merge(const PairDatabase &other);
+
     /** One stored association. */
     struct Entry
     {
@@ -59,7 +67,11 @@ class PairDatabase
         double weight;
     };
 
-    /** All entries (unspecified order). */
+    /**
+     * All entries, sorted by (p, r, s) with r < s. The deterministic
+     * order lets placement code iterate entries into floating-point
+     * cost accumulation without depending on hash layout.
+     */
     std::vector<Entry> entries() const;
 
   private:
@@ -81,7 +93,9 @@ struct PairBuildOptions
 
 /**
  * Build D over *procedures* from a trace via the same ordered-set walk
- * used for TRGs.
+ * used for TRGs. With execJobs() > 1 and a large enough trace the walk
+ * shards exactly like buildTrgs (planTraceShards seeds + in-order
+ * merge) and stays bit-identical to the serial build.
  */
 PairDatabase buildPairDatabase(const Program &program, const Trace &trace,
                                const PairBuildOptions &options);

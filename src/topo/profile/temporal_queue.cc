@@ -83,6 +83,32 @@ TemporalQueue::reference(BlockId id, std::vector<BlockId> &between)
     return false;
 }
 
+void
+TemporalQueue::touch(BlockId id)
+{
+    require(id < sizes_.size(), "TemporalQueue::touch: id out of range");
+    if (resident_[id]) {
+        detach(id);
+        append(id);
+        return;
+    }
+    append(id);
+    trim();
+}
+
+void
+TemporalQueue::loadState(const std::vector<BlockId> &blocks)
+{
+    clear();
+    for (const BlockId id : blocks) {
+        require(id < sizes_.size(),
+                "TemporalQueue::loadState: id out of range");
+        require(!resident_[id],
+                "TemporalQueue::loadState: duplicate block id");
+        append(id);
+    }
+}
+
 std::vector<BlockId>
 TemporalQueue::contents() const
 {

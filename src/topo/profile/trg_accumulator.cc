@@ -58,8 +58,44 @@ TrgAccumulator::reset()
     proc_q_.clear();
     chunk_q_.clear();
     queue_size_sum_ = 0;
+    merged_proc_evictions_ = 0;
+    merged_chunk_evictions_ = 0;
     last_proc_ = kInvalidProc;
     last_chunk_ = static_cast<ChunkId>(~0u);
+}
+
+void
+TrgAccumulator::seedState(const std::vector<BlockId> &proc_queue,
+                          const std::vector<BlockId> &chunk_queue,
+                          ProcId last_proc, ChunkId last_chunk)
+{
+    require(result_.proc_steps == 0 && queue_size_sum_ == 0 &&
+                proc_q_.size() == 0 && chunk_q_.size() == 0,
+            "TrgAccumulator::seedState: session already started");
+    proc_q_.loadState(proc_queue);
+    chunk_q_.loadState(chunk_queue);
+    last_proc_ = last_proc;
+    last_chunk_ = last_chunk;
+}
+
+void
+TrgAccumulator::merge(const TrgAccumulator &other)
+{
+    require(&other != this, "TrgAccumulator::merge: self merge");
+    require(other.options_.build_select == options_.build_select &&
+                other.options_.build_place == options_.build_place &&
+                other.options_.byte_budget == options_.byte_budget,
+            "TrgAccumulator::merge: incompatible build options");
+    if (options_.build_select)
+        result_.select.addGraph(other.result_.select);
+    if (options_.build_place)
+        result_.place.addGraph(other.result_.place);
+    result_.proc_steps += other.result_.proc_steps;
+    queue_size_sum_ += other.queue_size_sum_;
+    merged_proc_evictions_ +=
+        other.merged_proc_evictions_ + other.proc_q_.evictionCount();
+    merged_chunk_evictions_ +=
+        other.merged_chunk_evictions_ + other.chunk_q_.evictionCount();
 }
 
 void
@@ -124,8 +160,10 @@ TrgAccumulator::take()
             ? static_cast<double>(queue_size_sum_) /
                   static_cast<double>(result_.proc_steps)
             : 0.0;
-    result_.proc_evictions = proc_q_.evictionCount();
-    result_.chunk_evictions = chunk_q_.evictionCount();
+    result_.proc_evictions =
+        merged_proc_evictions_ + proc_q_.evictionCount();
+    result_.chunk_evictions =
+        merged_chunk_evictions_ + chunk_q_.evictionCount();
     TrgBuildResult out = std::move(result_);
     reset();
     return out;

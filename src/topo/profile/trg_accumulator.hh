@@ -39,6 +39,33 @@ class TrgAccumulator
     /** Feed every run of a stored trace. */
     void onTrace(const Trace &trace);
 
+    /**
+     * Seed the session's queue and run-deduplication state so onRun
+     * continues exactly where a serial walk left off at a shard
+     * boundary (parallel TRG builds; see planTraceShards). Must be
+     * called on a fresh session, before any onRun.
+     *
+     * @param proc_queue  Procedure queue contents, oldest first.
+     * @param chunk_queue Chunk queue contents, oldest first.
+     * @param last_proc   Procedure of the preceding (popular) run, or
+     *                    kInvalidProc at trace start.
+     * @param last_chunk  Last chunk referenced, or ~0u at trace start.
+     */
+    void seedState(const std::vector<BlockId> &proc_queue,
+                   const std::vector<BlockId> &chunk_queue,
+                   ProcId last_proc, ChunkId last_chunk);
+
+    /**
+     * Fold another accumulator's session into this one: TRG edge
+     * weights add element-wise, step/eviction/queue-size statistics
+     * sum. Associative, and with shards seeded via seedState the
+     * left-to-right fold over shard accumulators equals the serial
+     * walk exactly (weights are integer-valued counts below 2^53, so
+     * FP addition is exact). The other accumulator's session state is
+     * left untouched.
+     */
+    void merge(const TrgAccumulator &other);
+
     /** Number of procedure-granularity steps processed so far. */
     std::uint64_t procSteps() const { return result_.proc_steps; }
 
@@ -57,6 +84,9 @@ class TrgAccumulator
     TemporalQueue chunk_q_;
     std::vector<BlockId> between_;
     std::uint64_t queue_size_sum_ = 0;
+    /** Evictions folded in from merged shard accumulators. */
+    std::uint64_t merged_proc_evictions_ = 0;
+    std::uint64_t merged_chunk_evictions_ = 0;
     ProcId last_proc_ = kInvalidProc;
     ChunkId last_chunk_;
 

@@ -1,5 +1,9 @@
 #include "topo/profile/trg_builder.hh"
 
+#include <algorithm>
+#include <memory>
+
+#include "topo/exec/exec.hh"
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
@@ -9,6 +13,103 @@
 namespace topo
 {
 
+namespace
+{
+
+/** Shards below this many events are not worth the plan replay. */
+constexpr std::size_t kMinEventsPerShard = 8192;
+
+std::vector<std::uint32_t>
+procSizesOf(const Program &program)
+{
+    std::vector<std::uint32_t> sizes(program.procCount());
+    for (std::size_t i = 0; i < program.procCount(); ++i)
+        sizes[i] = program.proc(static_cast<ProcId>(i)).size_bytes;
+    return sizes;
+}
+
+std::vector<std::uint32_t>
+chunkSizesOf(const ChunkMap &chunks)
+{
+    std::vector<std::uint32_t> sizes(chunks.chunkCount());
+    for (std::size_t c = 0; c < chunks.chunkCount(); ++c)
+        sizes[c] = chunks.chunkSizeBytes(static_cast<ChunkId>(c));
+    return sizes;
+}
+
+} // namespace
+
+std::vector<TraceShard>
+planTraceShards(const Program &program, const ChunkMap &chunks,
+                const Trace &trace, const TrgBuildOptions &options,
+                std::size_t shard_count)
+{
+    require(shard_count >= 1, "planTraceShards: zero shard count");
+    require(trace.procCount() == program.procCount(),
+            "planTraceShards: program/trace mismatch");
+    if (options.popular) {
+        require(options.popular->size() == program.procCount(),
+                "planTraceShards: popularity mask size mismatch");
+    }
+    PhaseTimer timer("trg_shard_plan");
+    const std::vector<TraceEvent> &events = trace.events();
+    const std::size_t n = events.size();
+
+    std::vector<TraceShard> shards(shard_count);
+    TemporalQueue proc_q(procSizesOf(program), options.byte_budget);
+    TemporalQueue chunk_q(chunkSizesOf(chunks), options.byte_budget);
+    const bool need_proc_pass =
+        options.build_select || static_cast<bool>(options.observer);
+    const std::uint32_t chunk_bytes = chunks.chunkBytes();
+    ProcId last_proc = kInvalidProc;
+    ChunkId last_chunk = static_cast<ChunkId>(~0u);
+    std::size_t next_shard = 0;
+
+    for (std::size_t i = 0; i <= n; ++i) {
+        while (next_shard < shard_count &&
+               i == next_shard * n / shard_count) {
+            TraceShard &shard = shards[next_shard];
+            shard.begin = i;
+            shard.end = (next_shard + 1) * n / shard_count;
+            shard.proc_queue = proc_q.contents();
+            shard.chunk_queue = chunk_q.contents();
+            shard.last_proc = last_proc;
+            shard.last_chunk = last_chunk;
+            ++next_shard;
+        }
+        if (i == n)
+            break;
+        const TraceEvent &ev = events[i];
+        // Mirror TrgAccumulator::onRun's validation so a malformed
+        // trace fails here with the same error class it would fail
+        // with serially.
+        require(ev.proc < program.procCount(),
+                "planTraceShards: invalid proc");
+        require(ev.length > 0, "planTraceShards: zero-length run");
+        require(static_cast<std::uint64_t>(ev.offset) + ev.length <=
+                    program.proc(ev.proc).size_bytes,
+                "planTraceShards: run exceeds procedure bounds");
+        if (options.popular && !(*options.popular)[ev.proc])
+            continue;
+        if (need_proc_pass && ev.proc != last_proc)
+            proc_q.touch(ev.proc);
+        last_proc = ev.proc;
+        if (options.build_place) {
+            const std::uint32_t first = ev.offset / chunk_bytes;
+            const std::uint32_t last =
+                (ev.offset + ev.length - 1) / chunk_bytes;
+            for (std::uint32_t idx = first; idx <= last; ++idx) {
+                const ChunkId chunk = chunks.chunkId(ev.proc, idx);
+                if (chunk == last_chunk)
+                    continue;
+                chunk_q.touch(chunk);
+                last_chunk = chunk;
+            }
+        }
+    }
+    return shards;
+}
+
 TrgBuildResult
 buildTrgs(const Program &program, const ChunkMap &chunks, const Trace &trace,
           const TrgBuildOptions &options)
@@ -16,11 +117,42 @@ buildTrgs(const Program &program, const ChunkMap &chunks, const Trace &trace,
     require(trace.procCount() == program.procCount(),
             "buildTrgs: program/trace mismatch");
     PhaseTimer timer("trg_build");
-    TrgAccumulator accumulator(program, chunks, options);
-    accumulator.onTrace(trace);
-    TrgBuildResult result = accumulator.take();
 
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    const std::size_t jobs = static_cast<std::size_t>(execJobs());
+    const std::size_t shard_count =
+        std::min(jobs, trace.size() / kMinEventsPerShard);
+    TrgBuildResult result;
+    if (shard_count <= 1 || options.observer) {
+        // Serial walk: the reference semantics. The observer hook sees
+        // every step in order, so it pins the build to this path.
+        TrgAccumulator accumulator(program, chunks, options);
+        accumulator.onTrace(trace);
+        result = accumulator.take();
+    } else {
+        const std::vector<TraceShard> shards =
+            planTraceShards(program, chunks, trace, options, shard_count);
+        const std::vector<TraceEvent> &events = trace.events();
+        std::vector<std::unique_ptr<TrgAccumulator>> accumulators(
+            shards.size());
+        parallelFor(shards.size(), [&](std::size_t s) {
+            auto acc = std::make_unique<TrgAccumulator>(program, chunks,
+                                                        options);
+            const TraceShard &shard = shards[s];
+            acc->seedState(shard.proc_queue, shard.chunk_queue,
+                           shard.last_proc, shard.last_chunk);
+            for (std::size_t i = shard.begin; i < shard.end; ++i)
+                acc->onRun(events[i].proc, events[i].offset,
+                           events[i].length);
+            accumulators[s] = std::move(acc);
+        });
+        for (std::size_t s = 1; s < accumulators.size(); ++s)
+            accumulators[0]->merge(*accumulators[s]);
+        result = accumulators[0]->take();
+        MetricsRegistry::current().counter("trg.shards")
+            .add(shards.size());
+    }
+
+    MetricsRegistry &metrics = MetricsRegistry::current();
     metrics.counter("trg.builds").add();
     metrics.counter("trg.events").add(trace.size());
     metrics.counter("trg.proc_steps").add(result.proc_steps);
@@ -38,6 +170,7 @@ buildTrgs(const Program &program, const ChunkMap &chunks, const Trace &trace,
                   {"place_edges", result.place.edgeCount()},
                   {"avg_queue_procs", result.avg_queue_procs},
                   {"q_budget", options.byte_budget},
+                  {"shards", std::max<std::size_t>(shard_count, 1)},
                   {"ms", timer.elapsedMs()}});
     }
     return result;

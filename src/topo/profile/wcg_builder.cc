@@ -1,5 +1,9 @@
 #include "topo/profile/wcg_builder.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "topo/exec/exec.hh"
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
@@ -8,6 +12,27 @@
 namespace topo
 {
 
+namespace
+{
+
+/** Shards below this many events are not worth the fan-out. */
+constexpr std::size_t kMinEventsPerShard = 8192;
+
+/** Transition counts over events [begin, end), seeded with @p last. */
+void
+countTransitions(const std::vector<TraceEvent> &events, std::size_t begin,
+                 std::size_t end, ProcId last, WeightedGraph &wcg)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const ProcId proc = events[i].proc;
+        if (last != kInvalidProc && proc != last)
+            wcg.addWeight(last, proc, 1.0);
+        last = proc;
+    }
+}
+
+} // namespace
+
 WeightedGraph
 buildWcg(const Program &program, const Trace &trace)
 {
@@ -15,14 +40,28 @@ buildWcg(const Program &program, const Trace &trace)
             "buildWcg: program/trace mismatch");
     PhaseTimer timer("wcg_build");
     WeightedGraph wcg(program.procCount());
-    ProcId last = kInvalidProc;
-    for (const TraceEvent &ev : trace.events()) {
-        if (last != kInvalidProc && ev.proc != last)
-            wcg.addWeight(last, ev.proc, 1.0);
-        last = ev.proc;
+    const std::vector<TraceEvent> &events = trace.events();
+    const std::size_t jobs = static_cast<std::size_t>(execJobs());
+    const std::size_t shard_count =
+        std::min(jobs, events.size() / kMinEventsPerShard);
+    if (shard_count <= 1) {
+        countTransitions(events, 0, events.size(), kInvalidProc, wcg);
+    } else {
+        std::vector<WeightedGraph> shards(
+            shard_count, WeightedGraph(program.procCount()));
+        parallelFor(shard_count, [&](std::size_t s) {
+            const std::size_t begin = s * events.size() / shard_count;
+            const std::size_t end =
+                (s + 1) * events.size() / shard_count;
+            const ProcId last =
+                begin ? events[begin - 1].proc : kInvalidProc;
+            countTransitions(events, begin, end, last, shards[s]);
+        });
+        for (const WeightedGraph &shard : shards)
+            wcg.addGraph(shard);
     }
 
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     metrics.counter("wcg.builds").add();
     metrics.counter("wcg.events").add(trace.size());
     metrics.counter("wcg.edges").add(wcg.edgeCount());

@@ -1,5 +1,8 @@
 #include "topo/profile/weighted_graph.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "topo/util/error.hh"
 
 namespace topo
@@ -66,6 +69,17 @@ WeightedGraph::neighbors(BlockId u) const
     return adjacency_[u];
 }
 
+std::vector<std::pair<BlockId, double>>
+WeightedGraph::sortedNeighbors(BlockId u) const
+{
+    checkNode(u);
+    std::vector<std::pair<BlockId, double>> out(adjacency_[u].begin(),
+                                                adjacency_[u].end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
 std::vector<WeightedGraph::Edge>
 WeightedGraph::edges() const
 {
@@ -77,6 +91,9 @@ WeightedGraph::edges() const
                 all.push_back(Edge{static_cast<BlockId>(u), v, w});
         }
     }
+    std::sort(all.begin(), all.end(), [](const Edge &a, const Edge &b) {
+        return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
     return all;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace topo
@@ -60,10 +61,21 @@ class WeightedGraph
     /** True when an edge {u, v} exists. */
     bool hasEdge(BlockId u, BlockId v) const;
 
-    /** Neighbors of @p u with edge weights. */
+    /**
+     * Neighbors of @p u with edge weights. Hash order — never iterate
+     * this into a placement decision or floating-point accumulation;
+     * use sortedNeighbors() there (determinism contract, DESIGN.md §9).
+     */
     const std::unordered_map<BlockId, double> &neighbors(BlockId u) const;
 
-    /** All edges with u < v (unspecified order). */
+    /**
+     * Neighbors of @p u sorted by neighbor id. Deterministic iteration
+     * order for tie-breaking and FP accumulation in the placement
+     * algorithms.
+     */
+    std::vector<std::pair<BlockId, double>> sortedNeighbors(BlockId u) const;
+
+    /** All edges with u < v, sorted by (u, v). */
     std::vector<Edge> edges() const;
 
     /** Sum of all edge weights (each edge counted once). */

@@ -3,6 +3,7 @@
 #include <exception>
 #include <iostream>
 
+#include "topo/exec/exec.hh"
 #include "topo/obs/obs.hh"
 #include "topo/util/error.hh"
 
@@ -33,10 +34,11 @@ toolMain(int argc, const char *const *argv, const ToolSpec &spec)
         std::vector<std::string> known = spec.options;
         known.insert(known.end(), {"log-level", "log-file",
                                    "metrics-out", "trace-out",
-                                   "fault-spec"});
+                                   "fault-spec", "jobs"});
         opts.rejectUnknown(known);
         initObservability(opts);
         initResilience(opts);
+        initExec(opts, hardwareJobs());
         const int rc = spec.run(opts);
         writeMetricsIfRequested(opts);
         writeTraceIfRequested(opts);

@@ -14,6 +14,8 @@
  *   --fault-spec=KIND@P[:seed][,...]  arm deterministic fault injection
  *   --log-level / --log-file / --metrics-out / --trace-out
  *     (observability layer; --trace-out emits Chrome trace events)
+ *   --jobs=N  worker threads for parallel phases (default: hardware
+ *     concurrency; results are bit-identical for every N, DESIGN.md §9)
  */
 
 #ifndef TOPO_RESILIENCE_RESILIENCE_HH

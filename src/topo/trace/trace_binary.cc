@@ -153,7 +153,7 @@ readBodyV1(std::istream &is, std::uint64_t proc_count,
                         std::to_string(run_count) + " records, found " +
                         std::to_string(got));
         }
-        MetricsRegistry &metrics = MetricsRegistry::global();
+        MetricsRegistry &metrics = MetricsRegistry::current();
         metrics.counter("trace.dropped_records").add(run_count - got);
         logWarn("trace", "salvaged v1 binary trace",
                 {{"records_recovered", got},
@@ -269,7 +269,7 @@ readBodyV2(std::istream &is, std::uint64_t proc_count,
         }
         const std::uint64_t dropped =
             run_count > got ? run_count - got : 0;
-        MetricsRegistry &metrics = MetricsRegistry::global();
+        MetricsRegistry &metrics = MetricsRegistry::current();
         metrics.counter("trace.recovered_chunks").add(chunks);
         metrics.counter("trace.dropped_records").add(dropped);
         logWarn("trace", "salvaged corrupt/truncated trace",

@@ -32,7 +32,7 @@ reportTextSalvage(std::istream &is, std::string &line,
         if (!body.empty() && body[0] != '#')
             ++dropped;
     }
-    MetricsRegistry::global()
+    MetricsRegistry::current()
         .counter("trace.dropped_records")
         .add(dropped);
     logWarn("trace", "salvaged text trace",

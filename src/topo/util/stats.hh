@@ -23,6 +23,13 @@ class RunningStats
     /** Add one observation. */
     void add(double x);
 
+    /**
+     * Fold another summary into this one (Chan et al. parallel
+     * combine). Exact for count/sum/min/max; mean and variance match
+     * the serial accumulation up to floating-point rounding.
+     */
+    void merge(const RunningStats &other);
+
     /** Number of observations so far. */
     std::size_t count() const { return count_; }
     /** Sum of all observations. */

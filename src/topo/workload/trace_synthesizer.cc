@@ -128,7 +128,7 @@ synthesizeTrace(const WorkloadModel &model, const WorkloadInput &input)
     Walker walker(model, input);
     Trace trace = walker.run();
 
-    MetricsRegistry &metrics = MetricsRegistry::global();
+    MetricsRegistry &metrics = MetricsRegistry::current();
     metrics.counter("synth.traces").add();
     metrics.counter("synth.runs").add(trace.size());
     if (logEnabled(LogLevel::kDebug)) {

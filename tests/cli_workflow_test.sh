@@ -105,6 +105,34 @@ grep -q '"gbsc.merge_steps"' "$WORK/place_metrics.json" || {
 grep -q "merge pass" "$WORK/place2.log" || {
     echo "FAIL: --log-level=debug shows no per-pass lines"; exit 1; }
 
+# --- Parallel execution --------------------------------------------
+
+# --jobs validation: zero, negative, and non-numeric values are user
+# errors (exit 1), never silently clamped.
+for bad_jobs in 0 -3 abc; do
+    set +e
+    "$TOOLS_DIR/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+        --jobs=$bad_jobs > /dev/null 2> "$WORK/jobs.log"
+    rc=$?
+    set -e
+    [ "$rc" = "1" ] || {
+        echo "FAIL: --jobs=$bad_jobs exited $rc, want 1"; exit 1; }
+    grep -qi "jobs" "$WORK/jobs.log" || {
+        echo "FAIL: --jobs=$bad_jobs error does not name the option"
+        exit 1; }
+done
+
+# Determinism contract: the multi-benchmark grid with --jobs=2 must be
+# byte-identical to --jobs=1 (DESIGN.md §9).
+"$TOOLS_DIR/topo_sim" --benchmark='*' --algorithms=ph,gbsc \
+    --trace-scale=0.005 --jobs=1 > "$WORK/grid_j1.txt" 2> /dev/null
+"$TOOLS_DIR/topo_sim" --benchmark='*' --algorithms=ph,gbsc \
+    --trace-scale=0.005 --jobs=2 > "$WORK/grid_j2.txt" 2> /dev/null
+cmp -s "$WORK/grid_j1.txt" "$WORK/grid_j2.txt" || {
+    echo "FAIL: --jobs=2 grid output differs from --jobs=1"; exit 1; }
+grep -q "miss rate:" "$WORK/grid_j1.txt" || {
+    echo "FAIL: grid run printed no miss rates"; exit 1; }
+
 # --- Resilience workflow -------------------------------------------
 
 # Unknown options are a user error (exit 1) with a spelling hint.

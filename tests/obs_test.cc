@@ -318,19 +318,27 @@ TEST(TraceEventsTest, SpansCountersAndJson)
     log.addCounter("timeline:gbsc", "miss_rate", 0.0, 0.5);
     log.addCounter("timeline:gbsc", "miss_rate", 8.0, 0.25);
 
-    // 1 span + 1 track-name metadata + 2 counters.
-    EXPECT_EQ(log.size(), 4u);
+    // 1 thread-name metadata + 1 span + 1 track-name metadata +
+    // 2 counters.
+    EXPECT_EQ(log.size(), 5u);
     const JsonValue json = JsonValue::parse(log.toJson().toString());
     EXPECT_EQ(json.at("displayTimeUnit").asString(), "ms");
     const JsonValue &events = json.at("traceEvents");
-    ASSERT_EQ(events.size(), 4u);
-    EXPECT_EQ(events.at(std::size_t{0}).at("ph").asString(), "X");
-    EXPECT_EQ(events.at(std::size_t{0}).at("name").asString(),
-              "simulate");
-    EXPECT_DOUBLE_EQ(events.at(std::size_t{0}).at("dur").asNumber(),
-                     250.0);
-    EXPECT_EQ(events.at(std::size_t{1}).at("ph").asString(), "M");
-    const JsonValue &counter = events.at(std::size_t{2});
+    ASSERT_EQ(events.size(), 5u);
+    // The first span from a thread announces the thread's name so the
+    // viewer labels the per-worker lane.
+    const JsonValue &thread_meta = events.at(std::size_t{0});
+    EXPECT_EQ(thread_meta.at("ph").asString(), "M");
+    EXPECT_EQ(thread_meta.at("name").asString(), "thread_name");
+    EXPECT_GE(thread_meta.at("tid").asNumber(), 1.0);
+    const JsonValue &span = events.at(std::size_t{1});
+    EXPECT_EQ(span.at("ph").asString(), "X");
+    EXPECT_EQ(span.at("name").asString(), "simulate");
+    EXPECT_DOUBLE_EQ(span.at("dur").asNumber(), 250.0);
+    EXPECT_EQ(span.at("tid").asNumber(),
+              thread_meta.at("tid").asNumber());
+    EXPECT_EQ(events.at(std::size_t{2}).at("ph").asString(), "M");
+    const JsonValue &counter = events.at(std::size_t{3});
     EXPECT_EQ(counter.at("ph").asString(), "C");
     EXPECT_DOUBLE_EQ(counter.at("args").at("miss_rate").asNumber(), 0.5);
     // Counter tracks live on their own pid, apart from wall spans.

@@ -26,9 +26,12 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "topo/eval/experiment.hh"
+#include "topo/exec/exec.hh"
+#include "topo/obs/metrics.hh"
 #include "topo/eval/report_gen.hh"
 #include "topo/eval/reports.hh"
 #include "topo/obs/obs.hh"
@@ -243,9 +246,28 @@ runMicrosuiteReport(const Options &opts)
     else
         cases.push_back(microCase(which));
 
+    // Cases are independent pipelines; fan them out on the shared
+    // pool. Per-case metrics registries merge in case order, so the
+    // report and --metrics-out are byte-identical for every --jobs
+    // value (DESIGN.md §9).
+    struct CaseResult
+    {
+        ComparisonReport report;
+        std::unique_ptr<MetricsRegistry> metrics;
+    };
+    std::vector<CaseResult> results =
+        parallelMap(cases.size(), [&](std::size_t i) {
+            CaseResult out;
+            out.metrics = std::make_unique<MetricsRegistry>();
+            MetricsScope scope(*out.metrics);
+            out.report = microCaseReport(cases[i], algorithms, ropts);
+            return out;
+        });
     ReportWriter writer = writerFrom(opts);
-    for (const MicroCase &mc : cases)
-        writer.add(microCaseReport(mc, algorithms, ropts));
+    for (CaseResult &result : results) {
+        MetricsRegistry::current().mergeFrom(*result.metrics);
+        writer.add(result.report);
+    }
     return writer.finish();
 }
 
@@ -326,6 +348,8 @@ main(int argc, char **argv)
         "  --out=FILE (Markdown; default stdout) --json-out=FILE\n"
         "  --top-pairs=N --hot-sets=N --timeline-window=BLOCKS\n"
         "  --cache-kb=N --line-bytes=N --assoc=N --trace-scale=S\n"
+        "  --jobs=N (parallel cases/candidates; output is\n"
+        "      bit-identical for every N)\n"
         "  --check-json=FILE (validate a JSON artefact; exit 0/2)\n"
         "  --log-level=L --log-file=FILE --metrics-out=FILE\n"
         "  --trace-out=FILE (Chrome trace events for Perfetto)\n",

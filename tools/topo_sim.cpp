@@ -32,6 +32,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+
+#include "topo/exec/exec.hh"
 
 #include "topo/cache/attribution.hh"
 #include "topo/cache/simulate.hh"
@@ -91,29 +94,30 @@ controlFrom(const Options &opts)
 }
 
 void
-printResult(const SimResult &result, const SimControl &control)
+printResult(std::ostream &os, const SimResult &result,
+            const SimControl &control)
 {
-    std::cout << "accesses:   " << result.accesses
-              << " line fetches\n";
-    std::cout << "misses:     " << result.misses << "\n";
-    std::cout << "miss rate:  " << result.missRate() * 100.0 << "%\n";
+    os << "accesses:   " << result.accesses << " line fetches\n";
+    os << "misses:     " << result.misses << "\n";
+    os << "miss rate:  " << result.missRate() * 100.0 << "%\n";
     if (!result.completed) {
-        std::cout << "status:     interrupted at " << result.accesses
-                  << " fetches; checkpoint written to "
-                  << control.checkpoint_path << " (resume with --resume="
-                  << control.checkpoint_path << ")\n";
+        os << "status:     interrupted at " << result.accesses
+           << " fetches; checkpoint written to "
+           << control.checkpoint_path << " (resume with --resume="
+           << control.checkpoint_path << ")\n";
     }
 }
 
 /** Print the heaviest evictor→victim pairs from an attribution sink. */
 void
-printConflicts(const Program &program, const AttributionSink &sink)
+printConflicts(std::ostream &os, const Program &program,
+               const AttributionSink &sink)
 {
-    std::cout << '\n';
+    os << '\n';
     const std::vector<ConflictPair> pairs = sink.topPairs(10);
     if (pairs.empty()) {
-        std::cout << "no valid-line evictions — the working set fits "
-                     "the cache\n";
+        os << "no valid-line evictions — the working set fits "
+              "the cache\n";
         return;
     }
     TextTable table({"evictor", "victim", "evictions"});
@@ -122,10 +126,10 @@ printConflicts(const Program &program, const AttributionSink &sink)
                       program.proc(pair.victim).name,
                       std::to_string(pair.count)});
     }
-    table.render(std::cout, "Top conflicting procedure pairs");
+    table.render(os, "Top conflicting procedure pairs");
     if (sink.droppedPairs() != 0) {
-        std::cout << "(pair budget exhausted; " << sink.droppedPairs()
-                  << " evictions over untracked pairs)\n";
+        os << "(pair budget exhausted; " << sink.droppedPairs()
+           << " evictions over untracked pairs)\n";
     }
 }
 
@@ -185,11 +189,11 @@ timedSimulate(const Program &program, const Layout &layout,
 
 /** Post-run reporting shared by both paths. */
 void
-reportObservation(const Program &program, const Observation &obs,
-                  const std::string &track)
+reportObservation(std::ostream &os, const Program &program,
+                  const Observation &obs, const std::string &track)
 {
     if (obs.attribution)
-        printConflicts(program, *obs.attribution);
+        printConflicts(os, program, *obs.attribution);
     if (obs.timeline && ChromeTraceLog::global().enabled())
         obs.timeline->exportCounters(ChromeTraceLog::global(), track);
 }
@@ -225,6 +229,10 @@ writeBenchJson(const std::string &path, const std::string &benchmarks,
     root.set("benchmarks", JsonValue::string(benchmarks));
     root.set("trace_scale", JsonValue::number(trace_scale));
     root.set("cache", JsonValue::string(cache.describe()));
+    // Parallelism provenance: the configured lane count and the OS
+    // threads that participate (pool workers + the calling thread).
+    root.set("jobs", JsonValue::number(execJobs()));
+    root.set("threads", JsonValue::number(execJobs()));
     root.set("peak_rss_kb",
              JsonValue::number(static_cast<double>(peakRssKb())));
     JsonValue list = JsonValue::array();
@@ -269,10 +277,24 @@ algorithmByName(const std::string &name)
          "' (use gbsc, ph, hkc, or default)");
 }
 
+/** Everything one (benchmark, algorithm) cell produces. */
+struct CellResult
+{
+    RunRecord record;
+    std::string output;
+    std::unique_ptr<MetricsRegistry> metrics;
+};
+
 /**
  * Full pipeline on synthetic paper benchmarks: synthesise traces,
  * profile, place with each requested algorithm, and simulate the
  * testing trace.
+ *
+ * The (benchmark, algorithm) grid fans out on the shared pool. Each
+ * cell records into its own metrics registry and renders into its own
+ * buffer; cells are joined in grid order, so stdout, --metrics-out,
+ * and the bench record are byte-identical for every --jobs value
+ * (DESIGN.md §9).
  */
 int
 runBenchmark(const Options &opts)
@@ -291,20 +313,54 @@ runBenchmark(const Options &opts)
         algorithmByName(name); // validate early
 
     ControlState ctl = controlFrom(opts);
-    const std::vector<std::string> benches = split(bench_names, ',');
+    const std::vector<std::string> benches =
+        bench_names == "*" ? paperBenchmarkNames()
+                           : split(bench_names, ',');
     const bool single = benches.size() == 1 && algorithms.size() == 1;
     require(!ctl.active || single,
             "topo_sim: checkpoint/resume needs a single benchmark and "
             "algorithm");
 
-    std::vector<RunRecord> runs;
-    for (const std::string &bench_name : benches) {
-        const BenchmarkCase bench = paperBenchmark(bench_name, scale);
-        const ProfileBundle bundle(bench, eval);
-        const PlacementContext ctx = bundle.makeContext();
-        std::cout << "benchmark:  " << bundle.name() << "\n";
-        std::cout << "cache:      " << eval.cache.describe() << "\n";
-        for (const std::string &algo_name : algorithms) {
+    // Phase 1: profile every benchmark (synthesis + TRG/WCG builds —
+    // the expensive part; the builds additionally shard internally).
+    struct BenchProfile
+    {
+        std::unique_ptr<ProfileBundle> bundle;
+        std::unique_ptr<MetricsRegistry> metrics;
+    };
+    std::vector<BenchProfile> profiles =
+        parallelMap(benches.size(), [&](std::size_t b) {
+            BenchProfile profile;
+            profile.metrics = std::make_unique<MetricsRegistry>();
+            MetricsScope scope(*profile.metrics);
+            const BenchmarkCase bench =
+                paperBenchmark(benches[b], scale);
+            profile.bundle =
+                std::make_unique<ProfileBundle>(bench, eval);
+            return profile;
+        });
+    for (const BenchProfile &profile : profiles)
+        MetricsRegistry::current().mergeFrom(*profile.metrics);
+
+    // Phase 2: the simulation grid, one task per cell, row-major so
+    // the joined order matches the serial loop nest.
+    const bool attribute = opts.getBool("attribute", false);
+    std::vector<CellResult> cells = parallelMap(
+        benches.size() * algorithms.size(), [&](std::size_t i) {
+            const std::size_t b = i / algorithms.size();
+            const std::size_t a = i % algorithms.size();
+            const ProfileBundle &bundle = *profiles[b].bundle;
+            const std::string &algo_name = algorithms[a];
+
+            CellResult cell;
+            cell.metrics = std::make_unique<MetricsRegistry>();
+            MetricsScope scope(*cell.metrics);
+            std::ostringstream out;
+            if (a == 0) {
+                out << "benchmark:  " << bundle.name() << "\n";
+                out << "cache:      " << eval.cache.describe() << "\n";
+            }
+            const PlacementContext ctx = bundle.makeContext();
             const PlacementAlgorithm &algo = algorithmByName(algo_name);
             const Layout layout = algo.place(ctx);
             layout.validate(bundle.program(), eval.cache.line_bytes);
@@ -318,18 +374,27 @@ runBenchmark(const Options &opts)
             double wall_ms = 0.0;
             const SimResult result = timedSimulate(
                 bundle.program(), layout, bundle.testStream(),
-                eval.cache, opts.getBool("attribute", false),
+                eval.cache, attribute,
                 ctl.active ? &ctl.control : nullptr,
                 obs.active ? &obs.observers : nullptr, wall_ms);
 
-            std::cout << "algorithm:  " << algo.name() << "\n";
-            printResult(result, ctl.control);
-            reportObservation(bundle.program(), obs,
+            out << "algorithm:  " << algo.name() << "\n";
+            printResult(out, result, ctl.control);
+            reportObservation(out, bundle.program(), obs,
                               bundle.name() + "/" + algo_name);
-            std::cout << "\n";
-            runs.push_back({bundle.name(), algo_name, result.accesses,
-                            result.misses, result.missRate(), wall_ms});
-        }
+            out << "\n";
+            cell.record = {bundle.name(), algo_name, result.accesses,
+                           result.misses, result.missRate(), wall_ms};
+            cell.output = out.str();
+            return cell;
+        });
+
+    std::vector<RunRecord> runs;
+    runs.reserve(cells.size());
+    for (const CellResult &cell : cells) {
+        std::cout << cell.output;
+        MetricsRegistry::current().mergeFrom(*cell.metrics);
+        runs.push_back(cell.record);
     }
     const std::string bench_out = opts.getString("bench-out", "");
     if (!bench_out.empty())
@@ -379,8 +444,8 @@ run(const Options &opts)
               << (layout_path.empty() ? "default (source order)"
                                       : layout_path)
               << "\n";
-    printResult(result, ctl.control);
-    reportObservation(program, obs, "sim");
+    printResult(std::cout, result, ctl.control);
+    reportObservation(std::cout, program, obs, "sim");
 
     const std::string bench_out = opts.getString("bench-out", "");
     if (!bench_out.empty()) {
@@ -430,9 +495,12 @@ main(int argc, char **argv)
         "topo_sim",
         "topo_sim: simulate a trace under a layout.\n"
         "  --program=FILE --trace=FILE [--layout=FILE]\n"
-        "  --benchmark=NAME[,NAME...] [--algorithm=NAME]\n"
+        "  --benchmark=NAME[,NAME...]|'*' [--algorithm=NAME]\n"
         "      [--algorithms=default,ph,hkc,gbsc] (full in-process\n"
-        "      pipeline on paper-suite benchmarks instead)\n"
+        "      pipeline on paper-suite benchmarks instead; '*' runs\n"
+        "      the whole Table 1 suite)\n"
+        "  --jobs=N (parallel grid/profiling lanes; results are\n"
+        "      bit-identical for every N)\n"
         "  --cache-kb=N --line-bytes=N --assoc=N\n"
         "  --attribute (per-procedure misses) --pages\n"
         "  --attribution (conflict-pair attribution sink)\n"
