@@ -8,15 +8,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "topo/cache/simulate.hh"
 #include "topo/profile/wcg_builder.hh"
 #include "topo/eval/experiment.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/placement/pettis_hansen.hh"
+#include "topo/profile/temporal_queue.hh"
 #include "topo/profile/trg_builder.hh"
+#include "topo/trace/trace_binary.hh"
+#include "topo/trace/trace_io.hh"
+#include "topo/util/flat_map.hh"
 #include "topo/util/rng.hh"
 #include "topo/workload/synthetic_program.hh"
 #include "topo/workload/trace_synthesizer.hh"
@@ -182,6 +189,150 @@ BM_CacheSimulation(benchmark::State &state)
         static_cast<std::int64_t>(stream.size()));
 }
 BENCHMARK(BM_CacheSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_TemporalQueueReference(benchmark::State &state)
+{
+    // The Section 3 per-reference path (byte-vector residency test,
+    // intrusive-list splice, between-walk) on a loopy block stream.
+    constexpr std::size_t kBlocks = 4096;
+    std::vector<std::uint32_t> sizes(kBlocks);
+    Rng size_rng(17);
+    for (std::uint32_t &size : sizes)
+        size = 64 + static_cast<std::uint32_t>(size_rng.nextBelow(192));
+    // Pre-drawn reference stream with loop-like locality: mostly small
+    // strides within a moving window, occasional far jumps.
+    std::vector<BlockId> refs(1 << 16);
+    Rng ref_rng(18);
+    BlockId at = 0;
+    for (BlockId &ref : refs) {
+        if (ref_rng.nextBool(0.05))
+            at = static_cast<BlockId>(ref_rng.nextBelow(kBlocks));
+        else
+            at = static_cast<BlockId>(
+                (at + 1 + ref_rng.nextBelow(16)) % kBlocks);
+        ref = at;
+    }
+    TemporalQueue queue(sizes, 32 * 1024);
+    std::vector<BlockId> between;
+    for (auto _ : state) {
+        std::uint64_t walked = 0;
+        for (const BlockId ref : refs) {
+            if (queue.reference(ref, between))
+                walked += between.size();
+        }
+        benchmark::DoNotOptimize(walked);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(refs.size()));
+}
+BENCHMARK(BM_TemporalQueueReference)->Unit(benchmark::kMillisecond);
+
+/** Shared key stream for the map-accumulation pair of benchmarks. */
+const std::vector<std::uint64_t> &
+pairKeyStream()
+{
+    // Packed (prev << 32 | next) procedure-pair keys with the locality
+    // a real trace produces: a few hundred distinct pairs, heavily
+    // skewed towards repeats — the PairDatabase/WeightedGraph
+    // accumulation profile.
+    static const std::vector<std::uint64_t> keys = [] {
+        std::vector<std::uint64_t> out(1 << 18);
+        Rng rng(23);
+        std::uint64_t prev = 0;
+        for (std::uint64_t &key : out) {
+            const std::uint64_t next =
+                rng.nextBool(0.8) ? (prev + 1) % 64
+                                  : rng.nextBelow(1024);
+            key = (prev << 32) | next;
+            prev = next;
+        }
+        return out;
+    }();
+    return keys;
+}
+
+void
+BM_FlatMapAccumulate(benchmark::State &state)
+{
+    const std::vector<std::uint64_t> &keys = pairKeyStream();
+    for (auto _ : state) {
+        util::FlatMap<std::uint64_t, std::uint64_t> map;
+        for (const std::uint64_t key : keys)
+            map[key] += 1;
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatMapAccumulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_UnorderedMapAccumulate(benchmark::State &state)
+{
+    // The container FlatMap replaced, on the identical key stream.
+    const std::vector<std::uint64_t> &keys = pairKeyStream();
+    for (auto _ : state) {
+        std::unordered_map<std::uint64_t, std::uint64_t> map;
+        for (const std::uint64_t key : keys)
+            map[key] += 1;
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_UnorderedMapAccumulate)->Unit(benchmark::kMillisecond);
+
+/** Write the scenario trace to a temp file once; return its path. */
+const std::string &
+benchTracePath()
+{
+    static const std::string path = [] {
+        const std::string p = "/tmp/topo_perf_microbench_trace.tpb";
+        saveBinaryTrace(p, scenario(64).trace);
+        return p;
+    }();
+    return path;
+}
+
+void
+BM_TraceLoadMmap(benchmark::State &state)
+{
+    const std::string &path = benchTracePath();
+    TraceReadOptions ropts;
+    ropts.mmap = TraceMmapMode::kOn;
+    std::size_t records = 0;
+    for (auto _ : state) {
+        const Trace trace = loadBinaryTrace(path, ropts);
+        records = trace.size();
+        benchmark::DoNotOptimize(records);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_TraceLoadMmap)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceLoadStream(benchmark::State &state)
+{
+    const std::string &path = benchTracePath();
+    TraceReadOptions ropts;
+    ropts.mmap = TraceMmapMode::kOff;
+    std::size_t records = 0;
+    for (auto _ : state) {
+        const Trace trace = loadBinaryTrace(path, ropts);
+        records = trace.size();
+        benchmark::DoNotOptimize(records);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_TraceLoadStream)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

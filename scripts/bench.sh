@@ -7,6 +7,15 @@
 # Usage: scripts/bench.sh [out.json] [build-dir]
 #   out.json   output path (default: BENCH_$(date -u +%Y%m%d).json)
 #   build-dir  existing/created build tree (default: build)
+#
+# Schema (stable; consumed by scripts/perf_gate.sh): top-level
+# topo_bench=1, date, benchmarks, trace_scale, cache, jobs, threads,
+# peak_rss_kb, and runs[] of {benchmark, algorithm, accesses, misses,
+# miss_rate, wall_ms, blocks_per_sec}. The committed reference
+# snapshot is BENCH_baseline.json; regenerate it with
+#   TOPO_BENCH_JOBS=1 scripts/bench.sh BENCH_baseline.json
+# after intentional perf changes (single-job wall times are the
+# stable ones — concurrent grid cells perturb per-run throughput).
 # Knobs: TOPO_BENCH_SCALE (trace scale, default 0.05),
 #        TOPO_BENCH_NAMES (comma list, default m88ksim,vortex),
 #        TOPO_BENCH_JOBS (worker threads, default: hardware concurrency;

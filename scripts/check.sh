@@ -54,6 +54,21 @@ grep -q '"topo_bench": 1' "$WORK/BENCH_smoke.json" || {
     > /dev/null || {
     echo "FAIL: BENCH json does not parse"; exit 1; }
 
+echo "== perf smoke =="
+# The microbenchmarks must run (a filter keeps the smoke fast), and
+# the perf gate must hold against the committed baseline. The smoke
+# uses single-job bench runs (stable per-run wall times) and a
+# generous tolerance: shared CI boxes are noisy, and the gate's job
+# here is to catch order-of-magnitude hot-path regressions — the
+# committed 15% default is for dedicated perf runs.
+"$BUILD/bench/perf_microbench" \
+    --benchmark_filter='FlatMap|UnorderedMap|TraceLoad' \
+    --benchmark_min_time=0.05 > /dev/null 2>&1 || {
+    echo "FAIL: perf_microbench did not run"; exit 1; }
+TOPO_BENCH_JOBS=1 TOPO_PERF_TOL="${TOPO_PERF_TOL:-0.6}" \
+    scripts/perf_gate.sh "" "$BUILD" || {
+    echo "FAIL: perf gate"; exit 1; }
+
 SAN="$BUILD-asan"
 echo "== configure ($SAN, ASan+UBSan) =="
 cmake -B "$SAN" -S . \
@@ -79,6 +94,19 @@ TOOLS="$SAN/tools"
     --out-trace="$WORK/m.btrace" --binary 2> /dev/null
 "$TOOLS/topo_trace_gen" --benchmark=m88ksim --input=train \
     --trace-scale=0.02 --out-trace="$WORK/m.trace" 2> /dev/null
+
+echo "== mmap reader exercise (sanitized) =="
+# No fault plan armed here, so the file-path load takes the mapped
+# zero-copy decode path under ASan; the kill-switch run pins the
+# stream reader on the same input and both must agree byte-for-byte.
+# (Every --fault-spec run below deliberately falls back to the stream
+# reader, so this is the only ASan coverage the mapped path gets.)
+"$TOOLS/topo_sim" --program="$WORK/m.prog" --trace="$WORK/m.btrace" \
+    > "$WORK/mmap_on.txt" 2> /dev/null
+TOPO_TRACE_MMAP=0 "$TOOLS/topo_sim" --program="$WORK/m.prog" \
+    --trace="$WORK/m.btrace" > "$WORK/mmap_off.txt" 2> /dev/null
+cmp -s "$WORK/mmap_on.txt" "$WORK/mmap_off.txt" || {
+    echo "FAIL: mmap and stream trace loads disagree"; exit 1; }
 
 # check_rc <description> <allowed-codes> <cmd...>: the command must
 # exit with one of the allowed codes — never a sanitizer failure (99),

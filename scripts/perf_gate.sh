@@ -1,0 +1,111 @@
+#!/bin/sh
+# Perf-regression gate: compare a bench snapshot (fresh by default)
+# against the committed baseline, row by (benchmark x algorithm) row.
+#
+#   - accesses and misses must match the baseline EXACTLY — any drift
+#     is a determinism regression, not a perf question;
+#   - blocks_per_sec must not fall more than TOPO_PERF_TOL (fractional,
+#     default 0.15) below the baseline. Faster is never a failure, but
+#     an improvement beyond the tolerance prints a reminder to refresh
+#     the baseline so the gate keeps teeth.
+#
+# The baseline records one reference machine; after intentional perf
+# work or a hardware change, regenerate it with
+#   scripts/bench.sh BENCH_baseline.json
+# and commit the result.
+#
+# Usage: scripts/perf_gate.sh [candidate.json] [build-dir]
+#   candidate.json  existing snapshot to judge; when omitted, a fresh
+#                   one is produced via scripts/bench.sh (build-dir,
+#                   default: build)
+# Knobs: TOPO_PERF_BASELINE (default BENCH_baseline.json),
+#        TOPO_PERF_TOL (fractional throughput tolerance, default 0.15),
+#        plus the scripts/bench.sh knobs for the fresh-snapshot case
+#        (TOPO_BENCH_SCALE must match the baseline's trace_scale or
+#        the exact-miss comparison is skipped with a warning).
+set -e
+
+cd "$(dirname "$0")/.."
+CANDIDATE="${1:-}"
+BUILD="${2:-build}"
+BASELINE="${TOPO_PERF_BASELINE:-BENCH_baseline.json}"
+TOL="${TOPO_PERF_TOL:-0.15}"
+
+[ -f "$BASELINE" ] || {
+    echo "FAIL: baseline '$BASELINE' not found (generate with" \
+         "scripts/bench.sh BENCH_baseline.json)"; exit 1; }
+
+if [ -z "$CANDIDATE" ]; then
+    CANDIDATE="$(mktemp /tmp/topo_perf_gate.XXXXXX)"
+    trap 'rm -f "$CANDIDATE"' EXIT
+    echo "== fresh snapshot (scripts/bench.sh) =="
+    scripts/bench.sh "$CANDIDATE" "$BUILD" > /dev/null
+fi
+
+python3 - "$BASELINE" "$CANDIDATE" "$TOL" << 'PYEOF'
+import json
+import sys
+
+baseline_path, candidate_path, tol_text = sys.argv[1:4]
+tol = float(tol_text)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(candidate_path) as f:
+    candidate = json.load(f)
+
+for name, doc in (("baseline", baseline), ("candidate", candidate)):
+    if doc.get("topo_bench") != 1:
+        sys.exit(f"FAIL: {name} is not a topo_bench snapshot")
+
+def rows(doc):
+    return {(r["benchmark"], r["algorithm"]): r for r in doc["runs"]}
+
+base_rows, cand_rows = rows(baseline), rows(candidate)
+same_scale = baseline.get("trace_scale") == candidate.get("trace_scale")
+if not same_scale:
+    print(f"warning: trace_scale differs ({baseline.get('trace_scale')}"
+          f" vs {candidate.get('trace_scale')});"
+          " skipping exact access/miss comparison")
+
+failures = []
+improvements = []
+for key in sorted(base_rows):
+    bench, algo = key
+    if key not in cand_rows:
+        failures.append(f"{bench}/{algo}: missing from candidate")
+        continue
+    base, cand = base_rows[key], cand_rows[key]
+    if same_scale:
+        for field in ("accesses", "misses"):
+            if base[field] != cand[field]:
+                failures.append(
+                    f"{bench}/{algo}: {field} {cand[field]} != baseline"
+                    f" {base[field]} (determinism regression)")
+    ratio = cand["blocks_per_sec"] / base["blocks_per_sec"]
+    verdict = "ok"
+    if ratio < 1.0 - tol:
+        failures.append(
+            f"{bench}/{algo}: {cand['blocks_per_sec']:.3e} blocks/s is"
+            f" {(1.0 - ratio) * 100:.1f}% below baseline"
+            f" {base['blocks_per_sec']:.3e} (tolerance {tol * 100:.0f}%)")
+        verdict = "SLOW"
+    elif ratio > 1.0 + tol:
+        improvements.append(key)
+        verdict = "fast"
+    print(f"  {bench:>10s}/{algo:<8s} {ratio:6.2f}x baseline  {verdict}")
+
+for key in sorted(set(cand_rows) - set(base_rows)):
+    print(f"note: {key[0]}/{key[1]} has no baseline row (new bench?)")
+
+if improvements:
+    print(f"note: {len(improvements)} row(s) beat the baseline by more"
+          f" than {tol * 100:.0f}% — refresh BENCH_baseline.json to"
+          " tighten the gate")
+if failures:
+    print("FAIL: perf gate")
+    for failure in failures:
+        print("  " + failure)
+    sys.exit(1)
+print("OK: perf gate passed"
+      f" (tolerance {tol * 100:.0f}%, {len(base_rows)} rows)")
+PYEOF

@@ -47,6 +47,48 @@ class SetAssociativeCache
     bool accessTracked(std::uint64_t line_addr, std::uint32_t &set,
                        std::uint64_t &victim, bool &victim_valid);
 
+    /**
+     * Replay a batch of repeat-compressed runs and return how many
+     * accesses missed; results are bit-identical to feeding every
+     * expanded access through access(). Counterpart of
+     * DirectMappedCache::accessRunBatch so the simulator's batched
+     * replay path compiles for either cache model; LRU updates keep
+     * the per-access branch here.
+     *
+     * The repeat shortcut holds under true LRU as well: a run of at
+     * most lineCount() consecutive lines lands at most ways() lines
+     * in any set, so one pass leaves every line of the run resident
+     * (a set never evicts one of the newest ways() entries), and an
+     * immediately repeated execution hits on every access while
+     * re-touching the run's lines in the same order — the final
+     * recency ordering is identical, so the state is unchanged and
+     * the repeat need not be replayed. Longer runs self-evict and
+     * their repeats are replayed in full.
+     *
+     * @p run is invoked exactly once per run, in order, with the run
+     * index [0, run_count), and returns {first line address, line
+     * count, repeat count} with repeat count >= 1.
+     */
+    template <typename RunFn>
+    std::uint64_t
+    accessRunBatch(std::size_t run_count, RunFn &&run)
+    {
+        const std::uint64_t line_count =
+            static_cast<std::uint64_t>(sets_) * ways_;
+        std::uint64_t misses = 0;
+        for (std::size_t r = 0; r < run_count; ++r) {
+            const auto [base, len, repeats] = run(r);
+            const std::uint32_t passes = len <= line_count ? 1 : repeats;
+            for (std::uint32_t pass = 0; pass < passes; ++pass) {
+                for (std::uint32_t j = 0; j < len; ++j) {
+                    misses +=
+                        static_cast<std::uint64_t>(!access(base + j));
+                }
+            }
+        }
+        return misses;
+    }
+
     /** Invalidate all frames. */
     void reset();
 

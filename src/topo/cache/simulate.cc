@@ -8,6 +8,7 @@
 #include "topo/obs/phase_timer.hh"
 #include "topo/obs/timeline.hh"
 #include "topo/resilience/fault.hh"
+#include "topo/util/arena.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -15,6 +16,14 @@ namespace topo
 
 namespace
 {
+
+/**
+ * Per-thread scratch for the replay's line-address table. reset() +
+ * re-alloc per replay reuses the grown buffer, so after the first
+ * (largest) replay on a thread the steady-state loop performs no heap
+ * allocation (asserted by attribution_test's allocation hooks).
+ */
+thread_local util::Arena t_replay_arena;
 
 /** Emit a progress heartbeat every this many line fetches. */
 constexpr std::uint64_t kHeartbeatMask = (1ULL << 23) - 1; // ~8.4M
@@ -38,12 +47,31 @@ replay(const Program &program, const Layout &layout,
        const SimControl *control, std::uint64_t fingerprint,
        const SimObservers *observers)
 {
-    // Precompute each procedure's base line so the hot loop is a single
-    // add + cache probe per reference.
-    std::vector<std::uint64_t> base_line(program.procCount());
+    // Precompute the placed address of every program line so the hot
+    // loop is one table load + cache probe per reference. The stream
+    // supplies 4-byte program line ids; this table is the only part
+    // that changes between candidate layouts.
+    // 32-bit entries keep the table half the size (it is the loop's
+    // only randomly-indexed load besides the frame array, and at
+    // paper-suite scale it overflows L1); a 2^32-line layout span
+    // would be a 256 GiB text segment, so the check never fires in
+    // practice.
+    t_replay_arena.reset();
+    std::span<std::uint32_t> addr_of =
+        t_replay_arena.alloc<std::uint32_t>(stream.programLineCount());
     for (std::size_t i = 0; i < program.procCount(); ++i) {
-        base_line[i] =
-            layout.startLine(static_cast<ProcId>(i), stream.lineBytes());
+        const ProcId proc = static_cast<ProcId>(i);
+        const std::uint64_t base =
+            layout.startLine(proc, stream.lineBytes());
+        const std::uint32_t first = stream.lineBase(proc);
+        const std::uint32_t last =
+            stream.lineBase(static_cast<ProcId>(i + 1));
+        require(base + (last - first) <= ~std::uint32_t{0},
+                "simulateLayout: layout spans more than 2^32 cache "
+                "lines");
+        for (std::uint32_t id = first; id < last; ++id)
+            addr_of[id] =
+                static_cast<std::uint32_t>(base + (id - first));
     }
 
     SimResult result;
@@ -74,9 +102,9 @@ replay(const Program &program, const Layout &layout,
         }
     }
 
-    const std::vector<FetchRef> &refs = stream.refs();
+    const std::uint32_t *ids = stream.lineIds().data();
     std::uint64_t cursor = start;
-    const std::uint64_t total = refs.size();
+    const std::uint64_t total = stream.size();
     auto write_ckpt = [&](std::uint64_t at) {
         SimCheckpoint ckpt;
         ckpt.fingerprint = fingerprint;
@@ -91,10 +119,34 @@ replay(const Program &program, const Layout &layout,
     };
     (void)write_ckpt; // only invoked in the controlled instantiation
     (void)observers;  // only read in the observed instantiation
+    if constexpr (!kHeartbeat && !kControlled && !kObserved) {
+        // Plain unattributed replay — the configuration every
+        // placement-evaluation call hits — goes through the cache's
+        // run-batched access loop (branchless on the direct-mapped
+        // model), probing each run's consecutive line addresses from a
+        // single table lookup and skipping cache-resident repeats
+        // outright. Uncontrolled replays never resume, so the batch
+        // always covers the entire stream.
+        if (!attribute) {
+            require(cursor == 0,
+                    "replay: batched fast path cannot resume");
+            const std::uint32_t *const table = addr_of.data();
+            const FetchRun *const runs = stream.runs().data();
+            result.misses += cache.accessRunBatch(
+                stream.runs().size(), [table, runs](std::size_t r) {
+                    return std::tuple<std::uint64_t, std::uint32_t,
+                                      std::uint32_t>(
+                        table[runs[r].first_line], runs[r].line_count,
+                        runs[r].repeats);
+                });
+            cursor = total;
+        }
+    }
     for (; cursor < total; ++cursor) {
-        const FetchRef &ref = refs[cursor];
-        const std::uint64_t line_addr = base_line[ref.proc] + ref.line;
+        const std::uint32_t id = ids[cursor];
+        const std::uint64_t line_addr = addr_of[id];
         if constexpr (kObserved) {
+            const ProcId proc = stream.procOfLine(id);
             std::uint32_t set = 0;
             std::uint64_t victim = 0;
             bool victim_valid = false;
@@ -102,22 +154,22 @@ replay(const Program &program, const Layout &layout,
                 cache.accessTracked(line_addr, set, victim,
                                     victim_valid);
             if (observers->attribution != nullptr)
-                observers->attribution->recordAccess(ref.proc, set);
+                observers->attribution->recordAccess(proc, set);
             if (!hit) {
                 ++result.misses;
                 if (attribute)
-                    ++result.misses_by_proc[ref.proc];
+                    ++result.misses_by_proc[proc];
                 if (observers->attribution != nullptr) {
                     observers->attribution->recordMiss(
-                        ref.proc, set, victim, victim_valid);
+                        proc, set, victim, victim_valid);
                 }
             }
             if (observers->timeline != nullptr)
-                observers->timeline->record(ref.proc, !hit);
+                observers->timeline->record(proc, !hit);
         } else if (!cache.access(line_addr)) {
             ++result.misses;
             if (attribute)
-                ++result.misses_by_proc[ref.proc];
+                ++result.misses_by_proc[stream.procOfLine(id)];
         }
         if constexpr (kHeartbeat) {
             if (((cursor + 1) & kHeartbeatMask) == 0) {

@@ -38,7 +38,8 @@ measurePageStats(const Program &program, const Layout &layout,
                        std::list<std::uint64_t>::iterator>
         where;
 
-    for (const FetchRef &ref : stream.refs()) {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const FetchRef ref = stream.ref(i);
         const std::uint64_t page =
             (base_line[ref.proc] + ref.line) / lines_per_page;
         touched.insert(page);

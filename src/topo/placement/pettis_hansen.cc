@@ -91,9 +91,9 @@ PettisHansen::place(const PlacementContext &ctx) const
         const Chain &smaller = a.procs.size() <= b.procs.size() ? a : b;
         const std::uint32_t other = (&smaller == &a) ? cb : ca;
         for (ProcId p : smaller.procs) {
-            // Hash-order iteration is safe here: the argmax below
-            // carries an explicit (w, p, q) tie-break, so the selected
-            // edge does not depend on visitation order (DESIGN.md §9).
+            // Iteration order is immaterial to the argmax below — it
+            // carries an explicit (w, p, q) tie-break — and the CSR
+            // rows are id-sorted anyway (DESIGN.md §9).
             for (const auto &[q, w] : wcg.neighbors(p)) {
                 ++edges_scanned;
                 if (chain_of[q] != other)

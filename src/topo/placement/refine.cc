@@ -106,6 +106,8 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
                     ctx.chunks->chunkAtLine(proc, line, line_bytes);
                 // Sorted neighbours: deterministic FP accumulation
                 // order regardless of hash layout (DESIGN.md §9).
+                // The CSR memoizes the sort, so re-querying the same
+                // chunk for consecutive lines is an O(1) span lookup.
                 for (const auto &[other, weight] :
                      trg_place.sortedNeighbors(chunk)) {
                     auto it = colors.find(other);

@@ -32,27 +32,24 @@ PairDatabase::add(BlockId p, BlockId r, BlockId s, double w)
 double
 PairDatabase::get(BlockId p, BlockId r, BlockId s) const
 {
-    auto it = table_.find(key(p, r, s));
-    return it == table_.end() ? 0.0 : it->second;
+    return table_.get(key(p, r, s), 0.0);
 }
 
 void
 PairDatabase::merge(const PairDatabase &other)
 {
     require(&other != this, "PairDatabase::merge: self merge");
-    for (const auto &[packed, weight] : other.table_)
+    other.table_.forEach([this](std::uint64_t packed, double weight) {
         table_[packed] += weight;
+    });
 }
 
 void
 PairDatabase::prune(double min_weight)
 {
-    for (auto it = table_.begin(); it != table_.end();) {
-        if (it->second < min_weight)
-            it = table_.erase(it);
-        else
-            ++it;
-    }
+    table_.filter([min_weight](std::uint64_t, double weight) {
+        return weight >= min_weight;
+    });
 }
 
 std::vector<PairDatabase::Entry>
@@ -60,14 +57,14 @@ PairDatabase::entries() const
 {
     std::vector<Entry> out;
     out.reserve(table_.size());
-    for (const auto &[packed, weight] : table_) {
+    table_.forEach([&out](std::uint64_t packed, double weight) {
         Entry e;
         e.p = static_cast<BlockId>(packed >> 42);
         e.r = static_cast<BlockId>((packed >> 21) & ((1u << 21) - 1));
         e.s = static_cast<BlockId>(packed & ((1u << 21) - 1));
         e.weight = weight;
         out.push_back(e);
-    }
+    });
     std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
         if (a.p != b.p)
             return a.p < b.p;

@@ -20,11 +20,11 @@
 #define TOPO_PROFILE_PAIR_DATABASE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "topo/profile/weighted_graph.hh"
 #include "topo/trace/trace.hh"
+#include "topo/util/flat_map.hh"
 
 namespace topo
 {
@@ -77,7 +77,12 @@ class PairDatabase
   private:
     static std::uint64_t key(BlockId p, BlockId r, BlockId s);
 
-    std::unordered_map<std::uint64_t, double> table_;
+    /**
+     * Open-addressing table over the 63-bit packed (p, lo, hi) key;
+     * the hot add() path is one linear probe. Deletion-free: prune()
+     * rebuilds via FlatMap::filter.
+     */
+    util::FlatMap<std::uint64_t, double> table_;
 };
 
 /** Options for building a PairDatabase from a trace. */

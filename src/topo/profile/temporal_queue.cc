@@ -11,7 +11,7 @@ TemporalQueue::TemporalQueue(std::vector<std::uint32_t> block_sizes,
       byte_budget_(byte_budget),
       prev_(sizes_.size(), kNone),
       next_(sizes_.size(), kNone),
-      resident_(sizes_.size(), false)
+      resident_(sizes_.size(), 0)
 {
     require(byte_budget_ > 0, "TemporalQueue: zero byte budget");
 }

@@ -43,7 +43,7 @@ class TemporalQueue
     bool
     contains(BlockId id) const
     {
-        return resident_[id];
+        return resident_[id] != 0;
     }
 
     /** Id following @p id towards the most recent end; kNone at end. */
@@ -124,7 +124,14 @@ class TemporalQueue
     std::uint64_t byte_budget_;
     std::vector<BlockId> prev_;
     std::vector<BlockId> next_;
-    std::vector<bool> resident_;
+    /**
+     * One byte per block id instead of std::vector<bool>: the
+     * membership test sits on the per-reference path of every TRG /
+     * pair-database walk, and a plain byte load avoids the proxy
+     * object and shift/mask of the packed-bit specialisation
+     * (measured in bench/perf_microbench BM_TemporalQueueWalk).
+     */
+    std::vector<std::uint8_t> resident_;
     BlockId head_ = kNone;
     BlockId tail_ = kNone;
     std::size_t count_ = 0;

@@ -7,15 +7,29 @@
  * and TRG_place (chunk granularity) of Sections 3-4. Weights are
  * doubles because the Section 5.1 perturbation is multiplicative
  * log-normal noise.
+ *
+ * Storage is split into two phases matching the pipeline:
+ *  - accumulation: edges live in one open-addressing FlatMap keyed by
+ *    the packed pair (min(u,v) << 32) | max(u,v), so addWeight() is a
+ *    single probe instead of two unordered_map operations;
+ *  - placement: on first neighbor query the graph freezes into a CSR
+ *    (compressed sparse row) snapshot — per-node neighbor rows sorted
+ *    by id in one contiguous array — so the placement inner loops
+ *    iterate cache-line-sequential memory without hashing or
+ *    re-sorting. Mutation invalidates the snapshot; the next query
+ *    rebuilds it.
  */
 
 #ifndef TOPO_PROFILE_WEIGHTED_GRAPH_HH
 #define TOPO_PROFILE_WEIGHTED_GRAPH_HH
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <utility>
 #include <vector>
+
+#include "topo/util/flat_map.hh"
 
 namespace topo
 {
@@ -35,16 +49,28 @@ class WeightedGraph
         double weight;
     };
 
+    /**
+     * A node's neighbors as (id, weight) pairs sorted by id, viewing
+     * the frozen CSR snapshot. Valid until the graph is next mutated.
+     */
+    using NeighborSpan = std::span<const std::pair<BlockId, double>>;
+
     WeightedGraph() = default;
 
     /** Construct with a fixed node count. */
     explicit WeightedGraph(std::size_t node_count);
 
+    WeightedGraph(const WeightedGraph &other);
+    WeightedGraph &operator=(const WeightedGraph &other);
+    WeightedGraph(WeightedGraph &&other) noexcept;
+    WeightedGraph &operator=(WeightedGraph &&other) noexcept;
+    ~WeightedGraph();
+
     /** Number of nodes. */
-    std::size_t nodeCount() const { return adjacency_.size(); }
+    std::size_t nodeCount() const { return node_count_; }
 
     /** Number of distinct edges. */
-    std::size_t edgeCount() const { return edge_count_; }
+    std::size_t edgeCount() const { return edges_.size(); }
 
     /**
      * Add @p w to the weight of edge {u, v}; creates the edge when
@@ -62,18 +88,19 @@ class WeightedGraph
     bool hasEdge(BlockId u, BlockId v) const;
 
     /**
-     * Neighbors of @p u with edge weights. Hash order — never iterate
-     * this into a placement decision or floating-point accumulation;
-     * use sortedNeighbors() there (determinism contract, DESIGN.md §9).
+     * Neighbors of @p u sorted by id, served from the frozen CSR
+     * snapshot (built on first query after a mutation). The sorted
+     * order makes iteration safe for placement decisions and FP
+     * accumulation (determinism contract, DESIGN.md §9).
      */
-    const std::unordered_map<BlockId, double> &neighbors(BlockId u) const;
+    NeighborSpan neighbors(BlockId u) const;
 
     /**
-     * Neighbors of @p u sorted by neighbor id. Deterministic iteration
-     * order for tie-breaking and FP accumulation in the placement
-     * algorithms.
+     * Alias of neighbors(). Historically this returned a freshly
+     * sorted copy per call; the CSR snapshot memoizes that sort, so
+     * placement inner loops now get an O(1) contiguous view.
      */
-    std::vector<std::pair<BlockId, double>> sortedNeighbors(BlockId u) const;
+    NeighborSpan sortedNeighbors(BlockId u) const { return neighbors(u); }
 
     /** All edges with u < v, sorted by (u, v). */
     std::vector<Edge> edges() const;
@@ -91,10 +118,23 @@ class WeightedGraph
     void addGraph(const WeightedGraph &other, double factor = 1.0);
 
   private:
-    void checkNode(BlockId id) const;
+    /** The frozen sorted-adjacency snapshot (defined in the .cc). */
+    struct Csr;
 
-    std::vector<std::unordered_map<BlockId, double>> adjacency_;
-    std::size_t edge_count_ = 0;
+    void checkNode(BlockId id) const;
+    static std::uint64_t packEdge(BlockId u, BlockId v);
+    const Csr &frozen() const;
+    void invalidate();
+
+    std::size_t node_count_ = 0;
+    util::FlatMap<std::uint64_t, double> edges_;
+    /**
+     * Lazily built CSR snapshot, published with a release CAS so
+     * concurrent const readers (parallel grid cells sharing one
+     * profile) all see one fully built snapshot. Mutators run before
+     * the readers in every pipeline and invalidate it.
+     */
+    mutable std::atomic<const Csr *> csr_{nullptr};
 };
 
 } // namespace topo

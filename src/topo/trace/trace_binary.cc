@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <string_view>
 
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/resilience/crc32.hh"
 #include "topo/resilience/fault.hh"
 #include "topo/trace/trace_io.hh"
+#include "topo/trace/trace_mmap.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -73,7 +76,7 @@ getVarint(std::istream &is, const char *what)
 }
 
 std::uint64_t
-getVarintBuf(const std::string &buf, std::size_t &pos, const char *what)
+getVarintBuf(std::string_view buf, std::size_t &pos, const char *what)
 {
     std::uint64_t value = 0;
     int shift = 0;
@@ -123,6 +126,68 @@ decodeRecord(std::uint64_t zz_delta, std::uint64_t offset,
                       static_cast<std::uint32_t>(length)};
 }
 
+/**
+ * Shared v1 salvage/report epilogue: identical metrics, logs, and
+ * error text whether the records came from a stream or a mapping.
+ */
+void
+reportV1Outcome(std::uint64_t got, std::uint64_t run_count,
+                const TraceReadOptions &ropts)
+{
+    if (got < run_count) {
+        if (!ropts.recover) {
+            failCorrupt("readBinaryTrace: trace promises " +
+                        std::to_string(run_count) + " records, found " +
+                        std::to_string(got));
+        }
+        MetricsRegistry &metrics = MetricsRegistry::current();
+        metrics.counter("trace.dropped_records").add(run_count - got);
+        logWarn("trace", "salvaged v1 binary trace",
+                {{"records_recovered", got},
+                 {"records_dropped", run_count - got}});
+        if (ropts.report != nullptr) {
+            ropts.report->recovered = true;
+            ropts.report->records_recovered = got;
+            ropts.report->records_dropped = run_count - got;
+        }
+    } else if (ropts.report != nullptr) {
+        ropts.report->records_recovered = got;
+    }
+}
+
+/** Shared v2 salvage/report epilogue (see reportV1Outcome). */
+void
+reportV2Outcome(std::uint64_t chunks, std::uint64_t got,
+                std::uint64_t run_count, bool bad_chunk,
+                const TraceReadOptions &ropts)
+{
+    if (got != run_count || bad_chunk) {
+        if (!ropts.recover) {
+            failCorrupt("readBinaryTrace: trace promises " +
+                        std::to_string(run_count) + " records, found " +
+                        std::to_string(got));
+        }
+        const std::uint64_t dropped =
+            run_count > got ? run_count - got : 0;
+        MetricsRegistry &metrics = MetricsRegistry::current();
+        metrics.counter("trace.recovered_chunks").add(chunks);
+        metrics.counter("trace.dropped_records").add(dropped);
+        logWarn("trace", "salvaged corrupt/truncated trace",
+                {{"chunks_recovered", chunks},
+                 {"records_recovered", got},
+                 {"records_dropped", dropped}});
+        if (ropts.report != nullptr) {
+            ropts.report->recovered = true;
+            ropts.report->chunks_recovered = chunks;
+            ropts.report->records_recovered = got;
+            ropts.report->records_dropped = dropped;
+        }
+    } else if (ropts.report != nullptr) {
+        ropts.report->chunks_recovered = chunks;
+        ropts.report->records_recovered = got;
+    }
+}
+
 /** v1 body: a single undelimited run stream (salvageable per record). */
 Trace
 readBodyV1(std::istream &is, std::uint64_t proc_count,
@@ -147,25 +212,7 @@ readBodyV1(std::istream &is, std::uint64_t proc_count,
         if (!ropts.recover)
             throw;
     }
-    if (got < run_count) {
-        if (!ropts.recover) {
-            failCorrupt("readBinaryTrace: trace promises " +
-                        std::to_string(run_count) + " records, found " +
-                        std::to_string(got));
-        }
-        MetricsRegistry &metrics = MetricsRegistry::current();
-        metrics.counter("trace.dropped_records").add(run_count - got);
-        logWarn("trace", "salvaged v1 binary trace",
-                {{"records_recovered", got},
-                 {"records_dropped", run_count - got}});
-        if (ropts.report != nullptr) {
-            ropts.report->recovered = true;
-            ropts.report->records_recovered = got;
-            ropts.report->records_dropped = run_count - got;
-        }
-    } else if (ropts.report != nullptr) {
-        ropts.report->records_recovered = got;
-    }
+    reportV1Outcome(got, run_count, ropts);
     return trace;
 }
 
@@ -261,31 +308,130 @@ readBodyV2(std::istream &is, std::uint64_t proc_count,
         got += chunk.size();
         ++chunks;
     }
-    if (got != run_count || bad_chunk) {
-        if (!ropts.recover) {
-            failCorrupt("readBinaryTrace: trace promises " +
-                        std::to_string(run_count) + " records, found " +
-                        std::to_string(got));
-        }
-        const std::uint64_t dropped =
-            run_count > got ? run_count - got : 0;
-        MetricsRegistry &metrics = MetricsRegistry::current();
-        metrics.counter("trace.recovered_chunks").add(chunks);
-        metrics.counter("trace.dropped_records").add(dropped);
-        logWarn("trace", "salvaged corrupt/truncated trace",
-                {{"chunks_recovered", chunks},
-                 {"records_recovered", got},
-                 {"records_dropped", dropped}});
-        if (ropts.report != nullptr) {
-            ropts.report->recovered = true;
-            ropts.report->chunks_recovered = chunks;
-            ropts.report->records_recovered = got;
-            ropts.report->records_dropped = dropped;
-        }
-    } else if (ropts.report != nullptr) {
-        ropts.report->chunks_recovered = chunks;
-        ropts.report->records_recovered = got;
+    reportV2Outcome(chunks, got, run_count, bad_chunk, ropts);
+    return trace;
+}
+
+/**
+ * Zero-copy v2 chunk decode: header varints, CRC, and records are all
+ * parsed in place over the mapped image — the payload is never copied
+ * into a scratch buffer (contrast readChunkV2's std::string). The CRC
+ * is computed over the mapped payload bytes here, on first decode of
+ * the chunk ("lazy" validation: no separate checksum pass). No fault
+ * hooks: when a fault plan is armed the loaders take the stream path.
+ * @p out is caller-reused scratch (cleared here, capacity retained),
+ * so steady-state decode performs no per-chunk heap allocation.
+ */
+bool
+readChunkV2Buf(std::string_view buf, std::size_t &pos,
+               std::uint64_t proc_count, std::vector<TraceEvent> &out)
+{
+    if (pos == buf.size())
+        return false;
+    const std::uint64_t record_count =
+        getVarintBuf(buf, pos, "v2 chunk header");
+    requireData(record_count > 0 && record_count <= kMaxChunkRecords,
+                "readBinaryTrace: implausible chunk record count " +
+                    std::to_string(record_count));
+    const std::uint64_t payload_bytes =
+        getVarintBuf(buf, pos, "v2 chunk header");
+    requireData(payload_bytes <= record_count * kMaxRecordBytes,
+                "readBinaryTrace: implausible chunk payload size " +
+                    std::to_string(payload_bytes));
+    requireData(pos + 4 <= buf.size(),
+                "readBinaryTrace: truncated chunk checksum");
+    std::uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+        crc |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(buf[pos + i]))
+               << (8 * i);
     }
+    pos += 4;
+    requireData(payload_bytes <= buf.size() - pos,
+                "readBinaryTrace: truncated chunk payload");
+    const std::string_view payload =
+        buf.substr(pos, static_cast<std::size_t>(payload_bytes));
+    requireData(crc32(payload.data(), payload.size()) == crc,
+                "readBinaryTrace: chunk CRC mismatch");
+
+    out.clear();
+    out.reserve(static_cast<std::size_t>(record_count));
+    std::size_t at = 0;
+    std::int64_t prev_proc = 0;
+    for (std::uint64_t i = 0; i < record_count; ++i) {
+        const std::uint64_t zz = getVarintBuf(payload, at, "v2 record");
+        const std::uint64_t offset =
+            getVarintBuf(payload, at, "v2 record");
+        const std::uint64_t length =
+            getVarintBuf(payload, at, "v2 record");
+        out.push_back(decodeRecord(zz, offset, length, prev_proc,
+                                   proc_count));
+    }
+    requireData(at == payload.size(),
+                "readBinaryTrace: trailing bytes in chunk payload");
+    pos += payload.size();
+    return true;
+}
+
+/** v1 body over an in-memory image (salvageable per record). */
+Trace
+readBodyV1Buf(std::string_view buf, std::size_t pos,
+              std::uint64_t proc_count, std::uint64_t run_count,
+              const TraceReadOptions &ropts)
+{
+    Trace trace(proc_count);
+    trace.reserve(static_cast<std::size_t>(
+        std::min(run_count, kReserveCap)));
+    std::int64_t prev_proc = 0;
+    std::uint64_t got = 0;
+    try {
+        for (; got < run_count; ++got) {
+            const std::uint64_t zz = getVarintBuf(buf, pos, "v1 record");
+            const std::uint64_t offset =
+                getVarintBuf(buf, pos, "v1 record");
+            const std::uint64_t length =
+                getVarintBuf(buf, pos, "v1 record");
+            const TraceEvent ev = decodeRecord(
+                zz, offset, length, prev_proc, proc_count);
+            trace.append(ev.proc, ev.offset, ev.length);
+        }
+    } catch (const TopoError &) {
+        if (!ropts.recover)
+            throw;
+    }
+    reportV1Outcome(got, run_count, ropts);
+    return trace;
+}
+
+/** v2 body over an in-memory image (salvageable per chunk). */
+Trace
+readBodyV2Buf(std::string_view buf, std::size_t pos,
+              std::uint64_t proc_count, std::uint64_t run_count,
+              const TraceReadOptions &ropts)
+{
+    Trace trace(proc_count);
+    trace.reserve(static_cast<std::size_t>(
+        std::min(run_count, kReserveCap)));
+    std::uint64_t chunks = 0;
+    std::uint64_t got = 0;
+    bool bad_chunk = false;
+    std::vector<TraceEvent> chunk;
+    for (;;) {
+        try {
+            if (!readChunkV2Buf(buf, pos, proc_count, chunk))
+                break;
+        } catch (const TopoError &) {
+            if (!ropts.recover)
+                throw;
+            bad_chunk = true;
+            break;
+        }
+        for (const TraceEvent &ev : chunk)
+            trace.append(ev.proc, ev.offset, ev.length);
+        got += chunk.size();
+        ++chunks;
+    }
+    reportV2Outcome(chunks, got, run_count, bad_chunk, ropts);
     return trace;
 }
 
@@ -352,6 +498,30 @@ readBinaryTrace(std::istream &is, const TraceReadOptions &ropts)
     return readBodyV2(is, proc_count, run_count, ropts);
 }
 
+Trace
+decodeBinaryTrace(const char *data, std::size_t size,
+                  const TraceReadOptions &ropts)
+{
+    const std::string_view buf(data, size);
+    std::size_t pos = 0;
+    requireData(buf.size() >= 4 &&
+                    std::equal(kMagic, kMagic + 4, buf.begin()),
+                "readBinaryTrace: bad magic");
+    pos = 4;
+    const std::uint64_t version = getVarintBuf(buf, pos, "header");
+    requireData(version == kVersionV1 || version == kVersionV2,
+                "readBinaryTrace: unsupported version " +
+                    std::to_string(version));
+    const std::uint64_t proc_count = getVarintBuf(buf, pos, "header");
+    requireData(proc_count <= kMaxProcCount,
+                "readBinaryTrace: implausible procedure count " +
+                    std::to_string(proc_count));
+    const std::uint64_t run_count = getVarintBuf(buf, pos, "header");
+    if (version == kVersionV1)
+        return readBodyV1Buf(buf, pos, proc_count, run_count, ropts);
+    return readBodyV2Buf(buf, pos, proc_count, run_count, ropts);
+}
+
 void
 saveBinaryTrace(const std::string &path, const Trace &trace,
                 const TraceWriteOptions &wopts)
@@ -366,6 +536,15 @@ saveBinaryTrace(const std::string &path, const Trace &trace,
 Trace
 loadBinaryTrace(const std::string &path, const TraceReadOptions &ropts)
 {
+    if (traceMmapEligible(ropts)) {
+        std::optional<MappedFile> map = MappedFile::tryMap(path);
+        if (map.has_value()) {
+            MetricsRegistry::current().counter("trace.mmap_loads").add();
+            return decodeBinaryTrace(map->data(), map->size(), ropts);
+        }
+        // Map failure (missing file, pipe, exotic filesystem): the
+        // stream path below produces the canonical error or result.
+    }
     std::ifstream is(path, std::ios::binary);
     require(is.good(), "loadBinaryTrace: cannot open '" + path + "'");
     return readBinaryTrace(is, ropts);
@@ -374,6 +553,21 @@ loadBinaryTrace(const std::string &path, const TraceReadOptions &ropts)
 Trace
 loadAnyTrace(const std::string &path, const TraceReadOptions &ropts)
 {
+    if (traceMmapEligible(ropts)) {
+        std::optional<MappedFile> map = MappedFile::tryMap(path);
+        if (map.has_value()) {
+            requireData(map->size() >= 4,
+                        "loadAnyTrace: file too short", path);
+            if (std::equal(kMagic, kMagic + 4, map->data())) {
+                MetricsRegistry::current()
+                    .counter("trace.mmap_loads")
+                    .add();
+                return decodeBinaryTrace(map->data(), map->size(),
+                                         ropts);
+            }
+            // Text traces stay on the line-oriented stream parser.
+        }
+    }
     std::ifstream is(path, std::ios::binary);
     require(is.good(), "loadAnyTrace: cannot open '" + path + "'");
     char head[4] = {};

@@ -38,6 +38,7 @@
 #ifndef TOPO_TRACE_TRACE_BINARY_HH
 #define TOPO_TRACE_TRACE_BINARY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -59,6 +60,16 @@ void writeBinaryTrace(std::ostream &os, const Trace &trace,
  */
 Trace readBinaryTrace(std::istream &is,
                       const TraceReadOptions &ropts = {});
+
+/**
+ * Decode a complete in-memory binary trace image (v1 or v2) without
+ * copying chunk payloads — records are parsed and CRCs verified
+ * directly over [data, data + size). This is the zero-copy core the
+ * mmap loader uses; strict/recover semantics, salvage metrics, and
+ * error text match readBinaryTrace exactly.
+ */
+Trace decodeBinaryTrace(const char *data, std::size_t size,
+                        const TraceReadOptions &ropts = {});
 
 /** Write a binary trace to a file path. */
 void saveBinaryTrace(const std::string &path, const Trace &trace,

@@ -45,6 +45,17 @@ struct TraceRecovery
     std::uint64_t records_dropped = 0;
 };
 
+/** How file-path loads pick between the mmap and stream readers. */
+enum class TraceMmapMode
+{
+    /** Map when supported and no fault-injection plan is armed. */
+    kAuto = 0,
+    /** Always use the buffered stream reader. */
+    kOff,
+    /** Map whenever the platform supports it (tests pin the path). */
+    kOn,
+};
+
 /** Reader knobs. */
 struct TraceReadOptions
 {
@@ -52,6 +63,11 @@ struct TraceReadOptions
     bool recover = false;
     /** When non-null, filled with what a recover-mode read salvaged. */
     TraceRecovery *report = nullptr;
+    /**
+     * mmap policy for file-path loads (trace_mmap.hh has the full
+     * fallback matrix); stream-based reads are unaffected.
+     */
+    TraceMmapMode mmap = TraceMmapMode::kAuto;
 };
 
 /** Write a trace in the text format. */

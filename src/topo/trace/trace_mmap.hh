@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Zero-copy mmap-backed trace loading.
+ *
+ * File-path trace loads (loadBinaryTrace / loadAnyTrace) map the file
+ * read-only and decode chunks directly out of the mapping: no read()
+ * copies into stream buffers and no per-chunk payload allocation.
+ * Chunk CRCs are validated lazily — each chunk's checksum is computed
+ * over the mapped bytes as that chunk is first decoded, never as a
+ * separate up-front pass over the file.
+ *
+ * Fallback matrix (decode semantics, salvage behavior, metrics, and
+ * error text are identical on both paths; DESIGN.md §10):
+ *   - platform without mmap            -> buffered stream reader
+ *   - any fault-injection plan armed   -> stream reader (it hosts the
+ *     trace_binary.* / read-short / bitflip injection hooks)
+ *   - TraceReadOptions::mmap == kOff or TOPO_TRACE_MMAP=0/off  -> stream
+ *   - open()/fstat()/mmap() failure    -> stream reader (which then
+ *     reports the open error on its own)
+ *   - text traces                      -> stream reader (line-oriented
+ *     parse; the magic sniff still happens on the mapping)
+ */
+
+#ifndef TOPO_TRACE_TRACE_MMAP_HH
+#define TOPO_TRACE_TRACE_MMAP_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "topo/trace/trace_io.hh"
+
+namespace topo
+{
+
+/** True when this platform can map files read-only. */
+bool mmapSupported();
+
+/**
+ * RAII read-only file mapping. Obtain through tryMap(); an instance
+ * always owns a valid (possibly empty) mapping.
+ */
+class MappedFile
+{
+  public:
+    /** Map @p path read-only; std::nullopt on any failure. */
+    static std::optional<MappedFile> tryMap(const std::string &path);
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    ~MappedFile();
+
+    /** First mapped byte (nullptr for an empty file). */
+    const char *data() const { return data_; }
+
+    /** Mapped length in bytes. */
+    std::size_t size() const { return size_; }
+
+  private:
+    MappedFile(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    const char *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Should this file-path load take the mapped path? False when the
+ * platform lacks mmap, the options or the TOPO_TRACE_MMAP environment
+ * kill-switch disable it, or any fault-injection plan is armed (the
+ * stream reader hosts the injection hooks, so faults keep their
+ * deterministic semantics).
+ */
+bool traceMmapEligible(const TraceReadOptions &ropts);
+
+} // namespace topo
+
+#endif // TOPO_TRACE_TRACE_MMAP_HH

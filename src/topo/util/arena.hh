@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Arena: a reusable bump allocator for per-replay scratch tables.
+ *
+ * Hot loops that need a scratch array per invocation (the simulator's
+ * per-layout line-address table, notably) would otherwise allocate and
+ * free on every call — tens of allocations per grid cell, defeating
+ * the "steady-state replay is allocation-free" budget asserted by the
+ * allocation-hook tests. An Arena keeps one grow-only byte buffer;
+ * reset() rewinds it for reuse without releasing memory, so after the
+ * first (largest) replay every later replay allocates nothing.
+ *
+ * Restrictions: alloc() returns uninitialised storage for trivially
+ * destructible element types only, and every span is invalidated by
+ * the next reset() or by an alloc() that grows the buffer. Intended
+ * use is one frame of scratch per reset() cycle, typically through a
+ * thread_local instance.
+ */
+
+#ifndef TOPO_UTIL_ARENA_HH
+#define TOPO_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace topo
+{
+namespace util
+{
+
+/** Grow-only bump allocator; see the file comment for the contract. */
+class Arena
+{
+  public:
+    /**
+     * Allocate an uninitialised span of @p count elements, aligned
+     * for T. Grows the underlying buffer when needed (invalidating
+     * earlier spans from this cycle — allocate the largest table
+     * first, or reserve() up front).
+     */
+    template <typename T>
+    std::span<T>
+    alloc(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena never runs destructors");
+        const std::size_t align = alignof(T);
+        std::size_t at = (used_ + align - 1) & ~(align - 1);
+        const std::size_t bytes = count * sizeof(T);
+        if (at + bytes > buffer_.size()) {
+            buffer_.resize(at + bytes);
+        }
+        used_ = at + bytes;
+        return std::span<T>(reinterpret_cast<T *>(buffer_.data() + at),
+                            count);
+    }
+
+    /** Rewind for the next cycle; capacity is retained. */
+    void reset() { used_ = 0; }
+
+    /** Bytes currently handed out this cycle. */
+    std::size_t usedBytes() const { return used_; }
+
+    /** Bytes held by the underlying buffer. */
+    std::size_t capacityBytes() const { return buffer_.size(); }
+
+  private:
+    std::vector<std::byte> buffer_;
+    std::size_t used_ = 0;
+};
+
+} // namespace util
+} // namespace topo
+
+#endif // TOPO_UTIL_ARENA_HH

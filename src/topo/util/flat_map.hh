@@ -1,0 +1,218 @@
+/**
+ * @file
+ * FlatMap: open-addressing hash map for the profiling hot path.
+ *
+ * The TRG/WCG accumulators and the Section 6 pair database perform
+ * hundreds of millions of insert-or-add operations per trace; node
+ * chasing through std::unordered_map buckets dominates that cost. This
+ * map stores slots in one contiguous array with linear probing over a
+ * power-of-two capacity, an occupancy byte per slot, and a splitmix64
+ * finalizer to spread the packed integer keys the callers use.
+ *
+ * Deliberate restrictions keep it simple and fast:
+ *  - keys are trivially copyable integers (packed edge/pair keys);
+ *  - no per-entry deletion — pruning rebuilds the table through
+ *    filter(), so there are no tombstones and probe chains never rot;
+ *  - iteration is in slot order, which is a pure function of the
+ *    insertion sequence. It is deterministic run-to-run but NOT sorted;
+ *    consumers that feed placement decisions or FP accumulation must
+ *    sort, exactly as they did with the hash-order containers
+ *    (determinism contract, DESIGN.md §9).
+ */
+
+#ifndef TOPO_UTIL_FLAT_MAP_HH
+#define TOPO_UTIL_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace topo
+{
+namespace util
+{
+
+/** splitmix64 finalizer: full-avalanche mixing for packed keys. */
+inline std::uint64_t
+mixKey(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Open-addressing insert-or-update map from an integer key to a value.
+ *
+ * @tparam Key   Trivially copyable integer key type.
+ * @tparam Value Mapped type; must be default-constructible (operator[]
+ *               value-initialises absent entries).
+ */
+template <typename Key, typename Value>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    /** Construct sized for @p expected entries without rehashing. */
+    explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+    /** Number of stored entries. */
+    std::size_t size() const { return size_; }
+
+    /** True when no entries are stored. */
+    bool empty() const { return size_ == 0; }
+
+    /** Current slot count (power of two, 0 before first insert). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Grow so @p expected entries fit without rehashing. */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t want = kMinCapacity;
+        // Keep the load factor at or below ~0.7 after `expected` fills.
+        while (want * 7 < expected * 10)
+            want <<= 1;
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    /**
+     * Value for @p key, value-initialised and inserted when absent.
+     * The returned reference is invalidated by the next insertion.
+     */
+    Value &
+    operator[](Key key)
+    {
+        if (size_ + 1 > maxLoad())
+            rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+        std::size_t idx = probeStart(key);
+        while (used_[idx]) {
+            if (slots_[idx].first == key)
+                return slots_[idx].second;
+            idx = (idx + 1) & mask_;
+        }
+        used_[idx] = 1;
+        slots_[idx] = {key, Value{}};
+        ++size_;
+        return slots_[idx].second;
+    }
+
+    /** Pointer to the value for @p key, or nullptr when absent. */
+    const Value *
+    find(Key key) const
+    {
+        if (slots_.empty())
+            return nullptr;
+        std::size_t idx = probeStart(key);
+        while (used_[idx]) {
+            if (slots_[idx].first == key)
+                return &slots_[idx].second;
+            idx = (idx + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    /** Mutable find; nullptr when absent (never inserts). */
+    Value *
+    find(Key key)
+    {
+        const FlatMap &self = *this;
+        return const_cast<Value *>(self.find(key));
+    }
+
+    /** True when @p key is present. */
+    bool contains(Key key) const { return find(key) != nullptr; }
+
+    /** Value for @p key, or @p fallback when absent. */
+    Value
+    get(Key key, Value fallback = Value{}) const
+    {
+        const Value *v = find(key);
+        return v != nullptr ? *v : fallback;
+    }
+
+    /**
+     * Visit every (key, value) entry in slot order. Deterministic for
+     * a fixed insertion sequence; not sorted.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (used_[i])
+                fn(slots_[i].first, slots_[i].second);
+        }
+    }
+
+    /**
+     * Keep only entries where pred(key, value) holds, rebuilding the
+     * table. This replaces per-entry erase: the map stays
+     * tombstone-free and probe distances reset to fresh-insert cost.
+     */
+    template <typename Pred>
+    void
+    filter(Pred &&pred)
+    {
+        FlatMap kept;
+        kept.reserve(size_);
+        forEach([&](Key key, const Value &value) {
+            if (pred(key, value))
+                kept[key] = value;
+        });
+        *this = std::move(kept);
+    }
+
+    /** Remove everything, keeping the allocated capacity. */
+    void
+    clear()
+    {
+        used_.assign(used_.size(), 0);
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 16;
+
+    /** Grow past this occupancy (load factor 0.7). */
+    std::size_t maxLoad() const { return slots_.size() * 7 / 10; }
+
+    std::size_t
+    probeStart(Key key) const
+    {
+        return static_cast<std::size_t>(
+                   mixKey(static_cast<std::uint64_t>(key))) &
+               mask_;
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<std::pair<Key, Value>> old_slots;
+        std::vector<std::uint8_t> old_used;
+        old_slots.swap(slots_);
+        old_used.swap(used_);
+        slots_.resize(new_capacity);
+        used_.assign(new_capacity, 0);
+        mask_ = new_capacity - 1;
+        size_ = 0;
+        for (std::size_t i = 0; i < old_slots.size(); ++i) {
+            if (old_used[i])
+                (*this)[old_slots[i].first] = old_slots[i].second;
+        }
+    }
+
+    std::vector<std::pair<Key, Value>> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace util
+} // namespace topo
+
+#endif // TOPO_UTIL_FLAT_MAP_HH

@@ -289,6 +289,34 @@ TEST(AttributionTest, HotLoopIsAllocationFree)
     EXPECT_LE(big_allocs, small_allocs + 32);
 }
 
+TEST(AttributionTest, SteadyStateBatchedReplayIsAllocationFree)
+{
+    // The plain (unobserved, uncontrolled) replay takes the batched
+    // fast path whose only scratch, the per-layout line-address table,
+    // lives in a thread-local arena. Once a first replay has grown the
+    // arena and the cache/metrics steady state exists, replaying a
+    // stream 40x longer must allocate exactly as much as replaying the
+    // short one — the replay loop itself performs zero allocations per
+    // access.
+    const ConflictFixture fx;
+    const Trace small_trace = fx.alternating(100);
+    const Trace big_trace = fx.alternating(4000);
+    const FetchStream small_stream(fx.program, small_trace, 32);
+    const FetchStream big_stream(fx.program, big_trace, 32);
+
+    auto count_allocs = [&](const FetchStream &stream) {
+        const std::uint64_t before =
+            g_allocs.load(std::memory_order_relaxed);
+        simulateLayout(fx.program, fx.layout, stream, fx.cache, false);
+        return g_allocs.load(std::memory_order_relaxed) - before;
+    };
+
+    count_allocs(big_stream); // warm arena, cache words, metrics
+    const std::uint64_t small_allocs = count_allocs(small_stream);
+    const std::uint64_t big_allocs = count_allocs(big_stream);
+    EXPECT_EQ(big_allocs, small_allocs);
+}
+
 TEST(ReportGenTest, ComparisonReportNamesWinnersAndPairs)
 {
     const ConflictFixture fx;

@@ -20,6 +20,7 @@
 #include "topo/trace/fetch_stream.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/trace/trace_io.hh"
+#include "topo/trace/trace_mmap.hh"
 #include "topo/util/error.hh"
 #include "topo/util/options.hh"
 #include "topo/util/rng.hh"
@@ -297,6 +298,113 @@ TEST(BinaryTraceV2, RejectsResourceExhaustingHeaders)
         craft({2, 4, 10, 0x80, 0x80, 0x80, 0x80, 0x04, 1, 0, 0, 0, 0});
     std::stringstream b(huge_chunk);
     EXPECT_EQ(codeOf([&] { readBinaryTrace(b); }), ErrCode::kCorrupt);
+}
+
+TEST(MmapTraceResilience, SalvageParityWithTheStreamReader)
+{
+    // The mapped decoder must be bit-for-bit interchangeable with the
+    // stream reader on damaged files too: same salvaged records, same
+    // loss accounting, same strict-mode error class.
+    if (!mmapSupported())
+        GTEST_SKIP() << "no mmap on this platform";
+    Logger::global().setLevel(LogLevel::kOff);
+    const std::size_t kRuns = 300;
+    const Trace trace = randomTrace(20, kRuns, 21);
+    TraceWriteOptions wopts;
+    wopts.records_per_chunk = 16;
+    std::stringstream ss;
+    writeBinaryTrace(ss, trace, wopts);
+    const std::string clean = ss.str();
+    const std::string path = "/tmp/topo_resilience_mmap_cut.tpb";
+
+    for (std::size_t keep = 8; keep < clean.size();
+         keep += 1 + keep / 8) {
+        {
+            std::ofstream os(path,
+                             std::ios::binary | std::ios::trunc);
+            os.write(clean.data(),
+                     static_cast<std::streamsize>(keep));
+        }
+        // Strict mode: both paths reject the truncation as corrupt.
+        for (const TraceMmapMode mode :
+             {TraceMmapMode::kOn, TraceMmapMode::kOff}) {
+            TraceReadOptions strict;
+            strict.mmap = mode;
+            EXPECT_EQ(codeOf([&] { loadBinaryTrace(path, strict); }),
+                      ErrCode::kCorrupt)
+                << "cut " << keep;
+        }
+        // Recover mode: identical salvage on both paths.
+        auto salvage = [&](TraceMmapMode mode, TraceRecovery &report) {
+            TraceReadOptions ropts;
+            ropts.recover = true;
+            ropts.report = &report;
+            ropts.mmap = mode;
+            return loadBinaryTrace(path, ropts);
+        };
+        TraceRecovery mapped_report, stream_report;
+        const Trace mapped =
+            salvage(TraceMmapMode::kOn, mapped_report);
+        const Trace streamed =
+            salvage(TraceMmapMode::kOff, stream_report);
+        ASSERT_EQ(mapped.size(), streamed.size()) << "cut " << keep;
+        for (std::size_t i = 0; i < mapped.size(); ++i) {
+            ASSERT_EQ(mapped.events()[i], streamed.events()[i])
+                << "record " << i << " cut " << keep;
+        }
+        EXPECT_EQ(mapped_report.recovered, stream_report.recovered);
+        EXPECT_EQ(mapped_report.chunks_recovered,
+                  stream_report.chunks_recovered)
+            << "cut " << keep;
+        EXPECT_EQ(mapped_report.records_recovered,
+                  stream_report.records_recovered)
+            << "cut " << keep;
+        EXPECT_EQ(mapped_report.records_dropped,
+                  stream_report.records_dropped)
+            << "cut " << keep;
+        EXPECT_EQ(mapped_report.records_recovered +
+                      mapped_report.records_dropped,
+                  kRuns)
+            << "cut " << keep;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MmapTraceResilience, ArmedFaultPlanForcesTheStreamPath)
+{
+    // The stream reader hosts all trace-level injection hooks, so an
+    // armed plan must route kAuto loads through it. throw_io at p=1
+    // makes the routing observable: the stream header hook fires (and
+    // throws) on the very first read, while the mapped decoder has no
+    // hooks and reads the same clean file successfully.
+    if (!mmapSupported())
+        GTEST_SKIP() << "no mmap on this platform";
+    const Trace trace = randomTrace(8, 200, 13);
+    const std::string path = "/tmp/topo_resilience_mmap_fault.tpb";
+    saveBinaryTrace(path, trace);
+
+    FaultPlan plan;
+    plan.arm(FaultKind::kThrowIo, 1.0, 1);
+    installFaultPlan(plan);
+    TraceReadOptions auto_opts; // kAuto
+    EXPECT_FALSE(traceMmapEligible(auto_opts));
+    EXPECT_EQ(codeOf([&] { loadBinaryTrace(path, auto_opts); }),
+              ErrCode::kCorrupt);
+    // Explicit kOn bypasses the plan check and decodes the mapping.
+    TraceReadOptions pin_opts;
+    pin_opts.mmap = TraceMmapMode::kOn;
+    EXPECT_TRUE(traceMmapEligible(pin_opts));
+    const Trace mapped = loadBinaryTrace(path, pin_opts);
+    EXPECT_EQ(mapped.size(), trace.size());
+    clearFaultPlan();
+
+    // With the plan gone, kAuto maps again and agrees with the file.
+    EXPECT_TRUE(traceMmapEligible(auto_opts));
+    const Trace back = loadBinaryTrace(path, auto_opts);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(back.events()[i], trace.events()[i]);
+    std::remove(path.c_str());
 }
 
 TEST(TextTrace, RecoverSalvagesTheValidLinePrefix)

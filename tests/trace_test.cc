@@ -61,9 +61,9 @@ TEST(FetchStream, ExpandsRunsToLines)
     t.append(1, 40, 8);  // line 1 only
     const FetchStream stream(p, t, 32);
     ASSERT_EQ(stream.size(), 5u);
-    EXPECT_EQ(stream.refs()[0], (FetchRef{0, 0}));
-    EXPECT_EQ(stream.refs()[3], (FetchRef{0, 3}));
-    EXPECT_EQ(stream.refs()[4], (FetchRef{1, 1}));
+    EXPECT_EQ(stream.ref(0), (FetchRef{0, 0}));
+    EXPECT_EQ(stream.ref(3), (FetchRef{0, 3}));
+    EXPECT_EQ(stream.ref(4), (FetchRef{1, 1}));
 }
 
 TEST(FetchStream, SingleByteRun)
@@ -73,7 +73,7 @@ TEST(FetchStream, SingleByteRun)
     t.append(0, 99, 1);
     const FetchStream stream(p, t, 32);
     ASSERT_EQ(stream.size(), 1u);
-    EXPECT_EQ(stream.refs()[0], (FetchRef{0, 3}));
+    EXPECT_EQ(stream.ref(0), (FetchRef{0, 3}));
 }
 
 /** Property: total lines equals the per-run line-span sum. */
