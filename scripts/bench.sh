@@ -19,7 +19,10 @@
 # Knobs: TOPO_BENCH_SCALE (trace scale, default 0.05),
 #        TOPO_BENCH_NAMES (comma list, default m88ksim,vortex),
 #        TOPO_BENCH_JOBS (worker threads, default: hardware concurrency;
-#        results are jobs-invariant, only the wall times change)
+#        results are jobs-invariant, only the wall times change),
+#        TOPO_BENCH_TAXONOMY (1 = attach the 3C miss taxonomy to every
+#        run; off by default so wall times stay comparable with
+#        BENCH_baseline.json, which records the plain batched replay)
 set -e
 
 cd "$(dirname "$0")/.."
@@ -28,6 +31,8 @@ BUILD="${2:-build}"
 SCALE="${TOPO_BENCH_SCALE:-0.05}"
 NAMES="${TOPO_BENCH_NAMES:-m88ksim,vortex}"
 JOBS="${TOPO_BENCH_JOBS:-$(nproc 2> /dev/null || echo 1)}"
+TAXONOMY_FLAG=""
+[ "${TOPO_BENCH_TAXONOMY:-0}" = "1" ] && TAXONOMY_FLAG="--taxonomy"
 
 echo "== build ($BUILD) =="
 cmake -B "$BUILD" -S . > /dev/null
@@ -36,7 +41,7 @@ cmake --build "$BUILD" -j --target topo_sim topo_report > /dev/null
 echo "== bench ($NAMES, scale $SCALE, jobs $JOBS) =="
 "$BUILD/tools/topo_sim" --benchmark="$NAMES" \
     --algorithms=default,ph,hkc,gbsc --trace-scale="$SCALE" \
-    --jobs="$JOBS" --bench-out="$OUT"
+    --jobs="$JOBS" $TAXONOMY_FLAG --bench-out="$OUT"
 
 "$BUILD/tools/topo_report" --check-json="$OUT" > /dev/null || {
     echo "FAIL: $OUT is not valid JSON"; exit 1; }

@@ -25,13 +25,18 @@ echo "== metrics smoke =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 "$BUILD/tools/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
-    --metrics-out="$WORK/metrics.json" > /dev/null
+    --taxonomy --metrics-out="$WORK/metrics.json" > /dev/null
 for key in '"topo_metrics": 1' '"phase.synthesis.ms"' \
     '"phase.trg_build.ms"' '"phase.placement.gbsc.ms"' \
-    '"phase.simulate.ms"' '"cache.misses"'; do
+    '"phase.simulate.ms"' '"cache.misses"' \
+    '"taxonomy.compulsory"' '"taxonomy.conflict"' \
+    '"provenance"' '"git_sha"'; do
     grep -q "$key" "$WORK/metrics.json" || {
         echo "FAIL: metrics snapshot missing $key"; exit 1; }
 done
+"$BUILD/tools/topo_report" --check-json="$WORK/metrics.json" \
+    > /dev/null || {
+    echo "FAIL: metrics.json fails schema validation"; exit 1; }
 
 echo "== report smoke =="
 "$BUILD/tools/topo_report" --microsuite=thrash_pair \
@@ -42,6 +47,32 @@ grep -q "Top conflicting procedure pairs" "$WORK/report.md" || {
 "$BUILD/tools/topo_report" --check-json="$WORK/report.json" \
     > /dev/null || {
     echo "FAIL: report.json is not valid JSON"; exit 1; }
+
+echo "== taxonomy invariants =="
+# Every microsuite case x {ph,hkc,gbsc} x both cache geometries x
+# jobs in {1,4}: --check-json enforces the exact 3C-sum invariant
+# (compulsory + capacity + conflict == misses, per layout and per
+# timeline window) on each artefact, and the jobs=1 / jobs=4 suite
+# documents must be byte-identical (taxonomy is deterministic and
+# jobs-invariant).
+for assoc in 1 2; do
+    for jobs in 1 4; do
+        "$BUILD/tools/topo_report" --microsuite \
+            --algorithms=ph,hkc,gbsc --assoc="$assoc" --jobs="$jobs" \
+            --out="$WORK/tax_a${assoc}_j${jobs}.md" \
+            --json-out="$WORK/tax_a${assoc}_j${jobs}.json" > /dev/null
+        "$BUILD/tools/topo_report" \
+            --check-json="$WORK/tax_a${assoc}_j${jobs}.json" \
+            > /dev/null || {
+            echo "FAIL: taxonomy invariant (assoc=$assoc jobs=$jobs)"
+            exit 1; }
+    done
+    cmp -s "$WORK/tax_a${assoc}_j1.json" "$WORK/tax_a${assoc}_j4.json" || {
+        echo "FAIL: assoc=$assoc taxonomy differs jobs=1 vs jobs=4"
+        exit 1; }
+done
+grep -q "Miss taxonomy (3C)" "$WORK/tax_a1_j1.md" || {
+    echo "FAIL: microsuite report missing the 3C section"; exit 1; }
 
 echo "== bench smoke =="
 TOPO_BENCH_SCALE=0.02 TOPO_BENCH_NAMES=m88ksim \
@@ -86,6 +117,12 @@ echo "== test (sanitized) =="
 export ASAN_OPTIONS="exitcode=99:abort_on_error=0"
 export UBSAN_OPTIONS="exitcode=99:halt_on_error=1"
 ctest --test-dir "$SAN" --output-on-failure -j
+
+echo "== taxonomy smoke (sanitized) =="
+# The Olken tree and shadow-model bookkeeping must be clean under
+# ASan+UBSan on a real benchmark stream, not just the unit fixtures.
+"$SAN/tools/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    --taxonomy > /dev/null
 
 echo "== fault-injection soak (sanitized) =="
 TOOLS="$SAN/tools"

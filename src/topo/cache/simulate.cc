@@ -3,6 +3,7 @@
 #include "topo/cache/attribution.hh"
 #include "topo/cache/direct_mapped_cache.hh"
 #include "topo/cache/set_associative_cache.hh"
+#include "topo/cache/taxonomy.hh"
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
@@ -164,6 +165,14 @@ replay(const Program &program, const Layout &layout,
                         proc, set, victim, victim_valid);
                 }
             }
+            if (observers->taxonomy != nullptr) {
+                // Classify before timeline->record(): record() may
+                // close the window this fetch belongs to.
+                const TaxonomyEvent event =
+                    observers->taxonomy->record(proc, id, hit);
+                if (observers->timeline != nullptr)
+                    observers->timeline->noteTaxonomy(event);
+            }
             if (observers->timeline != nullptr)
                 observers->timeline->record(proc, !hit);
         } else if (!cache.access(line_addr)) {
@@ -320,6 +329,18 @@ simulateLayout(const Program &program, const Layout &layout,
             .add(sink.droppedPairs());
         metrics.gauge("attribution.tracked_pairs")
             .set(static_cast<double>(sink.trackedPairs()));
+    }
+    if (observed && observers->taxonomy != nullptr) {
+        const TaxonomySink &sink = *observers->taxonomy;
+        metrics.counter("taxonomy.compulsory").add(sink.compulsory());
+        metrics.counter("taxonomy.capacity").add(sink.capacity());
+        metrics.counter("taxonomy.conflict").add(sink.conflict());
+        const auto &hist = sink.reuseHistogram();
+        for (std::size_t b = 0; b < hist.size(); ++b) {
+            if (hist[b] == 0)
+                continue;
+            metrics.counter(reuseBucketMetricName(b)).add(hist[b]);
+        }
     }
     if (logEnabled(LogLevel::kDebug)) {
         logDebug("simulate", "replay finished",

@@ -30,6 +30,7 @@ namespace topo
 {
 
 class AttributionSink;
+class TaxonomySink;
 class TimelineRecorder;
 
 /** Result of a cache simulation. */
@@ -68,13 +69,16 @@ struct SimObservers
 {
     /** Per-procedure / per-set / conflict-matrix attribution. */
     AttributionSink *attribution = nullptr;
+    /** 3C miss classification + reuse-distance profiling. */
+    TaxonomySink *taxonomy = nullptr;
     /** Windowed miss-rate / working-set sampling. */
     TimelineRecorder *timeline = nullptr;
 
     bool
     any() const
     {
-        return attribution != nullptr || timeline != nullptr;
+        return attribution != nullptr || taxonomy != nullptr ||
+               timeline != nullptr;
     }
 };
 

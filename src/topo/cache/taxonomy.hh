@@ -1,0 +1,264 @@
+/**
+ * @file
+ * TaxonomySink: 3C miss classification + reuse-distance profiling for
+ * the cache simulator.
+ *
+ * The paper's claim is that temporal-ordering placement removes
+ * *conflict* misses specifically, so the observatory must say which
+ * kind of miss each layout removes. The sink maintains a shadow
+ * fully-associative LRU model of the same capacity as the real cache
+ * and classifies every real-cache miss (Hill's taxonomy, per-miss
+ * form):
+ *
+ *  - compulsory: first reference to the line, ever;
+ *  - capacity:   the FA shadow missed too (stack distance >= C), so
+ *                no placement at this capacity could have hit;
+ *  - conflict:   the shadow hit but the real geometry missed — the
+ *                layout's fault, and the bucket placement can shrink.
+ *
+ * The shadow is driven by Mattson stack distances: an FA-LRU cache of
+ * C lines hits exactly when the reuse distance (distinct lines touched
+ * since the previous reference) is < C. Distances come from Olken's
+ * algorithm — an order-statistic tree over last-access timestamps,
+ * O(log n) per access — and double as a log2-bucketed reuse-distance
+ * histogram, the per-window form of which is the interval signature
+ * ROADMAP item 3 consumes.
+ *
+ * Distances are computed over *program* line ids rather than placed
+ * addresses: layouts are validated non-overlapping, so the id->address
+ * map is a bijection and the distance sequence is identical — which is
+ * also why the histogram and the compulsory count are layout-invariant
+ * while the conflict/capacity split moves with the layout. All state
+ * is sized at construction (O(program lines) + tree nodes, one per
+ * distinct line); the steady-state record() path is allocation-free.
+ */
+
+#ifndef TOPO_CACHE_TAXONOMY_HH
+#define TOPO_CACHE_TAXONOMY_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/obs/json.hh"
+#include "topo/obs/timeline.hh"
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/**
+ * Size-augmented AVL tree of distinct uint64 keys (order-statistic
+ * tree). Nodes live in one contiguous vector with a free list, so a
+ * steady-state erase/insert cycle never allocates. Supports exactly
+ * what Olken's algorithm needs: insert a fresh (monotonically larger)
+ * key, erase a known-present key, and count keys greater than a
+ * known-present key — that count *is* the reuse distance.
+ */
+class OrderStatTree
+{
+  public:
+    /** Insert @p key (must not be present). */
+    void insert(std::uint64_t key);
+
+    /** Erase @p key (must be present). */
+    void erase(std::uint64_t key);
+
+    /** Number of keys strictly greater than @p key (must be present). */
+    std::uint64_t countGreater(std::uint64_t key) const;
+
+    /** Number of keys in the tree. */
+    std::uint64_t size() const
+    {
+        return root_ == kNil ? 0 : nodes_[root_].size;
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint32_t left;
+        std::uint32_t right;
+        std::uint32_t size;
+        std::int8_t height;
+    };
+
+    std::uint32_t allocNode(std::uint64_t key);
+    void freeNode(std::uint32_t n);
+    std::int8_t heightOf(std::uint32_t n) const
+    {
+        return n == kNil ? std::int8_t{0} : nodes_[n].height;
+    }
+    std::uint32_t sizeOf(std::uint32_t n) const
+    {
+        return n == kNil ? 0u : nodes_[n].size;
+    }
+    void pull(std::uint32_t n);
+    std::uint32_t rotateLeft(std::uint32_t n);
+    std::uint32_t rotateRight(std::uint32_t n);
+    std::uint32_t rebalance(std::uint32_t n);
+    std::uint32_t insertRec(std::uint32_t n, std::uint32_t fresh);
+    std::uint32_t eraseRec(std::uint32_t n, std::uint64_t key);
+    std::uint32_t detachMin(std::uint32_t n, std::uint32_t &min_out);
+
+    std::vector<Node> nodes_;
+    std::uint32_t root_ = kNil;
+    std::uint32_t free_head_ = kNil;
+};
+
+/**
+ * Stable MetricsRegistry counter name for reuse-distance bucket @p b:
+ * "taxonomy.reuse.b00" .. "taxonomy.reuse.b32", "taxonomy.reuse.cold".
+ */
+std::string reuseBucketMetricName(std::size_t bucket);
+
+/**
+ * Human-readable stack-distance range for bucket @p b: "0",
+ * "[2^(b-1), 2^b)" rendered as decimal bounds, or "cold" for the
+ * first-touch bucket.
+ */
+std::string reuseBucketLabel(std::size_t bucket);
+
+/** Aggregated 3C tallies for one procedure. */
+struct ProcTaxonomy
+{
+    ProcId proc = kInvalidProc;
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+};
+
+/** 3C classifier + reuse-distance profiler for one simulation. */
+class TaxonomySink
+{
+  public:
+    /**
+     * @param program            Procedure inventory (per-proc tallies).
+     * @param program_line_count Dense program line id space of the
+     *                           fetch stream being replayed.
+     * @param config             Real cache geometry; the FA shadow is
+     *                           sized to config.lineCount().
+     */
+    TaxonomySink(const Program &program,
+                 std::uint32_t program_line_count,
+                 const CacheConfig &config);
+
+    /**
+     * Classify one fetch (hot path): @p proc touched program line
+     * @p line_id; @p hit says what the *real* cache did. Returns the
+     * classification + reuse bucket for window-level accounting.
+     */
+    TaxonomyEvent
+    record(ProcId proc, std::uint32_t line_id, bool hit)
+    {
+        TaxonomyEvent event;
+        const std::uint64_t prev = last_ts_[line_id];
+        if (prev == 0) {
+            event.reuse_bucket =
+                static_cast<std::uint8_t>(kReuseColdBucket);
+            if (!hit) {
+                event.miss_class = MissClass::kCompulsory;
+                ++compulsory_;
+                ++compulsory_by_proc_[proc];
+            }
+        } else {
+            const std::uint64_t distance = tree_.countGreater(prev);
+            event.reuse_bucket = bucketOf(distance);
+            tree_.erase(prev);
+            if (!hit) {
+                if (distance < shadow_lines_) {
+                    event.miss_class = MissClass::kConflict;
+                    ++conflict_;
+                    ++conflict_by_proc_[proc];
+                } else {
+                    event.miss_class = MissClass::kCapacity;
+                    ++capacity_;
+                    ++capacity_by_proc_[proc];
+                }
+            }
+        }
+        ++now_;
+        tree_.insert(now_);
+        last_ts_[line_id] = now_;
+        ++reuse_hist_[event.reuse_bucket];
+        return event;
+    }
+
+    /** Log2 bucket for stack distance @p d (0 -> 0, else bit width). */
+    static std::uint8_t
+    bucketOf(std::uint64_t d)
+    {
+        if (d == 0)
+            return 0;
+        const int width = std::bit_width(d);
+        return static_cast<std::uint8_t>(width < 33 ? width : 32);
+    }
+
+    std::uint64_t compulsory() const { return compulsory_; }
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t conflict() const { return conflict_; }
+    std::uint64_t classifiedMisses() const
+    {
+        return compulsory_ + capacity_ + conflict_;
+    }
+
+    /** Shadow (== real) cache capacity in lines. */
+    std::uint64_t shadowLines() const { return shadow_lines_; }
+
+    /** Full-run reuse-distance histogram (log2 buckets + cold). */
+    const std::array<std::uint64_t, kReuseBucketCount> &
+    reuseHistogram() const
+    {
+        return reuse_hist_;
+    }
+
+    const std::vector<std::uint64_t> &compulsoryByProc() const
+    {
+        return compulsory_by_proc_;
+    }
+    const std::vector<std::uint64_t> &capacityByProc() const
+    {
+        return capacity_by_proc_;
+    }
+    const std::vector<std::uint64_t> &conflictByProc() const
+    {
+        return conflict_by_proc_;
+    }
+
+    /**
+     * The @p k procedures with the most conflict misses, descending
+     * (ties broken by procedure id for determinism). Procedures with
+     * zero misses of any class are omitted.
+     */
+    std::vector<ProcTaxonomy> topProcs(std::size_t k) const;
+
+    /**
+     * JSON summary: 3C totals, reuse-distance histogram, and the top
+     * @p top_k conflict-heavy procedures (names resolved).
+     */
+    JsonValue toJson(std::size_t top_k = 16) const;
+
+  private:
+    const Program *program_;
+    std::uint64_t shadow_lines_;
+    /** Last access timestamp per program line; 0 = never touched. */
+    std::vector<std::uint64_t> last_ts_;
+    OrderStatTree tree_;
+    std::uint64_t now_ = 0;
+    std::uint64_t compulsory_ = 0;
+    std::uint64_t capacity_ = 0;
+    std::uint64_t conflict_ = 0;
+    std::array<std::uint64_t, kReuseBucketCount> reuse_hist_{};
+    std::vector<std::uint64_t> compulsory_by_proc_;
+    std::vector<std::uint64_t> capacity_by_proc_;
+    std::vector<std::uint64_t> conflict_by_proc_;
+};
+
+} // namespace topo
+
+#endif // TOPO_CACHE_TAXONOMY_HH

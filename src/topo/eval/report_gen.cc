@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <memory>
 #include <ostream>
 
 #include "topo/cache/attribution.hh"
 #include "topo/cache/simulate.hh"
+#include "topo/cache/taxonomy.hh"
 #include "topo/exec/exec.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
@@ -102,8 +104,11 @@ buildComparisonReport(const Program &program, const FetchStream &stream,
                                  stream.lineBytes(), sink_opts);
             TimelineRecorder timeline(report.timeline_window,
                                       program.procCount());
+            TaxonomySink taxonomy(program, stream.programLineCount(),
+                                  cache);
             SimObservers observers;
             observers.attribution = &sink;
+            observers.taxonomy = &taxonomy;
             observers.timeline = &timeline;
             const SimResult sim =
                 simulateLayout(program, candidate.layout, stream,
@@ -142,6 +147,11 @@ buildComparisonReport(const Program &program, const FetchStream &stream,
                     {s, sink.accessesBySet()[s], entry.set_misses[s]});
             }
             entry.timeline = timeline.samples();
+            entry.compulsory = taxonomy.compulsory();
+            entry.capacity = taxonomy.capacity();
+            entry.conflict = taxonomy.conflict();
+            entry.reuse_hist.assign(taxonomy.reuseHistogram().begin(),
+                                    taxonomy.reuseHistogram().end());
             return out;
         });
     for (CandidateResult &result : results) {
@@ -194,6 +204,40 @@ renderReportMarkdown(const ComparisonReport &report, std::ostream &os)
            << " | " << entry.evictions << " |\n";
     }
     os << "\n";
+
+    os << "## Miss taxonomy (3C)\n\n";
+    os << "Compulsory and the reuse-distance profile are properties "
+          "of the stream, not the layout; only the capacity/conflict "
+          "split moves between candidates.\n\n";
+    os << "| layout | misses | compulsory | capacity | conflict | "
+          "conflict share |\n";
+    os << "|---|---|---|---|---|---|\n";
+    for (const LayoutReport &entry : report.layouts) {
+        const double share =
+            entry.misses ? static_cast<double>(entry.conflict) /
+                               static_cast<double>(entry.misses)
+                         : 0.0;
+        os << "| " << entry.label << " | " << entry.misses << " | "
+           << entry.compulsory << " | " << entry.capacity << " | "
+           << entry.conflict << " | " << fmtPercent(share) << " |\n";
+    }
+    os << "\n";
+
+    if (!report.layouts.empty() &&
+        !report.layouts.front().reuse_hist.empty()) {
+        const std::vector<std::uint64_t> &hist =
+            report.layouts.front().reuse_hist;
+        os << "### Reuse-distance profile (stream-wide)\n\n";
+        os << "| stack distance | fetches |\n";
+        os << "|---|---|\n";
+        for (std::size_t b = 0; b < hist.size(); ++b) {
+            if (hist[b] == 0)
+                continue;
+            os << "| " << reuseBucketLabel(b) << " | " << hist[b]
+               << " |\n";
+        }
+        os << "\n";
+    }
 
     for (const LayoutReport &entry : report.layouts) {
         os << "## " << entry.label << "\n\n";
@@ -304,6 +348,26 @@ reportToJson(const ComparisonReport &report)
             sets.push(JsonValue::number(static_cast<double>(misses)));
         row.set("set_misses", std::move(sets));
 
+        const bool has_taxonomy = !entry.reuse_hist.empty();
+        if (has_taxonomy) {
+            JsonValue taxonomy = JsonValue::object();
+            taxonomy.set("compulsory",
+                         JsonValue::number(
+                             static_cast<double>(entry.compulsory)));
+            taxonomy.set("capacity",
+                         JsonValue::number(
+                             static_cast<double>(entry.capacity)));
+            taxonomy.set("conflict",
+                         JsonValue::number(
+                             static_cast<double>(entry.conflict)));
+            JsonValue hist = JsonValue::array();
+            for (const std::uint64_t count : entry.reuse_hist)
+                hist.push(
+                    JsonValue::number(static_cast<double>(count)));
+            taxonomy.set("reuse_hist", std::move(hist));
+            row.set("taxonomy", std::move(taxonomy));
+        }
+
         JsonValue timeline = JsonValue::array();
         for (const TimelineSample &sample : entry.timeline) {
             JsonValue cell = JsonValue::object();
@@ -319,6 +383,22 @@ reportToJson(const ComparisonReport &report)
             cell.set("working_set_procs",
                      JsonValue::number(static_cast<double>(
                          sample.distinct_procs)));
+            if (has_taxonomy) {
+                cell.set("compulsory",
+                         JsonValue::number(static_cast<double>(
+                             sample.compulsory)));
+                cell.set("capacity",
+                         JsonValue::number(
+                             static_cast<double>(sample.capacity)));
+                cell.set("conflict",
+                         JsonValue::number(
+                             static_cast<double>(sample.conflict)));
+                JsonValue hist = JsonValue::array();
+                for (const std::uint32_t count : sample.reuse_hist)
+                    hist.push(
+                        JsonValue::number(static_cast<double>(count)));
+                cell.set("reuse_hist", std::move(hist));
+            }
             timeline.push(std::move(cell));
         }
         row.set("timeline", std::move(timeline));
@@ -334,6 +414,285 @@ reportToJson(const ComparisonReport &report)
     }
     root.set("layouts", std::move(layouts));
     return root;
+}
+
+namespace
+{
+
+/** Reject members of @p value outside @p allowed. */
+void
+checkKeys(const JsonValue &value,
+          std::initializer_list<const char *> allowed,
+          const std::string &where)
+{
+    requireData(value.isObject(), "expected an object", where);
+    for (const auto &[key, member] : value.members()) {
+        (void)member;
+        bool known = false;
+        for (const char *name : allowed)
+            known = known || key == name;
+        requireData(known, "unknown key '" + key + "'", where);
+    }
+}
+
+void
+checkRequired(const JsonValue &value,
+              std::initializer_list<const char *> required,
+              const std::string &where)
+{
+    for (const char *name : required)
+        requireData(value.find(name) != nullptr,
+                    std::string("missing key '") + name + "'", where);
+}
+
+std::uint64_t
+asCount(const JsonValue &value, const std::string &where)
+{
+    requireData(value.kind() == JsonValue::Kind::kNumber,
+                "expected a number", where);
+    const double number = value.asNumber();
+    requireData(number >= 0.0, "expected a non-negative count", where);
+    return static_cast<std::uint64_t>(number);
+}
+
+/** Histogram must have kReuseBucketCount buckets summing to @p total. */
+void
+checkReuseHist(const JsonValue &hist, std::uint64_t total,
+               const std::string &where)
+{
+    requireData(hist.isArray(), "reuse_hist must be an array", where);
+    requireData(hist.size() == kReuseBucketCount,
+                "reuse_hist must have " +
+                    std::to_string(kReuseBucketCount) + " buckets",
+                where);
+    std::uint64_t sum = 0;
+    for (const JsonValue &bucket : hist.elements())
+        sum += asCount(bucket, where);
+    requireData(sum == total,
+                "reuse_hist sums to " + std::to_string(sum) +
+                    ", expected the access count " +
+                    std::to_string(total),
+                where);
+}
+
+/** 3C members of @p value must sum to exactly @p misses. */
+void
+checkThreeCSum(const JsonValue &value, std::uint64_t misses,
+               const std::string &where)
+{
+    const std::uint64_t sum =
+        asCount(value.at("compulsory"), where) +
+        asCount(value.at("capacity"), where) +
+        asCount(value.at("conflict"), where);
+    requireData(sum == misses,
+                "compulsory+capacity+conflict is " +
+                    std::to_string(sum) + ", expected misses " +
+                    std::to_string(misses),
+                where);
+}
+
+void
+checkProvenance(const JsonValue &value, const std::string &where)
+{
+    requireData(value.isObject(), "provenance must be an object",
+                where);
+    checkRequired(value, {"git_sha", "build_type", "compiler"}, where);
+    for (const auto &[key, member] : value.members())
+        requireData(member.kind() == JsonValue::Kind::kString,
+                    "provenance value '" + key + "' must be a string",
+                    where);
+}
+
+void
+checkTimelineRow(const JsonValue &row, const std::string &where)
+{
+    checkKeys(row,
+              {"start", "accesses", "misses", "miss_rate",
+               "working_set_procs", "compulsory", "capacity",
+               "conflict", "reuse_hist"},
+              where);
+    checkRequired(row,
+                  {"start", "accesses", "misses", "miss_rate",
+                   "working_set_procs"},
+                  where);
+    const bool any_taxonomy = row.find("compulsory") != nullptr ||
+                              row.find("capacity") != nullptr ||
+                              row.find("conflict") != nullptr ||
+                              row.find("reuse_hist") != nullptr;
+    if (!any_taxonomy)
+        return;
+    checkRequired(
+        row, {"compulsory", "capacity", "conflict", "reuse_hist"},
+        where);
+    checkThreeCSum(row, asCount(row.at("misses"), where), where);
+    checkReuseHist(row.at("reuse_hist"),
+                   asCount(row.at("accesses"), where), where);
+}
+
+void
+checkLayoutTaxonomy(const JsonValue &taxonomy, std::uint64_t misses,
+                    std::uint64_t accesses, const std::string &where)
+{
+    checkKeys(taxonomy,
+              {"compulsory", "capacity", "conflict", "shadow_lines",
+               "reuse_hist", "top_procs"},
+              where);
+    checkRequired(
+        taxonomy, {"compulsory", "capacity", "conflict", "reuse_hist"},
+        where);
+    checkThreeCSum(taxonomy, misses, where);
+    checkReuseHist(taxonomy.at("reuse_hist"), accesses, where);
+    if (const JsonValue *procs = taxonomy.find("top_procs")) {
+        requireData(procs->isArray(), "top_procs must be an array",
+                    where);
+        for (const JsonValue &row : procs->elements()) {
+            checkKeys(row,
+                      {"proc", "compulsory", "capacity", "conflict"},
+                      where + ".top_procs");
+            checkRequired(
+                row, {"proc", "compulsory", "capacity", "conflict"},
+                where + ".top_procs");
+        }
+    }
+}
+
+void
+checkReportDoc(const JsonValue &doc, const std::string &where)
+{
+    checkKeys(doc,
+              {"topo_report", "title", "program", "cache",
+               "stream_blocks", "timeline_window", "layouts"},
+              where);
+    checkRequired(doc,
+                  {"topo_report", "program", "cache", "stream_blocks",
+                   "timeline_window", "layouts"},
+                  where);
+    const JsonValue &layouts = doc.at("layouts");
+    requireData(layouts.isArray(), "layouts must be an array", where);
+    for (std::size_t i = 0; i < layouts.size(); ++i) {
+        const JsonValue &row = layouts.at(i);
+        const std::string layout_where =
+            where + ".layouts[" + std::to_string(i) + "]";
+        checkKeys(row,
+                  {"label", "accesses", "misses", "evictions",
+                   "miss_rate", "top_pairs", "tracked_pairs",
+                   "dropped_pairs", "set_misses", "taxonomy",
+                   "timeline", "windows_better", "windows_worse",
+                   "max_window_delta"},
+                  layout_where);
+        checkRequired(row,
+                      {"label", "accesses", "misses", "evictions",
+                       "miss_rate", "top_pairs", "set_misses",
+                       "timeline"},
+                      layout_where);
+        const std::uint64_t misses =
+            asCount(row.at("misses"), layout_where);
+        const std::uint64_t accesses =
+            asCount(row.at("accesses"), layout_where);
+        if (const JsonValue *taxonomy = row.find("taxonomy"))
+            checkLayoutTaxonomy(*taxonomy, misses, accesses,
+                                layout_where + ".taxonomy");
+        const JsonValue &timeline = row.at("timeline");
+        requireData(timeline.isArray(), "timeline must be an array",
+                    layout_where);
+        for (std::size_t w = 0; w < timeline.size(); ++w)
+            checkTimelineRow(timeline.at(w),
+                             layout_where + ".timeline[" +
+                                 std::to_string(w) + "]");
+    }
+}
+
+void
+checkBenchDoc(const JsonValue &doc, const std::string &where)
+{
+    checkKeys(doc,
+              {"topo_bench", "date", "benchmarks", "trace_scale",
+               "cache", "jobs", "threads", "peak_rss_kb", "provenance",
+               "runs"},
+              where);
+    checkRequired(doc,
+                  {"topo_bench", "date", "benchmarks", "trace_scale",
+                   "cache", "jobs", "runs"},
+                  where);
+    if (const JsonValue *provenance = doc.find("provenance"))
+        checkProvenance(*provenance, where + ".provenance");
+    const JsonValue &runs = doc.at("runs");
+    requireData(runs.isArray(), "runs must be an array", where);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const JsonValue &row = runs.at(i);
+        const std::string run_where =
+            where + ".runs[" + std::to_string(i) + "]";
+        checkKeys(row,
+                  {"benchmark", "algorithm", "accesses", "misses",
+                   "miss_rate", "wall_ms", "blocks_per_sec",
+                   "taxonomy"},
+                  run_where);
+        checkRequired(row,
+                      {"benchmark", "algorithm", "accesses", "misses",
+                       "miss_rate", "wall_ms", "blocks_per_sec"},
+                      run_where);
+        if (const JsonValue *taxonomy = row.find("taxonomy"))
+            checkLayoutTaxonomy(*taxonomy,
+                                asCount(row.at("misses"), run_where),
+                                asCount(row.at("accesses"), run_where),
+                                run_where + ".taxonomy");
+    }
+}
+
+void
+checkMetricsDoc(const JsonValue &doc, const std::string &where)
+{
+    checkKeys(doc,
+              {"topo_metrics", "counters", "gauges", "histograms",
+               "provenance"},
+              where);
+    checkRequired(doc,
+                  {"topo_metrics", "counters", "gauges", "histograms"},
+                  where);
+    if (const JsonValue *provenance = doc.find("provenance"))
+        checkProvenance(*provenance, where + ".provenance");
+    const JsonValue &counters = doc.at("counters");
+    requireData(counters.isObject(), "counters must be an object",
+                where);
+    for (const auto &[name, value] : counters.members())
+        asCount(value, where + ".counters." + name);
+}
+
+} // namespace
+
+std::string
+validateArtifactJson(const JsonValue &doc)
+{
+    requireData(doc.isObject(),
+                "artifact root must be a JSON object",
+                "validateArtifactJson");
+    if (doc.find("topo_report_suite") != nullptr) {
+        checkKeys(doc, {"topo_report_suite", "reports"}, "$");
+        checkRequired(doc, {"topo_report_suite", "reports"}, "$");
+        const JsonValue &reports = doc.at("reports");
+        requireData(reports.isArray(), "reports must be an array",
+                    "$");
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            checkReportDoc(reports.at(i),
+                           "$.reports[" + std::to_string(i) + "]");
+        return "topo_report_suite";
+    }
+    if (doc.find("topo_report") != nullptr) {
+        checkReportDoc(doc, "$");
+        return "topo_report";
+    }
+    if (doc.find("topo_bench") != nullptr) {
+        checkBenchDoc(doc, "$");
+        return "topo_bench";
+    }
+    if (doc.find("topo_metrics") != nullptr) {
+        checkMetricsDoc(doc, "$");
+        return "topo_metrics";
+    }
+    failCorrupt("unrecognized artifact document (expected a "
+                "topo_report, topo_report_suite, topo_bench, or "
+                "topo_metrics marker)",
+                "validateArtifactJson");
 }
 
 } // namespace topo

@@ -89,6 +89,13 @@ struct LayoutReport
     std::uint64_t windows_worse = 0;
     /** Largest per-window miss-rate gap vs the baseline (signed). */
     double max_window_delta = 0.0;
+    /** 3C miss taxonomy (always sums to misses, exactly). */
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+    /** Full-run reuse-distance histogram (kReuseBucketCount buckets;
+     *  layout-invariant: every candidate reports the same vector). */
+    std::vector<std::uint64_t> reuse_hist;
 };
 
 /** A full multi-layout comparison over one stream. */
@@ -119,6 +126,21 @@ void renderReportMarkdown(const ComparisonReport &report,
 
 /** Serialise as {"topo_report": 1, ...}. */
 JsonValue reportToJson(const ComparisonReport &report);
+
+/**
+ * Validate a known topo JSON artifact (topo_report, a topo_report
+ * suite document, topo_bench, or topo_metrics): recognised document
+ * type, no unknown top-level or per-row keys, required keys present,
+ * and the taxonomy invariants where taxonomy data appears —
+ * compulsory + capacity + conflict == misses (exactly, per layout,
+ * per window, and per bench run) and reuse histograms of
+ * kReuseBucketCount buckets summing to the access count. Throws a
+ * data-error TopoError on any violation.
+ *
+ * @return The recognised document type ("topo_report",
+ *         "topo_report_suite", "topo_bench", or "topo_metrics").
+ */
+std::string validateArtifactJson(const JsonValue &doc);
 
 /**
  * Unicode block sparkline of a series scaled to [lo, hi]; one glyph

@@ -1,6 +1,10 @@
 #include "topo/obs/obs.hh"
 
+#include <fstream>
 #include <memory>
+
+#include "topo/obs/provenance.hh"
+#include "topo/util/error.hh"
 
 namespace topo
 {
@@ -24,7 +28,15 @@ writeMetricsIfRequested(const Options &opts)
     const std::string path = opts.getString("metrics-out", "");
     if (path.empty())
         return false;
-    MetricsRegistry::global().writeJsonFile(path);
+    JsonValue snapshot = MetricsRegistry::global().toJson();
+    snapshot.set("provenance", provenanceJson());
+    std::ofstream os(path);
+    require(os.good(),
+            "metrics: cannot open metrics file '" + path + "'");
+    snapshot.write(os);
+    os << '\n';
+    require(os.good(),
+            "metrics: failed writing metrics file '" + path + "'");
     logInfo("metrics", "snapshot written", {{"file", path}});
     return true;
 }

@@ -1,0 +1,69 @@
+#include "topo/obs/provenance.hh"
+
+#include <map>
+#include <mutex>
+
+#include "topo/obs/build_info.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+struct RuntimeFacts
+{
+    std::mutex mutex;
+    std::map<std::string, std::string> entries; // sorted render order
+};
+
+RuntimeFacts &
+runtimeFacts()
+{
+    static RuntimeFacts facts;
+    return facts;
+}
+
+} // namespace
+
+const char *
+buildGitSha()
+{
+    return TOPO_BUILD_GIT_SHA;
+}
+
+const char *
+buildTypeName()
+{
+    return TOPO_BUILD_TYPE;
+}
+
+const char *
+buildCompiler()
+{
+    return TOPO_BUILD_COMPILER;
+}
+
+void
+setProvenance(const std::string &key, const std::string &value)
+{
+    RuntimeFacts &facts = runtimeFacts();
+    const std::lock_guard<std::mutex> lock(facts.mutex);
+    facts.entries[key] = value;
+}
+
+JsonValue
+provenanceJson()
+{
+    JsonValue root = JsonValue::object();
+    root.set("git_sha", JsonValue::string(buildGitSha()));
+    root.set("build_type", JsonValue::string(buildTypeName()));
+    root.set("compiler", JsonValue::string(buildCompiler()));
+    RuntimeFacts &facts = runtimeFacts();
+    const std::lock_guard<std::mutex> lock(facts.mutex);
+    for (const auto &[key, value] : facts.entries)
+        root.set(key, JsonValue::string(value));
+    return root;
+}
+
+} // namespace topo

@@ -40,6 +40,14 @@ TimelineRecorder::exportCounters(ChromeTraceLog &log,
         log.addCounter(track, "miss_rate", ts, sample.missRate());
         log.addCounter(track, "working_set_procs", ts,
                        static_cast<double>(sample.distinct_procs));
+        if (!saw_taxonomy_)
+            continue;
+        log.addCounter(track, "compulsory", ts,
+                       static_cast<double>(sample.compulsory));
+        log.addCounter(track, "capacity", ts,
+                       static_cast<double>(sample.capacity));
+        log.addCounter(track, "conflict", ts,
+                       static_cast<double>(sample.conflict));
     }
 }
 
@@ -62,6 +70,22 @@ TimelineRecorder::toJson() const
         row.set("working_set_procs",
                 JsonValue::number(
                     static_cast<double>(sample.distinct_procs)));
+        if (saw_taxonomy_) {
+            row.set("compulsory",
+                    JsonValue::number(
+                        static_cast<double>(sample.compulsory)));
+            row.set("capacity",
+                    JsonValue::number(
+                        static_cast<double>(sample.capacity)));
+            row.set("conflict",
+                    JsonValue::number(
+                        static_cast<double>(sample.conflict)));
+            JsonValue hist = JsonValue::array();
+            for (std::uint32_t count : sample.reuse_hist)
+                hist.push(
+                    JsonValue::number(static_cast<double>(count)));
+            row.set("reuse_hist", std::move(hist));
+        }
         list.push(std::move(row));
     }
     root.set("samples", std::move(list));

@@ -18,6 +18,7 @@
 #ifndef TOPO_OBS_TIMELINE_HH
 #define TOPO_OBS_TIMELINE_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -29,6 +30,31 @@
 namespace topo
 {
 
+/** 3C classification of one fetch (Hill's taxonomy, per-miss form). */
+enum class MissClass : std::uint8_t
+{
+    kHit = 0,        ///< Real cache hit (not a miss at all).
+    kCompulsory = 1, ///< First reference to the line, ever.
+    kCapacity = 2,   ///< Missed in the fully-associative shadow too.
+    kConflict = 3,   ///< Shadow hit; only the real geometry missed.
+};
+
+/**
+ * Log2 reuse-distance buckets: bucket b holds stack distances in
+ * [2^(b-1), 2^b) with bucket 0 reserved for distance 0, plus one
+ * "cold" bucket for first-touch accesses that have no prior reference.
+ */
+inline constexpr std::size_t kReuseBucketCount = 34;
+inline constexpr std::size_t kReuseColdBucket = kReuseBucketCount - 1;
+
+/** One classified fetch, as produced by the taxonomy sink. */
+struct TaxonomyEvent
+{
+    MissClass miss_class = MissClass::kHit;
+    /** Reuse-distance bucket index (< kReuseBucketCount). */
+    std::uint8_t reuse_bucket = 0;
+};
+
 /** One fixed-size window of simulation activity. */
 struct TimelineSample
 {
@@ -38,6 +64,12 @@ struct TimelineSample
     std::uint64_t misses = 0;
     /** Distinct procedures fetched from within the window. */
     std::uint32_t distinct_procs = 0;
+    /** 3C miss breakdown (populated only when a taxonomy sink runs). */
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+    /** Per-window reuse-distance feature vector (log2 buckets). */
+    std::array<std::uint32_t, kReuseBucketCount> reuse_hist{};
 
     double
     missRate() const
@@ -58,6 +90,34 @@ class TimelineRecorder
      *                      tracking).
      */
     TimelineRecorder(std::uint64_t window_blocks, std::size_t proc_count);
+
+    /**
+     * Fold one classified fetch into the current window. Must be
+     * called *before* record() for the same fetch: record() may close
+     * the window. Arms the taxonomy columns in samples and exports.
+     */
+    void
+    noteTaxonomy(const TaxonomyEvent &event)
+    {
+        saw_taxonomy_ = true;
+        switch (event.miss_class) {
+        case MissClass::kHit:
+            break;
+        case MissClass::kCompulsory:
+            ++current_.compulsory;
+            break;
+        case MissClass::kCapacity:
+            ++current_.capacity;
+            break;
+        case MissClass::kConflict:
+            ++current_.conflict;
+            break;
+        }
+        ++current_.reuse_hist[event.reuse_bucket];
+    }
+
+    /** True once any taxonomy event has been folded in. */
+    bool taxonomyArmed() const { return saw_taxonomy_; }
 
     /** Record one line fetch (hot path). */
     void
@@ -105,6 +165,7 @@ class TimelineRecorder
     /** Epoch stamp per procedure; matches epoch_ if seen this window. */
     std::vector<std::uint64_t> proc_epoch_;
     std::uint64_t epoch_ = 1;
+    bool saw_taxonomy_ = false;
     std::vector<TimelineSample> samples_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "topo/exec/exec.hh"
 #include "topo/obs/obs.hh"
+#include "topo/obs/provenance.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -39,6 +40,8 @@ toolMain(int argc, const char *const *argv, const ToolSpec &spec)
         initObservability(opts);
         initResilience(opts);
         initExec(opts, hardwareJobs());
+        setProvenance("tool", spec.name);
+        setProvenance("jobs", std::to_string(execJobs()));
         const int rc = spec.run(opts);
         writeMetricsIfRequested(opts);
         writeTraceIfRequested(opts);

@@ -20,8 +20,11 @@
  * first candidate is the baseline for timeline deltas.
  *
  * Utility mode: --check-json=FILE parses FILE with the in-tree JSON
- * parser and exits 0 (valid) or 2 (malformed) — used by check.sh to
- * validate report/bench artefacts without python.
+ * parser, recognises the document type (report, report suite, bench,
+ * or metrics snapshot), rejects unknown keys, and enforces the
+ * taxonomy invariants (3C sums equal miss counts; reuse histograms
+ * sum to access counts) — exit 0 (valid) or 2 (malformed). Used by
+ * check.sh to validate report/bench artefacts without python.
  */
 
 #include <fstream>
@@ -246,6 +249,19 @@ runMicrosuiteReport(const Options &opts)
     else
         cases.push_back(microCase(which));
 
+    // Each case carries its own lesson-specific geometry; --assoc
+    // overrides the associativity across the suite so the same
+    // workloads can be compared on both cache organisations.
+    if (opts.has("assoc")) {
+        const std::int64_t assoc = opts.getInt("assoc", 1);
+        require(assoc > 0, "topo_report: --assoc must be positive");
+        for (MicroCase &mc : cases) {
+            mc.cache.associativity =
+                static_cast<std::uint32_t>(assoc);
+            mc.cache.validate();
+        }
+    }
+
     // Cases are independent pipelines; fan them out on the shared
     // pool. Per-case metrics registries merge in case order, so the
     // report and --metrics-out are byte-identical for every --jobs
@@ -303,7 +319,10 @@ runFileReport(const Options &opts)
     return writer.finish();
 }
 
-/** Parse FILE with the in-tree JSON parser; exit 0 valid, 2 corrupt. */
+/**
+ * Parse FILE with the in-tree JSON parser and validate it as a known
+ * artifact (schema + taxonomy invariants); exit 0 valid, 2 corrupt.
+ */
 int
 runCheckJson(const Options &opts)
 {
@@ -312,12 +331,14 @@ runCheckJson(const Options &opts)
     requireData(is.good(), "cannot open file", path);
     std::ostringstream buf;
     buf << is.rdbuf();
+    std::string doc_type;
     try {
-        JsonValue::parse(buf.str());
+        const JsonValue doc = JsonValue::parse(buf.str());
+        doc_type = validateArtifactJson(doc);
     } catch (const TopoError &err) {
         failCorrupt(err.what(), path);
     }
-    std::cout << "valid JSON: " << path << "\n";
+    std::cout << "valid " << doc_type << ": " << path << "\n";
     return 0;
 }
 

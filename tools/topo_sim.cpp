@@ -38,9 +38,11 @@
 
 #include "topo/cache/attribution.hh"
 #include "topo/cache/simulate.hh"
+#include "topo/cache/taxonomy.hh"
 #include "topo/eval/page_metric.hh"
 #include "topo/eval/reports.hh"
 #include "topo/obs/obs.hh"
+#include "topo/obs/provenance.hh"
 #include "topo/obs/timeline.hh"
 #include "topo/placement/cache_coloring.hh"
 #include "topo/placement/gbsc.hh"
@@ -133,10 +135,56 @@ printConflicts(std::ostream &os, const Program &program,
     }
 }
 
+/** Print the 3C breakdown and reuse profile of a taxonomy sink. */
+void
+printTaxonomy(std::ostream &os, const Program &program,
+              const TaxonomySink &sink, std::uint64_t misses)
+{
+    os << '\n';
+    auto share = [misses](std::uint64_t count) {
+        return misses ? fmtPercent(static_cast<double>(count) /
+                                   static_cast<double>(misses))
+                      : std::string("0%");
+    };
+    TextTable classes({"miss class", "misses", "share"});
+    classes.addRow({"compulsory", std::to_string(sink.compulsory()),
+                    share(sink.compulsory())});
+    classes.addRow({"capacity", std::to_string(sink.capacity()),
+                    share(sink.capacity())});
+    classes.addRow({"conflict", std::to_string(sink.conflict()),
+                    share(sink.conflict())});
+    classes.render(os, "Miss taxonomy (3C)");
+
+    TextTable hist({"stack distance", "fetches"});
+    const auto &buckets = sink.reuseHistogram();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        hist.addRow({reuseBucketLabel(b), std::to_string(buckets[b])});
+    }
+    os << '\n';
+    hist.render(os, "Reuse-distance profile");
+
+    const std::vector<ProcTaxonomy> top = sink.topProcs(10);
+    if (!top.empty()) {
+        TextTable procs(
+            {"procedure", "conflict", "capacity", "compulsory"});
+        for (const ProcTaxonomy &row : top) {
+            procs.addRow({program.proc(row.proc).name,
+                          std::to_string(row.conflict),
+                          std::to_string(row.capacity),
+                          std::to_string(row.compulsory)});
+        }
+        os << '\n';
+        procs.render(os, "Top conflict-miss procedures");
+    }
+}
+
 /** Observation sinks for one simulation, built on request. */
 struct Observation
 {
     std::unique_ptr<AttributionSink> attribution;
+    std::unique_ptr<TaxonomySink> taxonomy;
     std::unique_ptr<TimelineRecorder> timeline;
     SimObservers observers;
     bool active = false;
@@ -144,13 +192,14 @@ struct Observation
 
 /**
  * Build the requested sinks: --attribution arms the attribution sink;
- * a timeline is recorded when --timeline-window is given or a Chrome
+ * --taxonomy arms the 3C classifier / reuse-distance profiler; a
+ * timeline is recorded when --timeline-window is given or a Chrome
  * trace is being captured (--trace-out).
  */
 Observation
 observationFrom(const Options &opts, const Program &program,
                 const Layout &layout, const CacheConfig &cache,
-                std::uint64_t stream_blocks)
+                const FetchStream &stream)
 {
     Observation obs;
     if (opts.getBool("attribution", false)) {
@@ -158,10 +207,15 @@ observationFrom(const Options &opts, const Program &program,
             program, layout, cache, cache.line_bytes);
         obs.observers.attribution = obs.attribution.get();
     }
+    if (opts.getBool("taxonomy", false)) {
+        obs.taxonomy = std::make_unique<TaxonomySink>(
+            program, stream.programLineCount(), cache);
+        obs.observers.taxonomy = obs.taxonomy.get();
+    }
     std::uint64_t window = static_cast<std::uint64_t>(
         opts.getInt("timeline-window", 0));
     if (window == 0 && ChromeTraceLog::global().enabled())
-        window = std::max<std::uint64_t>(1, stream_blocks / 64);
+        window = std::max<std::uint64_t>(1, stream.size() / 64);
     if (window != 0) {
         obs.timeline = std::make_unique<TimelineRecorder>(
             window, program.procCount());
@@ -190,10 +244,13 @@ timedSimulate(const Program &program, const Layout &layout,
 /** Post-run reporting shared by both paths. */
 void
 reportObservation(std::ostream &os, const Program &program,
-                  const Observation &obs, const std::string &track)
+                  const Observation &obs, std::uint64_t misses,
+                  const std::string &track)
 {
     if (obs.attribution)
         printConflicts(os, program, *obs.attribution);
+    if (obs.taxonomy)
+        printTaxonomy(os, program, *obs.taxonomy, misses);
     if (obs.timeline && ChromeTraceLog::global().enabled())
         obs.timeline->exportCounters(ChromeTraceLog::global(), track);
 }
@@ -207,6 +264,12 @@ struct RunRecord
     std::uint64_t misses = 0;
     double miss_rate = 0.0;
     double wall_ms = 0.0;
+    /** 3C breakdown; meaningful only when has_taxonomy is set. */
+    bool has_taxonomy = false;
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+    std::vector<std::uint64_t> reuse_hist;
 
     double
     blocksPerSec() const
@@ -216,6 +279,18 @@ struct RunRecord
                              : 0.0;
     }
 };
+
+/** Copy a taxonomy sink's tallies into a run record. */
+void
+recordTaxonomy(RunRecord &record, const TaxonomySink &sink)
+{
+    record.has_taxonomy = true;
+    record.compulsory = sink.compulsory();
+    record.capacity = sink.capacity();
+    record.conflict = sink.conflict();
+    record.reuse_hist.assign(sink.reuseHistogram().begin(),
+                             sink.reuseHistogram().end());
+}
 
 /** Write the BENCH_*.json document consumed by scripts/bench.sh. */
 void
@@ -235,6 +310,7 @@ writeBenchJson(const std::string &path, const std::string &benchmarks,
     root.set("threads", JsonValue::number(execJobs()));
     root.set("peak_rss_kb",
              JsonValue::number(static_cast<double>(peakRssKb())));
+    root.set("provenance", provenanceJson());
     JsonValue list = JsonValue::array();
     for (const RunRecord &run : runs) {
         JsonValue row = JsonValue::object();
@@ -247,6 +323,24 @@ writeBenchJson(const std::string &path, const std::string &benchmarks,
         row.set("miss_rate", JsonValue::number(run.miss_rate));
         row.set("wall_ms", JsonValue::number(run.wall_ms));
         row.set("blocks_per_sec", JsonValue::number(run.blocksPerSec()));
+        if (run.has_taxonomy) {
+            JsonValue taxonomy = JsonValue::object();
+            taxonomy.set("compulsory",
+                         JsonValue::number(
+                             static_cast<double>(run.compulsory)));
+            taxonomy.set("capacity",
+                         JsonValue::number(
+                             static_cast<double>(run.capacity)));
+            taxonomy.set("conflict",
+                         JsonValue::number(
+                             static_cast<double>(run.conflict)));
+            JsonValue hist = JsonValue::array();
+            for (const std::uint64_t count : run.reuse_hist)
+                hist.push(
+                    JsonValue::number(static_cast<double>(count)));
+            taxonomy.set("reuse_hist", std::move(hist));
+            row.set("taxonomy", std::move(taxonomy));
+        }
         list.push(std::move(row));
     }
     root.set("runs", std::move(list));
@@ -302,6 +396,8 @@ runBenchmark(const Options &opts)
     const std::string bench_names = opts.getString("benchmark", "");
     const double scale = traceScaleFrom(opts);
     const EvalOptions eval = evalOptionsFrom(opts);
+    setProvenance("cache", eval.cache.describe());
+    setProvenance("trace_scale", std::to_string(scale));
 
     std::vector<std::string> algorithms;
     if (opts.has("algorithms"))
@@ -367,7 +463,7 @@ runBenchmark(const Options &opts)
 
             Observation obs = observationFrom(
                 opts, bundle.program(), layout, eval.cache,
-                bundle.testStream().size());
+                bundle.testStream());
             require(!obs.active || !ctl.active,
                     "topo_sim: --attribution/--timeline-window do not "
                     "combine with checkpoint/resume");
@@ -381,10 +477,17 @@ runBenchmark(const Options &opts)
             out << "algorithm:  " << algo.name() << "\n";
             printResult(out, result, ctl.control);
             reportObservation(out, bundle.program(), obs,
+                              result.misses,
                               bundle.name() + "/" + algo_name);
             out << "\n";
-            cell.record = {bundle.name(), algo_name, result.accesses,
-                           result.misses, result.missRate(), wall_ms};
+            cell.record.benchmark = bundle.name();
+            cell.record.algorithm = algo_name;
+            cell.record.accesses = result.accesses;
+            cell.record.misses = result.misses;
+            cell.record.miss_rate = result.missRate();
+            cell.record.wall_ms = wall_ms;
+            if (obs.taxonomy)
+                recordTaxonomy(cell.record, *obs.taxonomy);
             cell.output = out.str();
             return cell;
         });
@@ -417,6 +520,7 @@ run(const Options &opts)
     Trace trace = loadAnyTrace(trace_path, ropts);
     trace.validate(program);
     const EvalOptions eval = evalOptionsFrom(opts);
+    setProvenance("cache", eval.cache.describe());
 
     const std::string layout_path = opts.getString("layout", "");
     const Layout layout =
@@ -429,7 +533,7 @@ run(const Options &opts)
     const bool attribute = opts.getBool("attribute", false);
     ControlState ctl = controlFrom(opts);
     Observation obs = observationFrom(opts, program, layout, eval.cache,
-                                      stream.size());
+                                      stream);
     require(!obs.active || !ctl.active,
             "topo_sim: --attribution/--timeline-window do not combine "
             "with checkpoint/resume");
@@ -445,15 +549,22 @@ run(const Options &opts)
                                       : layout_path)
               << "\n";
     printResult(std::cout, result, ctl.control);
-    reportObservation(std::cout, program, obs, "sim");
+    reportObservation(std::cout, program, obs, result.misses, "sim");
 
     const std::string bench_out = opts.getString("bench-out", "");
     if (!bench_out.empty()) {
-        const std::string label =
+        RunRecord record;
+        record.benchmark = trace_path;
+        record.algorithm =
             layout_path.empty() ? "default" : layout_path;
+        record.accesses = result.accesses;
+        record.misses = result.misses;
+        record.miss_rate = result.missRate();
+        record.wall_ms = wall_ms;
+        if (obs.taxonomy)
+            recordTaxonomy(record, *obs.taxonomy);
         writeBenchJson(bench_out, trace_path, 1.0, eval.cache,
-                       {{trace_path, label, result.accesses,
-                         result.misses, result.missRate(), wall_ms}});
+                       {record});
     }
 
     if (attribute) {
@@ -504,6 +615,7 @@ main(int argc, char **argv)
         "  --cache-kb=N --line-bytes=N --assoc=N\n"
         "  --attribute (per-procedure misses) --pages\n"
         "  --attribution (conflict-pair attribution sink)\n"
+        "  --taxonomy (3C miss classes + reuse-distance profile)\n"
         "  --timeline-window=N (windowed miss-rate samples)\n"
         "  --bench-out=FILE (BENCH_*.json run record)\n"
         "  --recover (salvage a damaged trace and continue)\n"
@@ -515,7 +627,8 @@ main(int argc, char **argv)
         {"program", "trace", "layout", "benchmark", "algorithm",
          "algorithms", "trace-scale", "cache-kb", "line-bytes", "assoc",
          "chunk-bytes", "coverage", "q-factor", "attribute",
-         "attribution", "timeline-window", "bench-out", "pages",
+         "attribution", "taxonomy", "timeline-window", "bench-out",
+         "pages",
          "recover", "checkpoint", "checkpoint-every", "resume",
          "stop-after"},
         run,
