@@ -240,6 +240,93 @@ else
     echo "note: run finished before a checkpoint landed; resume skipped"
 fi
 
+echo "== profile-store crash drill (sanitized) =="
+# The persistent store must survive a crash at every injected site:
+# the process dies with the crash-point code (42) and a subsequent
+# `status` reopen must succeed, replaying the journal's valid prefix
+# and/or salvaging the older snapshot generation. The in-process
+# crash matrix (store_test) already ran under ASan in the ctest pass
+# above; this drills the same sites through the real CLI and fsync.
+STORE="$WORK/store"
+rm -rf "$STORE"
+"$TOOLS/topo_profile" init --store="$STORE" \
+    --program="$WORK/m.prog" 2> /dev/null
+for site in store.journal.mid_record store.journal.pre_fsync \
+    store.journal.post_fsync; do
+    check_rc "ingest crash at $site" "42" \
+        "$TOOLS/topo_profile" ingest --store="$STORE" \
+        --trace="$WORK/m.btrace" --crash-at="$site"
+    check_rc "reopen after $site" "0" \
+        "$TOOLS/topo_profile" status --store="$STORE"
+done
+"$TOOLS/topo_profile" ingest --store="$STORE" \
+    --trace="$WORK/m.btrace" 2> /dev/null
+for site in store.snapshot.pre_rename store.snapshot.post_rename \
+    store.compact.pre_journal store.compact.pre_rename \
+    store.compact.post_rename; do
+    check_rc "compact crash at $site" "42" \
+        "$TOOLS/topo_profile" compact --store="$STORE" \
+        --crash-at="$site"
+    check_rc "reopen after $site" "0" \
+        "$TOOLS/topo_profile" status --store="$STORE"
+done
+# Deliberate damage must degrade, never brick: a torn journal tail is
+# dropped, a flipped snapshot bit salvages the older generation. The
+# ingest first puts a record in the journal — tearing into the 16-byte
+# header itself is external damage and is rejected as corrupt instead.
+"$TOOLS/topo_profile" ingest --store="$STORE" \
+    --trace="$WORK/m.btrace" 2> /dev/null
+"$TOOLS/topo_corrupt" --target=store --store="$STORE" \
+    --truncate-tail=7 2> /dev/null
+check_rc "reopen after torn tail" "0" \
+    "$TOOLS/topo_profile" status --store="$STORE"
+"$TOOLS/topo_profile" compact --store="$STORE" 2> /dev/null
+"$TOOLS/topo_corrupt" --target=store --store="$STORE" \
+    --bitflip-snapshot=100 2> /dev/null
+check_rc "reopen after snapshot flip" "0" \
+    "$TOOLS/topo_profile" status --store="$STORE"
+
+# SIGKILL an ingest at arbitrary points; every reopen must succeed
+# and the scarred store must still produce a placement.
+for i in 1 2 3; do
+    set +e
+    "$TOOLS/topo_profile" ingest --store="$STORE" \
+        --trace="$WORK/m.btrace" --label="kill$i" > /dev/null 2>&1 &
+    pid=$!
+    [ "$i" = 1 ] || sleep "0.0$i"
+    kill -9 "$pid" 2> /dev/null
+    wait "$pid" 2> /dev/null
+    set -e
+    check_rc "reopen after kill -9 #$i" "0" \
+        "$TOOLS/topo_profile" status --store="$STORE"
+done
+check_rc "place from the drilled store" "0" \
+    "$TOOLS/topo_profile" place --store="$STORE" --force \
+    --out-layout="$WORK/drilled.layout"
+
+# Placement through the store must not depend on the ingestion
+# schedule: one-shot ingest vs ingest+compact+ingest must give
+# byte-identical layouts.
+rm -rf "$WORK/storeA" "$WORK/storeB"
+"$TOOLS/topo_profile" init --store="$WORK/storeA" \
+    --program="$WORK/m.prog" 2> /dev/null
+"$TOOLS/topo_profile" init --store="$WORK/storeB" \
+    --program="$WORK/m.prog" 2> /dev/null
+"$TOOLS/topo_profile" ingest --store="$WORK/storeA" \
+    --trace="$WORK/m.btrace,$WORK/m.btrace" 2> /dev/null
+"$TOOLS/topo_profile" ingest --store="$WORK/storeB" \
+    --trace="$WORK/m.btrace" 2> /dev/null
+"$TOOLS/topo_profile" compact --store="$WORK/storeB" 2> /dev/null
+"$TOOLS/topo_profile" ingest --store="$WORK/storeB" \
+    --trace="$WORK/m.btrace" 2> /dev/null
+"$TOOLS/topo_profile" place --store="$WORK/storeA" --force \
+    --out-layout="$WORK/layoutA.txt" 2> /dev/null
+"$TOOLS/topo_profile" place --store="$WORK/storeB" --force \
+    --out-layout="$WORK/layoutB.txt" 2> /dev/null
+cmp -s "$WORK/layoutA.txt" "$WORK/layoutB.txt" || {
+    echo "FAIL: store placement differs across ingestion schedules"
+    exit 1; }
+
 TSAN="$BUILD-tsan"
 echo "== configure ($TSAN, TSan) =="
 cmake -B "$TSAN" -S . \

@@ -1,10 +1,10 @@
 #include "topo/resilience/checkpoint.hh"
 
-#include <cstdio>
 #include <fstream>
 
 #include "topo/obs/log.hh"
 #include "topo/resilience/crc32.hh"
+#include "topo/resilience/durable_io.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -91,20 +91,10 @@ saveCheckpoint(const std::string &path, const SimCheckpoint &ckpt)
     putU64(file, payload.size());
     file += payload;
 
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        require(os.good(),
-                "saveCheckpoint: cannot open '" + tmp + "'");
-        os.write(file.data(),
-                 static_cast<std::streamsize>(file.size()));
-        os.flush();
-        require(os.good(),
-                "saveCheckpoint: write failed for '" + tmp + "'");
-    }
-    require(std::rename(tmp.c_str(), path.c_str()) == 0,
-            "saveCheckpoint: cannot rename '" + tmp + "' to '" + path +
-                "'");
+    // tmp write + fsync + rename + parent-dir fsync: without the
+    // directory sync a crash after the rename could still resurface
+    // the previous checkpoint (the rename itself was not durable).
+    atomicReplace(path, file, "checkpoint.save");
     logDebug("checkpoint", "saved",
              {{"file", path}, {"cursor", ckpt.cursor},
               {"misses", ckpt.misses}});

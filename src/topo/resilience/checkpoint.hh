@@ -19,8 +19,10 @@
  *   payload: u64le version=1, fingerprint, cursor, misses,
  *            cache word count + words, attribution count + words
  *
- * Writes go to "<path>.tmp" then rename over the target, so a crash
- * mid-checkpoint leaves the previous checkpoint intact; a torn write
+ * Writes go to "<path>.tmp", fsync, rename over the target, then
+ * fsync the parent directory (durable_io::atomicReplace), so a crash
+ * mid-checkpoint leaves the previous checkpoint intact and a
+ * completed save cannot be undone by losing the rename; a torn write
  * is caught by the CRC on load and reported as corrupt input.
  */
 

@@ -1,5 +1,6 @@
 #include "topo/resilience/fault.hh"
 
+#include <cstdlib>
 #include <memory>
 
 #include "topo/obs/log.hh"
@@ -15,9 +16,19 @@ namespace
 
 /** Default seeds so arms differ even when the spec gives no seed. */
 constexpr std::uint64_t kDefaultSeed[kFaultKindCount] = {
-    0x5EED0001, 0x5EED0002, 0x5EED0003};
+    0x5EED0001, 0x5EED0002, 0x5EED0003, 0x5EED0004};
 
 std::unique_ptr<FaultPlan> g_plan;
+
+/** The single armed crash point (none when site is empty). */
+struct CrashPoint
+{
+    std::string site;
+    std::uint64_t countdown = 0;
+    CrashMode mode = CrashMode::kExit;
+};
+
+CrashPoint g_crash_point;
 
 FaultKind
 parseKind(const std::string &name)
@@ -28,7 +39,7 @@ parseKind(const std::string &name)
             return kind;
     }
     fail("fault-spec: unknown fault kind '" + name +
-         "' (use read_short, bitflip, or throw_io)");
+         "' (use read_short, bitflip, throw_io, or write_short)");
 }
 
 void
@@ -51,6 +62,8 @@ faultKindName(FaultKind kind)
         return "bitflip";
       case FaultKind::kThrowIo:
         return "throw_io";
+      case FaultKind::kWriteShort:
+        return "write_short";
     }
     return "?";
 }
@@ -206,6 +219,58 @@ faultMaybeCorrupt(const char *site, char *data, std::size_t n)
     logWarn("fault", "injected bit flip",
             {{"site", site}, {"byte", std::uint64_t(byte)},
              {"bit", bit}});
+}
+
+std::size_t
+faultMaybeShortenWrite(const char *site, std::size_t n)
+{
+    FaultPlan *plan = activeFaultPlan();
+    if (plan == nullptr || n == 0 ||
+        !plan->fire(FaultKind::kWriteShort)) {
+        return n;
+    }
+    countInjection(FaultKind::kWriteShort);
+    const std::size_t kept = static_cast<std::size_t>(
+        plan->draw(FaultKind::kWriteShort) % n);
+    logWarn("fault", "injected short write",
+            {{"site", site}, {"bytes", std::uint64_t(n)},
+             {"kept", std::uint64_t(kept)}});
+    return kept;
+}
+
+void
+installCrashPoint(const std::string &site, std::uint64_t countdown,
+                  CrashMode mode)
+{
+    require(!site.empty(), "crash point: empty site");
+    require(countdown > 0, "crash point: countdown must be >= 1");
+    g_crash_point = CrashPoint{site, countdown, mode};
+}
+
+void
+clearCrashPoint()
+{
+    g_crash_point = CrashPoint{};
+}
+
+void
+faultMaybeCrash(const char *site)
+{
+    if (g_crash_point.site.empty() || g_crash_point.site != site)
+        return;
+    if (--g_crash_point.countdown > 0)
+        return;
+    MetricsRegistry::global().counter("fault.injected.crash").add();
+    logWarn("fault", "crash point fired", {{"site", site}});
+    if (g_crash_point.mode == CrashMode::kExit) {
+        // No atexit handlers, no stream flushes: everything not yet
+        // written (or fsynced) by the store is lost, as in a real
+        // crash.
+        std::_Exit(kCrashPointExitCode);
+    }
+    const std::string fired = g_crash_point.site;
+    g_crash_point = CrashPoint{};
+    throw CrashPointHit{fired};
 }
 
 } // namespace topo

@@ -7,7 +7,7 @@
  *
  *   SPEC  := ARM ("," ARM)*
  *   ARM   := KIND "@" PROB [":" SEED]
- *   KIND  := "read_short" | "bitflip" | "throw_io"
+ *   KIND  := "read_short" | "bitflip" | "throw_io" | "write_short"
  *
  * e.g. --fault-spec=read_short@0.001,bitflip@1e-5:42
  *
@@ -28,6 +28,18 @@
  *               buffer is inverted.
  *   throw_io    a hard I/O failure: the site throws a corrupt-input
  *               TopoError naming the site.
+ *   write_short a torn write: only a prefix of the buffer reaches the
+ *               file before the site fails with a corrupt-input error
+ *               (the on-disk state keeps the partial bytes).
+ *
+ * Crash points are a second, non-probabilistic mechanism for the
+ * crash-consistency matrix: a single named site is armed with a visit
+ * countdown, and when the countdown reaches zero the process either
+ * terminates immediately (kExit, for CLI drills — no atexit handlers,
+ * no buffered flushes, exit code kCrashPointExitCode) or throws a
+ * CrashPointHit (kThrow, for in-process tests — callers must abandon
+ * the crashed object and re-open from disk, exactly as a new process
+ * would).
  */
 
 #ifndef TOPO_RESILIENCE_FAULT_HH
@@ -49,10 +61,11 @@ enum class FaultKind : int
     kReadShort = 0,
     kBitflip,
     kThrowIo,
+    kWriteShort,
 };
 
 /** Number of fault kinds (array sizing). */
-constexpr std::size_t kFaultKindCount = 3;
+constexpr std::size_t kFaultKindCount = 4;
 
 /** Spec-grammar name of a kind ("read_short", ...). */
 const char *faultKindName(FaultKind kind);
@@ -140,6 +153,56 @@ std::size_t faultMaybeShortenRead(const char *site, std::size_t n);
  * @p n > 0) when the bitflip stream fires.
  */
 void faultMaybeCorrupt(const char *site, char *data, std::size_t n);
+
+/**
+ * write_short injection point: returns a byte count in [0, n) when the
+ * write_short stream fires, @p n otherwise. Callers write the reduced
+ * prefix and then raise a corrupt-input error for the site, leaving a
+ * torn record on disk exactly as a crash mid-write would.
+ */
+std::size_t faultMaybeShortenWrite(const char *site, std::size_t n);
+
+/** Process exit code of a kExit crash point (outside 0/1/2/3). */
+constexpr int kCrashPointExitCode = 42;
+
+/** How an armed crash point fires. */
+enum class CrashMode
+{
+    /** Terminate the process immediately (std::_Exit). */
+    kExit = 0,
+    /** Throw CrashPointHit (in-process crash simulation). */
+    kThrow,
+};
+
+/**
+ * Thrown by a kThrow crash point. Deliberately NOT a TopoError: tests
+ * catch it specifically, and nothing in the library handles it, so a
+ * fired crash point cannot be absorbed by recovery code the way an
+ * injected I/O error can.
+ */
+struct CrashPointHit
+{
+    /** The site that fired. */
+    std::string site;
+};
+
+/**
+ * Arm a crash point: the @p countdown-th visit of @p site (1 = the
+ * next visit) fires with @p mode. Replaces any previous crash point.
+ * CLI syntax: --crash-at=SITE[:N] (mode kExit).
+ */
+void installCrashPoint(const std::string &site, std::uint64_t countdown,
+                       CrashMode mode);
+
+/** Disarm the crash point (tests). */
+void clearCrashPoint();
+
+/**
+ * Crash-point site marker. No-op unless a crash point armed exactly
+ * @p site; sites are threaded through the profile-store I/O paths
+ * (DESIGN.md §12 lists them).
+ */
+void faultMaybeCrash(const char *site);
 
 } // namespace topo
 

@@ -7,6 +7,7 @@
 #include "topo/obs/obs.hh"
 #include "topo/obs/provenance.hh"
 #include "topo/util/error.hh"
+#include "topo/util/string_utils.hh"
 
 namespace topo
 {
@@ -15,12 +16,28 @@ void
 initResilience(const Options &opts)
 {
     const std::string spec = opts.getString("fault-spec", "");
-    if (spec.empty())
-        return;
-    const FaultPlan plan = FaultPlan::parse(spec);
-    installFaultPlan(plan);
-    logInfo("fault", "fault plan installed",
-            {{"plan", plan.describe()}});
+    if (!spec.empty()) {
+        const FaultPlan plan = FaultPlan::parse(spec);
+        installFaultPlan(plan);
+        logInfo("fault", "fault plan installed",
+                {{"plan", plan.describe()}});
+    }
+    const std::string crash = opts.getString("crash-at", "");
+    if (!crash.empty()) {
+        std::string site = crash;
+        std::uint64_t countdown = 1;
+        const std::size_t colon = crash.rfind(':');
+        if (colon != std::string::npos) {
+            const std::int64_t n = parseInt(
+                crash.substr(colon + 1), "crash-at countdown");
+            require(n >= 1, "crash-at: countdown must be >= 1");
+            countdown = static_cast<std::uint64_t>(n);
+            site = crash.substr(0, colon);
+        }
+        installCrashPoint(site, countdown, CrashMode::kExit);
+        logInfo("fault", "crash point armed",
+                {{"site", site}, {"countdown", countdown}});
+    }
 }
 
 int
@@ -35,7 +52,7 @@ toolMain(int argc, const char *const *argv, const ToolSpec &spec)
         std::vector<std::string> known = spec.options;
         known.insert(known.end(), {"log-level", "log-file",
                                    "metrics-out", "trace-out",
-                                   "fault-spec", "jobs"});
+                                   "fault-spec", "crash-at", "jobs"});
         opts.rejectUnknown(known);
         initObservability(opts);
         initResilience(opts);

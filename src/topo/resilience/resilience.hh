@@ -12,6 +12,8 @@
  * Standard knobs accepted by every tool (also via TOPO_* environment):
  *
  *   --fault-spec=KIND@P[:seed][,...]  arm deterministic fault injection
+ *   --crash-at=SITE[:N]  terminate the process at the N-th visit of a
+ *     named crash-point site (profile-store crash drills)
  *   --log-level / --log-file / --metrics-out / --trace-out
  *     (observability layer; --trace-out emits Chrome trace events)
  *   --jobs=N  worker threads for parallel phases (default: hardware

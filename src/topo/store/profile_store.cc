@@ -1,0 +1,612 @@
+#include "topo/store/profile_store.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "topo/obs/log.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/placement/cache_coloring.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/profile/chunk_map.hh"
+#include "topo/profile/pair_database.hh"
+#include "topo/profile/trg_builder.hh"
+#include "topo/profile/wcg_builder.hh"
+#include "topo/resilience/checkpoint.hh"
+#include "topo/resilience/crc32.hh"
+#include "topo/resilience/durable_io.hh"
+#include "topo/resilience/fault.hh"
+#include "topo/trace/trace_stats.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+constexpr char kSnapshotMagic[4] = {'T', 'O', 'P', 'S'};
+constexpr char kMetaMagic[4] = {'T', 'O', 'P', 'M'};
+constexpr std::uint64_t kSnapshotVersion = 1;
+
+Counter &
+storeCounter(const char *name)
+{
+    return MetricsRegistry::global().counter(name);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+/** One parsed snapshot slot. */
+struct SnapshotImage
+{
+    bool present = false;
+    bool valid = false;
+    std::uint64_t generation = 0;
+    std::uint64_t applied_seq = 0;
+    StoredProfile profile;
+};
+
+std::string
+snapshotPayload(std::uint64_t store_id, std::uint64_t generation,
+                std::uint64_t applied_seq,
+                const StoredProfile &profile)
+{
+    std::string payload;
+    putU64(payload, kSnapshotVersion);
+    putU64(payload, store_id);
+    putU64(payload, generation);
+    putU64(payload, applied_seq);
+    putString(payload, serializeProfile(profile));
+    return payload;
+}
+
+SnapshotImage
+parseSnapshot(const std::string &path, std::uint64_t store_id)
+{
+    SnapshotImage image;
+    if (!fileExists(path))
+        return image;
+    image.present = true;
+    try {
+        const std::string bytes =
+            readFileBytes(path, "store.snapshot.read");
+        const std::string payload =
+            unframeFile(kSnapshotMagic, bytes, path);
+        Reader in(payload, path);
+        const std::uint64_t version = in.u64();
+        requireData(version == kSnapshotVersion,
+                    "unsupported snapshot version " +
+                        std::to_string(version),
+                    path);
+        const std::uint64_t sid = in.u64();
+        requireData(sid == store_id, "snapshot store id mismatch",
+                    path);
+        image.generation = in.u64();
+        image.applied_seq = in.u64();
+        const std::string profile_bytes = in.str();
+        in.expectEnd();
+        image.profile = deserializeProfile(profile_bytes, path);
+        image.valid = true;
+    } catch (const TopoError &e) {
+        logWarn("store", "unusable snapshot",
+                {{"file", path}, {"error", e.what()}});
+    }
+    return image;
+}
+
+const PlacementAlgorithm &
+algorithmByName(const std::string &name)
+{
+    static const DefaultPlacement def;
+    static const PettisHansen ph;
+    static const CacheColoring hkc;
+    static const Gbsc gbsc;
+    if (name == "gbsc")
+        return gbsc;
+    if (name == "ph")
+        return ph;
+    if (name == "hkc")
+        return hkc;
+    if (name == "default")
+        return def;
+    fail("unknown placement algorithm '" + name +
+         "' (use gbsc, ph, hkc, or default)");
+}
+
+Layout
+layoutFromAddresses(const std::vector<std::uint64_t> &addresses)
+{
+    Layout layout(addresses.size());
+    for (std::size_t i = 0; i < addresses.size(); ++i)
+        layout.setAddress(static_cast<ProcId>(i), addresses[i]);
+    return layout;
+}
+
+std::vector<std::uint64_t>
+addressesFromLayout(const Layout &layout)
+{
+    std::vector<std::uint64_t> addresses(layout.procCount());
+    for (std::size_t i = 0; i < layout.procCount(); ++i)
+        addresses[i] = layout.address(static_cast<ProcId>(i));
+    return addresses;
+}
+
+} // namespace
+
+StoredProfile
+emptyProfile(const StoreConfig &config)
+{
+    StoredProfile profile;
+    const std::size_t procs = config.program.procCount();
+    profile.run_count.assign(procs, 0);
+    profile.bytes_fetched.assign(procs, 0);
+    profile.wcg = WeightedGraph(procs);
+    profile.trg_select = WeightedGraph(procs);
+    profile.trg_place = WeightedGraph(
+        ChunkMap(config.program, config.chunk_bytes).chunkCount());
+    profile.baseline_select = WeightedGraph(procs);
+    return profile;
+}
+
+ShardDelta
+buildShardDelta(const StoreConfig &config, const std::string &label,
+                const Trace &trace)
+{
+    require(trace.procCount() == config.program.procCount(),
+            "shard trace and store program disagree on the procedure "
+            "count");
+    trace.validate(config.program);
+
+    ShardDelta delta;
+    delta.info.label = label;
+    delta.info.events = trace.size();
+
+    const TraceStats stats = computeTraceStats(config.program, trace);
+    delta.run_count = stats.run_count;
+    delta.bytes_fetched = stats.bytes_fetched;
+    delta.total_runs = stats.total_runs;
+    delta.total_bytes = stats.total_bytes;
+
+    delta.wcg = buildWcg(config.program, trace);
+    const ChunkMap chunks(config.program, config.chunk_bytes);
+    TrgBuildOptions topts;
+    topts.byte_budget = config.byte_budget;
+    // No popularity mask: the popular set depends on all shards and
+    // is therefore applied at placement time, not at ingest time.
+    const TrgBuildResult trgs =
+        buildTrgs(config.program, chunks, trace, topts);
+    delta.trg_select = trgs.select;
+    delta.trg_place = trgs.place;
+    delta.queue_procs_sum =
+        trgs.avg_queue_procs * static_cast<double>(trgs.proc_steps);
+    delta.proc_steps = trgs.proc_steps;
+    delta.proc_evictions = trgs.proc_evictions;
+    delta.chunk_evictions = trgs.chunk_evictions;
+
+    if (config.build_pairs) {
+        PairBuildOptions popts;
+        popts.byte_budget = config.byte_budget;
+        popts.pair_window = config.pair_window;
+        delta.pairs =
+            buildPairDatabase(config.program, trace, popts);
+    }
+    return delta;
+}
+
+void
+applyShardDelta(StoredProfile &profile, const ShardDelta &delta)
+{
+    if (profile.run_count.empty() && !delta.run_count.empty()) {
+        profile.run_count.assign(delta.run_count.size(), 0);
+        profile.bytes_fetched.assign(delta.bytes_fetched.size(), 0);
+        profile.wcg = WeightedGraph(delta.wcg.nodeCount());
+        profile.trg_select = WeightedGraph(
+            delta.trg_select.nodeCount());
+        profile.trg_place = WeightedGraph(delta.trg_place.nodeCount());
+        profile.baseline_select =
+            WeightedGraph(delta.trg_select.nodeCount());
+    }
+    require(profile.run_count.size() == delta.run_count.size(),
+            "shard delta and profile disagree on the procedure count");
+    for (std::size_t i = 0; i < delta.run_count.size(); ++i) {
+        profile.run_count[i] += delta.run_count[i];
+        profile.bytes_fetched[i] += delta.bytes_fetched[i];
+    }
+    profile.total_runs += delta.total_runs;
+    profile.total_bytes += delta.total_bytes;
+    profile.wcg.addGraph(delta.wcg);
+    profile.trg_select.addGraph(delta.trg_select);
+    profile.trg_place.addGraph(delta.trg_place);
+    profile.pairs.merge(delta.pairs);
+    profile.queue_procs_sum += delta.queue_procs_sum;
+    profile.proc_steps += delta.proc_steps;
+    profile.proc_evictions += delta.proc_evictions;
+    profile.chunk_evictions += delta.chunk_evictions;
+    profile.shards.push_back(delta.info);
+}
+
+double
+trgDrift(const WeightedGraph &cur, const WeightedGraph &base)
+{
+    const std::vector<WeightedGraph::Edge> ce = cur.edges();
+    const std::vector<WeightedGraph::Edge> be = base.edges();
+    double delta_sum = 0.0;
+    double base_sum = 0.0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    auto keyOf = [](const WeightedGraph::Edge &e) {
+        return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+    };
+    while (i < ce.size() || j < be.size()) {
+        if (j == be.size() ||
+            (i < ce.size() && keyOf(ce[i]) < keyOf(be[j]))) {
+            delta_sum += std::abs(ce[i].weight);
+            ++i;
+        } else if (i == ce.size() || keyOf(be[j]) < keyOf(ce[i])) {
+            delta_sum += std::abs(be[j].weight);
+            base_sum += be[j].weight;
+            ++j;
+        } else {
+            delta_sum += std::abs(ce[i].weight - be[j].weight);
+            base_sum += be[j].weight;
+            ++i;
+            ++j;
+        }
+    }
+    if (base_sum <= 0.0) {
+        return delta_sum > 0.0
+                   ? std::numeric_limits<double>::infinity()
+                   : 0.0;
+    }
+    return delta_sum / base_sum;
+}
+
+StorePlaceResult
+placeProfile(const StoreConfig &config, const StoredProfile &profile,
+             const std::string &algorithm)
+{
+    TraceStats stats;
+    stats.run_count = profile.run_count;
+    stats.bytes_fetched = profile.bytes_fetched;
+    stats.total_runs = profile.total_runs;
+    stats.total_bytes = profile.total_bytes;
+    for (std::uint64_t runs : profile.run_count)
+        stats.procs_touched += runs > 0 ? 1 : 0;
+
+    PopularityOptions popts;
+    popts.coverage = config.coverage;
+    StorePlaceResult result;
+    result.popular = selectPopular(config.program, stats, popts);
+
+    const ChunkMap chunks(config.program, config.chunk_bytes);
+    PlacementContext ctx;
+    ctx.program = &config.program;
+    ctx.cache = config.cache;
+    ctx.chunks = &chunks;
+    ctx.wcg = &profile.wcg;
+    ctx.trg_select = &profile.trg_select;
+    ctx.trg_place = &profile.trg_place;
+    if (config.build_pairs)
+        ctx.pairs = &profile.pairs;
+    ctx.popular = result.popular.mask;
+    ctx.heat.assign(config.program.procCount(), 0.0);
+    for (std::size_t i = 0; i < config.program.procCount(); ++i)
+        ctx.heat[i] = static_cast<double>(profile.bytes_fetched[i]);
+
+    const PlacementAlgorithm &algo = algorithmByName(algorithm);
+    result.layout = algo.place(ctx);
+    result.layout.validate(config.program, config.cache.line_bytes);
+    result.algorithm = algorithm;
+    result.placed = true;
+    return result;
+}
+
+std::string
+ProfileStore::snapshotPath(std::uint64_t generation) const
+{
+    return dir_ + "/snapshot-" + std::to_string(generation % 2) +
+           ".tps";
+}
+
+std::string
+ProfileStore::journalPath() const
+{
+    return dir_ + "/journal.tpj";
+}
+
+std::string
+ProfileStore::metaPath() const
+{
+    return dir_ + "/store.meta";
+}
+
+void
+ProfileStore::writeSnapshot(std::uint64_t generation)
+{
+    const std::string payload = snapshotPayload(
+        store_id_, generation, applied_seq_, profile_);
+    atomicReplace(snapshotPath(generation),
+                  frameFile(kSnapshotMagic, payload),
+                  "store.snapshot");
+}
+
+void
+ProfileStore::init(const std::string &dir, const StoreConfig &config)
+{
+    config.cache.validate();
+    require(config.program.procCount() > 0,
+            "store init: the program has no procedures");
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        fail("cannot create store directory '" + dir +
+             "': " + std::strerror(errno));
+    }
+    ProfileStore store;
+    store.dir_ = dir;
+    require(!fileExists(store.metaPath()),
+            "'" + dir + "' already holds a profile store");
+
+    // Identity: a fingerprint of the configuration. Deterministic on
+    // purpose — reproducible runs build bit-identical stores.
+    const std::string meta_payload = serializeMeta(0, config);
+    store.store_id_ = fingerprintMix(crc32(meta_payload),
+                                     meta_payload.size());
+    store.config_ = config;
+    store.profile_ = emptyProfile(config);
+
+    // Snapshot and journal first, meta last: the meta file's presence
+    // marks a completed init, so a crash mid-init never leaves a
+    // half-built store that open() would accept.
+    store.writeSnapshot(0);
+    atomicReplace(store.journalPath(),
+                  journalHeader(store.store_id_),
+                  "store.journal.create");
+    atomicReplace(store.metaPath(),
+                  frameFile(kMetaMagic,
+                            serializeMeta(store.store_id_, config)),
+                  "store.meta");
+    logInfo("store", "initialized",
+            {{"dir", dir},
+             {"procs", config.program.procCount()}});
+}
+
+ProfileStore
+ProfileStore::open(const std::string &dir)
+{
+    ProfileStore store;
+    store.dir_ = dir;
+    require(fileExists(store.metaPath()),
+            "'" + dir + "' is not a profile store (no store.meta)");
+    const std::string meta_bytes =
+        readFileBytes(store.metaPath(), "store.meta.read");
+    const std::string meta_payload =
+        unframeFile(kMetaMagic, meta_bytes, store.metaPath());
+    store.config_ = deserializeMeta(meta_payload, store.store_id_);
+
+    // Newest valid snapshot wins; the older generation is the salvage
+    // fallback when the newest is torn or corrupt.
+    const SnapshotImage slot0 =
+        parseSnapshot(store.snapshotPath(0), store.store_id_);
+    const SnapshotImage slot1 =
+        parseSnapshot(store.snapshotPath(1), store.store_id_);
+    const SnapshotImage *best = nullptr;
+    const SnapshotImage *other = nullptr;
+    for (const SnapshotImage *slot : {&slot0, &slot1}) {
+        if (!slot->valid)
+            continue;
+        if (best == nullptr || slot->generation > best->generation) {
+            other = best;
+            best = slot;
+        } else {
+            other = slot;
+        }
+    }
+    if (best == nullptr) {
+        failCorrupt("no usable profile snapshot (both generations "
+                    "damaged)",
+                    dir);
+    }
+    const bool salvaged =
+        (slot0.present && !slot0.valid) ||
+        (slot1.present && !slot1.valid);
+    if (salvaged) {
+        storeCounter("store.snapshot_salvage").add();
+        logWarn("store", "salvaged older snapshot generation",
+                {{"dir", dir}, {"generation", best->generation}});
+    }
+    store.profile_ = best->profile;
+    store.generation_ = best->generation;
+    store.snapshot_applied_seq_ = best->applied_seq;
+    store.older_applied_seq_ =
+        other != nullptr ? other->applied_seq : 0;
+    store.applied_seq_ = best->applied_seq;
+    store.open_stats_.snapshot_generation = best->generation;
+    store.open_stats_.salvaged = salvaged;
+
+    // Replay the journal's valid prefix on top of the snapshot.
+    const std::string journal_bytes =
+        readFileBytes(store.journalPath(), "store.journal.read");
+    const JournalScan scan =
+        scanJournal(journal_bytes, store.journalPath());
+    requireData(scan.store_id == store.store_id_,
+                "journal store id mismatch", store.journalPath());
+    if (scan.dropped_bytes > 0) {
+        storeCounter("store.journal_dropped_records")
+            .add(scan.dropped_records);
+        logWarn("store", "dropped torn journal tail",
+                {{"dir", dir},
+                 {"bytes", scan.dropped_bytes},
+                 {"valid_end", scan.valid_end}});
+    }
+    for (const StoreRecord &record : scan.records) {
+        if (record.seq <= store.applied_seq_)
+            continue; // already folded into the snapshot
+        requireData(record.seq == store.applied_seq_ + 1,
+                    "journal is missing records before seq " +
+                        std::to_string(record.seq),
+                    store.journalPath());
+        if (record.kind == StoreRecordKind::kShard)
+            applyShardDelta(store.profile_, record.shard);
+        else
+            store.applyPlace(record.layout_addresses,
+                             record.layout_algorithm);
+        store.applied_seq_ = record.seq;
+        ++store.open_stats_.replayed_records;
+    }
+    store.open_stats_.dropped_bytes = scan.dropped_bytes;
+    store.open_stats_.dropped_records = scan.dropped_records;
+
+    // A torn tail is permanent garbage after the valid prefix; trim
+    // it now so future appends extend the valid prefix instead of
+    // hiding behind the damage.
+    if (scan.dropped_bytes > 0) {
+        Fd fd(::open(store.journalPath().c_str(), O_WRONLY));
+        require(fd.valid(), "cannot reopen journal for trim");
+        truncateFd(fd, scan.valid_end, "store.journal.trim");
+    }
+    return store;
+}
+
+void
+ProfileStore::appendRecord(StoreRecordKind kind,
+                           const std::string &body)
+{
+    const std::uint64_t seq = applied_seq_ + 1;
+    const std::string record = frameRecord(seq, kind, body);
+    Fd fd = openAppend(journalPath());
+    // The record is written in two halves with a crash point between
+    // them so the crash-matrix test can manufacture a torn record on
+    // the real append path; without an installed crash point the two
+    // writes are equivalent to one.
+    const std::size_t half = record.size() / 2;
+    writeAll(fd, record.data(), half, "store.journal.append");
+    faultMaybeCrash("store.journal.mid_record");
+    writeAll(fd, record.data() + half, record.size() - half,
+             "store.journal.append");
+    faultMaybeCrash("store.journal.pre_fsync");
+    fsyncFd(fd, "store.journal.fsync");
+    faultMaybeCrash("store.journal.post_fsync");
+    storeCounter("store.journal_appends").add();
+}
+
+void
+ProfileStore::applyPlace(const std::vector<std::uint64_t> &addresses,
+                         const std::string &algorithm)
+{
+    profile_.layout_addresses = addresses;
+    profile_.layout_algorithm = algorithm;
+    profile_.baseline_select = profile_.trg_select;
+}
+
+void
+ProfileStore::ingest(const ShardDelta &delta)
+{
+    ShardDelta numbered = delta;
+    numbered.info.seq = applied_seq_ + 1;
+    appendRecord(StoreRecordKind::kShard,
+                 serializeShardDelta(numbered));
+    // The record is durable; applying it cannot be lost any more.
+    applyShardDelta(profile_, numbered);
+    ++applied_seq_;
+    storeCounter("store.ingests").add();
+    logInfo("store", "ingested shard",
+            {{"label", numbered.info.label},
+             {"seq", numbered.info.seq},
+             {"events", numbered.info.events}});
+}
+
+void
+ProfileStore::ingestTrace(const std::string &label, const Trace &trace)
+{
+    ingest(buildShardDelta(config_, label, trace));
+}
+
+double
+ProfileStore::drift() const
+{
+    return trgDrift(profile_.trg_select, profile_.baseline_select);
+}
+
+StorePlaceResult
+ProfileStore::place(const std::string &algorithm, double threshold,
+                    bool force)
+{
+    const double current_drift = drift();
+    const bool never_placed = profile_.layout_algorithm.empty();
+    if (!force && !never_placed && current_drift < threshold) {
+        StorePlaceResult result;
+        result.drift = current_drift;
+        result.placed = false;
+        result.layout =
+            layoutFromAddresses(profile_.layout_addresses);
+        result.algorithm = profile_.layout_algorithm;
+        logInfo("store", "placement retained",
+                {{"drift", current_drift},
+                 {"threshold", threshold}});
+        return result;
+    }
+    StorePlaceResult result =
+        placeProfile(config_, profile_, algorithm);
+    result.drift = current_drift;
+    const std::vector<std::uint64_t> addresses =
+        addressesFromLayout(result.layout);
+    std::string body;
+    putString(body, algorithm);
+    putU64(body, addresses.size());
+    for (std::uint64_t a : addresses)
+        putU64(body, a);
+    appendRecord(StoreRecordKind::kPlace, body);
+    applyPlace(addresses, algorithm);
+    ++applied_seq_;
+    logInfo("store", "placement recomputed",
+            {{"algorithm", algorithm},
+             {"drift", current_drift},
+             {"threshold", threshold}});
+    return result;
+}
+
+void
+ProfileStore::compact()
+{
+    const std::uint64_t new_generation = generation_ + 1;
+    writeSnapshot(new_generation);
+
+    // Rewrite the journal keeping every record newer than the OLDER
+    // retained snapshot (the one we just demoted), so a future
+    // salvage to that generation can still replay to the present.
+    const std::uint64_t keep_after = snapshot_applied_seq_;
+    const std::string journal_bytes =
+        readFileBytes(journalPath(), "store.journal.read");
+    const JournalScan scan = scanJournal(journal_bytes, journalPath());
+    std::string rewritten = journalHeader(store_id_);
+    for (const StoreRecordExtent &extent : scan.extents) {
+        if (extent.seq > keep_after) {
+            rewritten.append(journal_bytes, extent.begin,
+                             extent.end - extent.begin);
+        }
+    }
+    faultMaybeCrash("store.compact.pre_journal");
+    atomicReplace(journalPath(), rewritten, "store.compact");
+
+    older_applied_seq_ = snapshot_applied_seq_;
+    snapshot_applied_seq_ = applied_seq_;
+    generation_ = new_generation;
+    storeCounter("store.compactions").add();
+    logInfo("store", "compacted",
+            {{"generation", new_generation},
+             {"applied_seq", applied_seq_},
+             {"journal_bytes", rewritten.size()}});
+}
+
+} // namespace topo
