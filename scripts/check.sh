@@ -48,6 +48,62 @@ grep -q "Top conflicting procedure pairs" "$WORK/report.md" || {
     > /dev/null || {
     echo "FAIL: report.json is not valid JSON"; exit 1; }
 
+echo "== explain smoke =="
+# Placement explainability end to end: {ph,gbsc} x assoc {1,2}
+# decisions artifacts and attributed layout diffs. --check-json
+# enforces the decision-record schema and the exact attribution-sum
+# invariant (per-proc and per-set miss deltas each sum to the total
+# miss delta); the jobs=1 / jobs=4 artifacts must be byte-identical.
+"$BUILD/tools/topo_trace_gen" --benchmark=m88ksim --input=train \
+    --trace-scale=0.02 --out-program="$WORK/ex.prog" \
+    --out-trace="$WORK/ex.trace" 2> /dev/null
+for assoc in 1 2; do
+    for alg in ph gbsc; do
+        for jobs in 1 4; do
+            "$BUILD/tools/topo_place" --program="$WORK/ex.prog" \
+                --trace="$WORK/ex.trace" --algorithm="$alg" \
+                --assoc="$assoc" --jobs="$jobs" \
+                --out-layout="$WORK/ex_${alg}_a${assoc}_j${jobs}.layout" \
+                --decisions-out="$WORK/ex_${alg}_a${assoc}_j${jobs}.json" \
+                2> /dev/null
+            "$BUILD/tools/topo_report" \
+                --check-json="$WORK/ex_${alg}_a${assoc}_j${jobs}.json" \
+                > /dev/null || {
+                echo "FAIL: decisions ($alg assoc=$assoc jobs=$jobs)"
+                exit 1; }
+        done
+        cmp -s "$WORK/ex_${alg}_a${assoc}_j1.json" \
+            "$WORK/ex_${alg}_a${assoc}_j4.json" || {
+            echo "FAIL: $alg assoc=$assoc decisions differ by jobs"
+            exit 1; }
+        grep -q "^!algorithm $alg" \
+            "$WORK/ex_${alg}_a${assoc}_j1.layout" || {
+            echo "FAIL: $alg assoc=$assoc layout missing provenance"
+            exit 1; }
+    done
+    for jobs in 1 4; do
+        "$BUILD/tools/topo_report" \
+            --diff="$WORK/ex_ph_a${assoc}_j1.layout,$WORK/ex_gbsc_a${assoc}_j1.layout" \
+            --program="$WORK/ex.prog" --trace="$WORK/ex.trace" \
+            --decisions="$WORK/ex_gbsc_a${assoc}_j1.json" \
+            --assoc="$assoc" --jobs="$jobs" \
+            --out="$WORK/ex_diff_a${assoc}_j${jobs}.md" \
+            --json-out="$WORK/ex_diff_a${assoc}_j${jobs}.json" \
+            2> /dev/null
+        "$BUILD/tools/topo_report" \
+            --check-json="$WORK/ex_diff_a${assoc}_j${jobs}.json" \
+            > /dev/null || {
+            echo "FAIL: diff invariant (assoc=$assoc jobs=$jobs)"
+            exit 1; }
+    done
+    cmp -s "$WORK/ex_diff_a${assoc}_j1.json" \
+        "$WORK/ex_diff_a${assoc}_j4.json" || {
+        echo "FAIL: assoc=$assoc diff differs jobs=1 vs jobs=4"
+        exit 1; }
+    grep -q "Layout diff" "$WORK/ex_diff_a${assoc}_j1.md" || {
+        echo "FAIL: assoc=$assoc diff report missing title"; exit 1; }
+done
+
 echo "== taxonomy invariants =="
 # Every microsuite case x {ph,hkc,gbsc} x both cache geometries x
 # jobs in {1,4}: --check-json enforces the exact 3C-sum invariant
@@ -123,6 +179,28 @@ echo "== taxonomy smoke (sanitized) =="
 # ASan+UBSan on a real benchmark stream, not just the unit fixtures.
 "$SAN/tools/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
     --taxonomy > /dev/null
+
+echo "== explain smoke (sanitized) =="
+# Decision recording and the diff's double replay must be clean under
+# ASan+UBSan on a real benchmark, not just the unit fixtures.
+"$SAN/tools/topo_trace_gen" --benchmark=m88ksim --input=train \
+    --trace-scale=0.02 --out-program="$WORK/sx.prog" \
+    --out-trace="$WORK/sx.trace" 2> /dev/null
+"$SAN/tools/topo_place" --program="$WORK/sx.prog" \
+    --trace="$WORK/sx.trace" --algorithm=gbsc \
+    --out-layout="$WORK/sx_g.layout" \
+    --decisions-out="$WORK/sx_g.json" 2> /dev/null
+"$SAN/tools/topo_place" --program="$WORK/sx.prog" \
+    --trace="$WORK/sx.trace" --algorithm=ph \
+    --out-layout="$WORK/sx_p.layout" 2> /dev/null
+"$SAN/tools/topo_report" \
+    --diff="$WORK/sx_p.layout,$WORK/sx_g.layout" \
+    --program="$WORK/sx.prog" --trace="$WORK/sx.trace" \
+    --decisions="$WORK/sx_g.json" \
+    --json-out="$WORK/sx_diff.json" > /dev/null 2>&1
+"$SAN/tools/topo_report" --check-json="$WORK/sx_diff.json" \
+    > /dev/null || {
+    echo "FAIL: sanitized diff artifact fails validation"; exit 1; }
 
 echo "== fault-injection soak (sanitized) =="
 TOOLS="$SAN/tools"

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Layout diffing: what changed between two layouts of one program,
+ * and exactly which procedures the miss delta is attributable to.
+ *
+ * Three independent stages build up one LayoutDiff:
+ *
+ *  1. buildLayoutDiff — purely structural: moved/unmoved procedures,
+ *     per-set line-occupancy deltas. No trace needed.
+ *  2. attributeMissDelta — replays both layouts over one fetch stream
+ *     with an AttributionSink each; the per-procedure miss deltas sum
+ *     *exactly* to the total miss delta (every miss is charged to one
+ *     fetching procedure), and the conflict matrices yield the pairs
+ *     the change created and destroyed.
+ *  3. crossReferenceDecisions — joins moved procedures against a
+ *     decisions file (DecisionLog JSON) so each move points back at
+ *     the decision record(s) that placed the procedure.
+ *
+ * topo_report --diff runs all three; topo_profile's drift report runs
+ * only the structural stage (the store holds no trace).
+ */
+
+#ifndef TOPO_EVAL_LAYOUT_DIFF_HH
+#define TOPO_EVAL_LAYOUT_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/cache/attribution.hh"
+#include "topo/cache/cache_config.hh"
+#include "topo/cache/simulate.hh"
+#include "topo/obs/json.hh"
+#include "topo/placement/decision_log.hh"
+#include "topo/program/layout.hh"
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/** Knobs of the diff computation and rendering. */
+struct LayoutDiffOptions
+{
+    /** Moved-procedure rows rendered in Markdown (JSON holds all). */
+    std::size_t top_moves = 32;
+    /** Created/destroyed conflict pairs listed per direction. */
+    std::size_t top_pairs = 16;
+    /** Conflict-matrix cell budget per replayed side. */
+    std::size_t max_pairs = 4096;
+};
+
+/** Difference between two layouts of the same program. */
+struct LayoutDiff
+{
+    /** One side of the comparison. */
+    struct Side
+    {
+        std::string label;
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /** A procedure whose address changed. */
+    struct Move
+    {
+        ProcId proc = kInvalidProc;
+        std::uint64_t addr_a = 0;
+        std::uint64_t addr_b = 0;
+        std::uint32_t set_a = 0;
+        std::uint32_t set_b = 0;
+        /** misses(B) - misses(A) charged to this procedure (stage 2). */
+        std::int64_t miss_delta = 0;
+        /** Steps of the decision records that placed it (stage 3). */
+        std::vector<std::uint64_t> decision_steps;
+    };
+
+    /** A conflict-matrix cell present on only one side. */
+    struct PairDelta
+    {
+        ProcId evictor = kInvalidProc;
+        ProcId victim = kInvalidProc;
+        std::uint64_t count = 0;
+    };
+
+    std::string program_name;
+    CacheConfig cache;
+    Side a, b;
+
+    /** Moved procedures, ordered by |miss_delta| desc once attributed
+     *  (proc id asc before attribution / among ties). */
+    std::vector<Move> moves;
+    std::uint64_t unmoved = 0;
+    /** Per-set occupied-line delta (B - A), setCount entries. */
+    std::vector<std::int64_t> set_occupancy_delta;
+
+    /** Stage 2 ran. */
+    bool attributed = false;
+    /** Per-procedure miss delta (B - A), procCount entries.
+     *  Invariant: sums exactly to b.misses - a.misses. */
+    std::vector<std::int64_t> miss_delta_by_proc;
+    /** Per-set miss delta (B - A), setCount entries. */
+    std::vector<std::int64_t> set_miss_delta;
+    /** Pairs evicting in B but never in A (count = B count). */
+    std::vector<PairDelta> pairs_created;
+    /** Pairs evicting in A but never in B (count = A count). */
+    std::vector<PairDelta> pairs_destroyed;
+    std::uint64_t dropped_pairs_a = 0;
+    std::uint64_t dropped_pairs_b = 0;
+
+    /** Stage 3 ran. */
+    bool has_decisions = false;
+    std::string decisions_algorithm;
+    /** Moved procedures matched to >= 1 decision record. */
+    std::uint64_t moves_explained = 0;
+
+    /** Total miss delta (B - A); 0 until attributed. */
+    std::int64_t
+    missDelta() const
+    {
+        return static_cast<std::int64_t>(b.misses) -
+               static_cast<std::int64_t>(a.misses);
+    }
+};
+
+/**
+ * Stage 1: structural diff of two complete layouts of @p program.
+ * Throws TopoError when either layout is incomplete or invalid.
+ */
+LayoutDiff buildLayoutDiff(const Program &program,
+                           const CacheConfig &cache,
+                           const Layout &layout_a,
+                           const Layout &layout_b,
+                           const std::string &label_a,
+                           const std::string &label_b,
+                           const LayoutDiffOptions &options = {});
+
+/**
+ * Stage 2: replay @p stream against both layouts with attribution and
+ * fill the exact per-procedure/per-set miss deltas and the conflict
+ * pairs the change created/destroyed. The two replays run as parallel
+ * tasks with isolated metrics registries merged in fixed order, so
+ * the result is byte-identical for any --jobs value.
+ */
+void attributeMissDelta(LayoutDiff &diff, const Program &program,
+                        const Layout &layout_a, const Layout &layout_b,
+                        const FetchStream &stream,
+                        const LayoutDiffOptions &options = {});
+
+/**
+ * Stage 3: join moved procedures against a loaded decisions file
+ * (matching by procedure name), filling Move::decision_steps.
+ */
+void crossReferenceDecisions(LayoutDiff &diff, const Program &program,
+                             const LoadedDecisions &decisions);
+
+/** Human-readable Markdown report (top-N rows; totals exact). */
+std::string renderDiffMarkdown(const LayoutDiff &diff,
+                               const Program &program,
+                               const LayoutDiffOptions &options = {});
+
+/**
+ * Machine-readable "topo_diff" artifact. Complete: every move and
+ * every nonzero per-procedure/per-set delta is present, so validators
+ * can re-check the sum invariant from the file alone.
+ */
+JsonValue diffToJson(const LayoutDiff &diff, const Program &program);
+
+/** Bump explain.* counters/gauges in the current registry. */
+void publishDiffMetrics(const LayoutDiff &diff);
+
+} // namespace topo
+
+#endif // TOPO_EVAL_LAYOUT_DIFF_HH

@@ -639,6 +639,137 @@ checkBenchDoc(const JsonValue &doc, const std::string &where)
     }
 }
 
+/** Signed integer reader (deltas may be negative, unlike counts). */
+std::int64_t
+asDelta(const JsonValue &value, const std::string &where)
+{
+    requireData(value.kind() == JsonValue::Kind::kNumber,
+                "expected a number", where);
+    return static_cast<std::int64_t>(value.asNumber());
+}
+
+void
+checkDecisionsDoc(const JsonValue &doc, const std::string &where)
+{
+    checkKeys(doc,
+              {"topo_decisions", "algorithm", "program", "cache",
+               "kept", "dropped", "coverage", "records"},
+              where);
+    checkRequired(doc,
+                  {"topo_decisions", "algorithm", "kept", "dropped",
+                   "records"},
+                  where);
+    const JsonValue &records = doc.at("records");
+    requireData(records.isArray(), "records must be an array", where);
+    requireData(asCount(doc.at("kept"), where) == records.size(),
+                "kept count disagrees with the records array", where);
+    asCount(doc.at("dropped"), where);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const JsonValue &row = records.at(i);
+        const std::string row_where =
+            where + ".records[" + std::to_string(i) + "]";
+        checkKeys(row,
+                  {"step", "kind", "stage", "proc_a", "proc_b",
+                   "weight", "chosen", "chosen_cost", "tie_break",
+                   "alternatives"},
+                  row_where);
+        checkRequired(row,
+                      {"step", "kind", "stage", "proc_a", "chosen",
+                       "tie_break"},
+                      row_where);
+        const std::string &kind = row.at("kind").asString();
+        requireData(kind == "merge" || kind == "place" ||
+                        kind == "color" || kind == "split" ||
+                        kind == "reject",
+                    "unknown decision kind '" + kind + "'", row_where);
+        if (const JsonValue *alts = row.find("alternatives")) {
+            requireData(alts->isArray(),
+                        "alternatives must be an array", row_where);
+            for (const JsonValue &alt : alts->elements())
+                checkKeys(alt, {"choice", "cost"},
+                          row_where + ".alternatives");
+        }
+    }
+}
+
+void
+checkDiffDoc(const JsonValue &doc, const std::string &where)
+{
+    checkKeys(doc,
+              {"topo_diff", "program", "cache", "a", "b", "moved",
+               "unmoved", "attributed", "miss_delta", "moves",
+               "miss_delta_by_proc", "set_miss_delta", "pairs_created",
+               "pairs_destroyed", "dropped_pairs_a", "dropped_pairs_b",
+               "set_occupancy_delta", "decisions_algorithm",
+               "moves_explained"},
+              where);
+    checkRequired(doc,
+                  {"topo_diff", "program", "cache", "a", "b", "moved",
+                   "unmoved", "attributed", "moves",
+                   "set_occupancy_delta"},
+                  where);
+    for (const char *side : {"a", "b"}) {
+        const JsonValue &s = doc.at(side);
+        checkKeys(s, {"label", "accesses", "misses"},
+                  where + "." + side);
+        checkRequired(s, {"label", "accesses", "misses"},
+                      where + "." + side);
+    }
+    const JsonValue &moves = doc.at("moves");
+    requireData(moves.isArray(), "moves must be an array", where);
+    requireData(asCount(doc.at("moved"), where) == moves.size(),
+                "moved count disagrees with the moves array", where);
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        const JsonValue &row = moves.at(i);
+        const std::string row_where =
+            where + ".moves[" + std::to_string(i) + "]";
+        checkKeys(row,
+                  {"proc", "addr_a", "addr_b", "set_a", "set_b",
+                   "miss_delta", "decision_steps"},
+                  row_where);
+        checkRequired(row, {"proc", "addr_a", "addr_b"}, row_where);
+    }
+    // The set-occupancy deltas of two complete layouts of one program
+    // redistribute the same lines, so they must cancel exactly.
+    std::int64_t occupancy_sum = 0;
+    for (const JsonValue &row :
+         doc.at("set_occupancy_delta").elements())
+        occupancy_sum += asDelta(row.at("delta"),
+                                 where + ".set_occupancy_delta");
+    requireData(occupancy_sum == 0,
+                "set_occupancy_delta sums to " +
+                    std::to_string(occupancy_sum) + ", expected 0",
+                where);
+    if (!doc.at("attributed").asBool())
+        return;
+    // Exactness invariant: the per-procedure (and per-set) deltas sum
+    // to the total miss delta between the two replays.
+    checkRequired(doc,
+                  {"miss_delta", "miss_delta_by_proc",
+                   "set_miss_delta"},
+                  where);
+    const std::int64_t miss_delta =
+        asDelta(doc.at("miss_delta"), where);
+    const std::int64_t expected =
+        asDelta(doc.at("b").at("misses"), where + ".b") -
+        asDelta(doc.at("a").at("misses"), where + ".a");
+    requireData(miss_delta == expected,
+                "miss_delta disagrees with per-side miss counts",
+                where);
+    for (const char *field : {"miss_delta_by_proc", "set_miss_delta"}) {
+        std::int64_t sum = 0;
+        for (const JsonValue &row : doc.at(field).elements())
+            sum += asDelta(row.at("delta"),
+                           where + "." + field);
+        requireData(sum == miss_delta,
+                    std::string(field) + " sums to " +
+                        std::to_string(sum) +
+                        ", expected the total miss delta " +
+                        std::to_string(miss_delta),
+                    where);
+    }
+}
+
 void
 checkMetricsDoc(const JsonValue &doc, const std::string &where)
 {
@@ -689,9 +820,17 @@ validateArtifactJson(const JsonValue &doc)
         checkMetricsDoc(doc, "$");
         return "topo_metrics";
     }
+    if (doc.find("topo_decisions") != nullptr) {
+        checkDecisionsDoc(doc, "$");
+        return "topo_decisions";
+    }
+    if (doc.find("topo_diff") != nullptr) {
+        checkDiffDoc(doc, "$");
+        return "topo_diff";
+    }
     failCorrupt("unrecognized artifact document (expected a "
-                "topo_report, topo_report_suite, topo_bench, or "
-                "topo_metrics marker)",
+                "topo_report, topo_report_suite, topo_bench, "
+                "topo_metrics, topo_decisions, or topo_diff marker)",
                 "validateArtifactJson");
 }
 

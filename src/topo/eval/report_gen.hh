@@ -129,7 +129,8 @@ JsonValue reportToJson(const ComparisonReport &report);
 
 /**
  * Validate a known topo JSON artifact (topo_report, a topo_report
- * suite document, topo_bench, or topo_metrics): recognised document
+ * suite document, topo_bench, topo_metrics, topo_decisions, or
+ * topo_diff): recognised document
  * type, no unknown top-level or per-row keys, required keys present,
  * and the taxonomy invariants where taxonomy data appears —
  * compulsory + capacity + conflict == misses (exactly, per layout,
@@ -138,7 +139,8 @@ JsonValue reportToJson(const ComparisonReport &report);
  * data-error TopoError on any violation.
  *
  * @return The recognised document type ("topo_report",
- *         "topo_report_suite", "topo_bench", or "topo_metrics").
+ *         "topo_report_suite", "topo_bench", "topo_metrics",
+ *         "topo_decisions", or "topo_diff").
  */
 std::string validateArtifactJson(const JsonValue &doc);
 

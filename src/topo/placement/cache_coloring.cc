@@ -6,6 +6,7 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/placement/gap_fill.hh"
 #include "topo/util/error.hh"
 
@@ -36,6 +37,7 @@ struct Coloring
     std::vector<std::uint32_t> unit_of;
     std::vector<std::uint64_t> start_line; // unit-relative, per proc
     std::vector<bool> popular;
+    DecisionLog *decisions = nullptr;
 
     Coloring(const PlacementContext &ctx)
         : program(*ctx.program),
@@ -43,7 +45,8 @@ struct Coloring
           line_bytes(ctx.cache.line_bytes),
           cache_lines(ctx.cache.lineCount()),
           unit_of(ctx.program->procCount(), kNoUnit),
-          start_line(ctx.program->procCount(), 0)
+          start_line(ctx.program->procCount(), 0),
+          decisions(ctx.decisions)
     {
         popular.assign(program.procCount(), true);
         if (!ctx.popular.empty())
@@ -78,10 +81,34 @@ struct Coloring
         }
     }
 
+    /** Report a colour choice scanned as gaps past a unit tail. */
+    void
+    recordGapChoice(const char *stage, ProcId a, ProcId b, double weight,
+                    std::uint64_t best_gap, std::uint64_t tail_color,
+                    const std::vector<double> &cost) const
+    {
+        std::vector<double> by_gap(cache_lines);
+        for (std::uint64_t g = 0; g < cache_lines; ++g)
+            by_gap[g] = cost[(tail_color + g) % cache_lines];
+        decisions->recordChoice(DecisionKind::kColor, stage, a, b, weight,
+                                best_gap, by_gap,
+                                "smallest-gap-past-tail");
+    }
+
     /** Create a fresh unit holding procedures u then v, adjacent. */
     void
-    createUnit(ProcId u, ProcId v)
+    createUnit(ProcId u, ProcId v, double weight)
     {
+        if (decisions) {
+            DecisionRecord rec;
+            rec.kind = DecisionKind::kMerge;
+            rec.stage = "hkc.create";
+            rec.a = u;
+            rec.b = v;
+            rec.weight = weight;
+            rec.tie_break = "heaviest-edge-first";
+            decisions->record(rec);
+        }
         Unit unit;
         unit.alive = true;
         unit.procs.emplace_back(u, 0);
@@ -100,7 +127,7 @@ struct Coloring
      * q's already-placed call-graph neighbours in that unit.
      */
     void
-    attach(ProcId q, ProcId anchor)
+    attach(ProcId q, ProcId anchor, double weight)
     {
         const std::uint32_t ui = unit_of[anchor];
         Unit &unit = units[ui];
@@ -125,6 +152,9 @@ struct Coloring
                 best_gap = g;
             }
         }
+        if (decisions)
+            recordGapChoice("hkc.attach", q, anchor, weight, best_gap,
+                            tail_color, cost);
         const std::uint64_t start = unit.len_lines + best_gap;
         unit.procs.emplace_back(q, start);
         start_line[q] = start;
@@ -139,7 +169,7 @@ struct Coloring
      * move as long as they do not conflict with prior decisions").
      */
     void
-    mergeUnits(ProcId u, ProcId v)
+    mergeUnits(ProcId u, ProcId v, double weight)
     {
         const std::uint32_t ua = unit_of[u];
         const std::uint32_t ub = unit_of[v];
@@ -180,6 +210,9 @@ struct Coloring
                 best_gap = g;
             }
         }
+        if (decisions)
+            recordGapChoice("hkc.merge", u, v, weight, best_gap,
+                            tail_color, cost);
         const std::uint64_t shift = a.len_lines + best_gap;
         for (const auto &[q, q_off] : b.procs) {
             a.procs.emplace_back(q, q_off + shift);
@@ -230,23 +263,32 @@ CacheColoring::place(const PlacementContext &ctx) const
         const bool v_placed = state.unit_of[e.v] != kNoUnit;
         const char *action = "skip";
         if (!u_placed && !v_placed) {
-            state.createUnit(e.u, e.v);
+            state.createUnit(e.u, e.v, e.weight);
             ++units_created;
             action = "create";
         } else if (u_placed && !v_placed) {
-            state.attach(e.v, e.u);
+            state.attach(e.v, e.u, e.weight);
             ++attaches;
             action = "attach";
         } else if (!u_placed && v_placed) {
-            state.attach(e.u, e.v);
+            state.attach(e.u, e.v, e.weight);
             ++attaches;
             action = "attach";
         } else if (state.unit_of[e.u] != state.unit_of[e.v]) {
-            state.mergeUnits(e.u, e.v);
+            state.mergeUnits(e.u, e.v, e.weight);
             ++unit_merges;
             action = "merge";
+        } else if (ctx.decisions) {
+            // Both in the same unit: alignment already decided; skip.
+            DecisionRecord rec;
+            rec.kind = DecisionKind::kReject;
+            rec.stage = "hkc.skip";
+            rec.a = e.u;
+            rec.b = e.v;
+            rec.weight = e.weight;
+            rec.tie_break = "alignment-already-fixed";
+            ctx.decisions->record(rec);
         }
-        // Both in the same unit: alignment already decided; skip.
         if (log_passes) {
             logDebug("hkc", "edge pass",
                      {{"u", e.u},
@@ -323,9 +365,18 @@ CacheColoring::place(const PlacementContext &ctx) const
                 for (const auto &[f, rel] : filler.fill(off - local)) {
                     layout.setAddress(f, (cursor + local + rel) *
                                              line_bytes);
+                    if (ctx.decisions)
+                        ctx.decisions->recordPlace(
+                            "hkc.fill", f, layout.address(f),
+                            ctx.heatOf(f), "best-fit-filler");
                 }
             }
             layout.setAddress(p, (cursor + off) * line_bytes);
+            if (ctx.decisions)
+                ctx.decisions->recordPlace("hkc.emit", p,
+                                           layout.address(p),
+                                           ctx.heatOf(p),
+                                           "hottest-unit,lower-unit-id");
             local = off + state.lines(p);
         }
         cursor += unit.len_lines;
@@ -333,6 +384,11 @@ CacheColoring::place(const PlacementContext &ctx) const
     // Remaining unpopular procedures, hottest first.
     for (ProcId rest : filler.remaining()) {
         layout.setAddress(rest, cursor * line_bytes);
+        if (ctx.decisions)
+            ctx.decisions->recordPlace("hkc.fill", rest,
+                                       layout.address(rest),
+                                       ctx.heatOf(rest),
+                                       "best-fit-filler");
         cursor += state.lines(rest);
     }
     layout.validate(program, line_bytes);

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Decision provenance for placement algorithms.
+ *
+ * A DecisionLog is a bounded sink that placement algorithms feed while
+ * they run: one record per merge, alignment choice, final placement,
+ * split classification, or rejection. Each record names the procedures
+ * involved, the edge/TRG weight that drove the decision, the winning
+ * choice with its cost, the top-k alternatives that were considered,
+ * and the (static) tie-break rule that resolved equal costs.
+ *
+ * Recording follows the AttributionSink/TaxonomySink philosophy: the
+ * sink is optional (a null `PlacementContext::decisions` pointer), so
+ * the disabled path in every algorithm is a single pointer test and
+ * the placement result is bit-identical with or without a log. The log
+ * itself is allocation-aware: it reserves its record capacity up front
+ * and drops (but counts) records past the bound instead of growing.
+ */
+
+#ifndef TOPO_PLACEMENT_DECISION_LOG_HH
+#define TOPO_PLACEMENT_DECISION_LOG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/obs/json.hh"
+#include "topo/program/program.hh"
+
+namespace topo
+{
+
+/** What kind of choice a decision record captures. */
+enum class DecisionKind : std::uint8_t
+{
+    /** Two chains/units/nodes were merged. */
+    kMerge,
+    /** A procedure received its final address. */
+    kPlace,
+    /** A cache-relative offset/color was chosen for a merge. */
+    kColor,
+    /** A procedure was split into hot and cold parts. */
+    kSplit,
+    /** A candidate edge/merge was considered and rejected. */
+    kReject,
+};
+
+/** Stable lowercase name of a DecisionKind ("merge", "place", ...). */
+const char *decisionKindName(DecisionKind kind);
+
+/** Parse a kind name; throws TopoError(kCorrupt) on unknown names. */
+DecisionKind decisionKindFromName(const std::string &name);
+
+/**
+ * One placement decision. `stage` and `tie_break` are static strings
+ * supplied by the recording algorithm (e.g. "gbsc.align" /
+ * "first-smallest-offset"); alternatives beyond the winner are the
+ * next-best choices by cost, ascending.
+ */
+struct DecisionRecord
+{
+    /** A considered-but-not-chosen alternative. */
+    struct Alternative
+    {
+        std::uint64_t choice = 0;
+        double cost = 0.0;
+    };
+
+    /** Bound on stored alternatives per record. */
+    static constexpr std::uint32_t kMaxAlternatives = 3;
+
+    /** Monotone per-log sequence number (0-based). */
+    std::uint64_t step = 0;
+    DecisionKind kind = DecisionKind::kMerge;
+    /** Static stage name, e.g. "ph.merge". Never null. */
+    const char *stage = "";
+    /** Primary procedure. */
+    ProcId a = kInvalidProc;
+    /** Secondary procedure (kInvalidProc for unary decisions). */
+    ProcId b = kInvalidProc;
+    /** Edge / TRG weight that drove the decision. */
+    double weight = 0.0;
+    /** Winning choice (offset, gap, option index, address...). */
+    std::uint64_t chosen = 0;
+    /** Cost of the winning choice. */
+    double chosen_cost = 0.0;
+    /** Static tie-break rule name. Never null. */
+    const char *tie_break = "";
+    /** Number of valid entries in `alternatives`. */
+    std::uint32_t alternative_count = 0;
+    std::array<Alternative, kMaxAlternatives> alternatives{};
+};
+
+/** Bounded sink of DecisionRecords. */
+class DecisionLog
+{
+  public:
+    struct Options
+    {
+        /** Records kept before the log starts dropping. */
+        std::size_t max_records = 65536;
+        /** Alternatives stored per record (<= kMaxAlternatives). */
+        std::uint32_t top_k = DecisionRecord::kMaxAlternatives;
+    };
+
+    /** Default-bounded log (Options{}). */
+    DecisionLog();
+
+    explicit DecisionLog(Options options);
+
+    /**
+     * Append a record. The log assigns `step`; past the bound the
+     * record is dropped and counted instead. Returns a scratch record
+     * reference only while kept (callers must not hold it).
+     */
+    void record(DecisionRecord rec);
+
+    /**
+     * Record a choice made by scanning a dense cost array: `chosen`
+     * must index into @p cost_by_choice. Fills chosen_cost and the
+     * top-k runner-up alternatives (ascending cost; ties by smaller
+     * choice, matching every algorithm's first-wins scan order).
+     */
+    void recordChoice(DecisionKind kind,
+                      const char *stage,
+                      ProcId a,
+                      ProcId b,
+                      double weight,
+                      std::uint64_t chosen,
+                      const std::vector<double> &cost_by_choice,
+                      const char *tie_break);
+
+    /** Convenience: record a final kPlace for one procedure. */
+    void recordPlace(const char *stage,
+                     ProcId proc,
+                     std::uint64_t address,
+                     double heat,
+                     const char *tie_break);
+
+    const std::vector<DecisionRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Records kept (== records().size()). */
+    std::uint64_t kept() const { return records_.size(); }
+
+    /** Records dropped because the bound was hit. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Name of the algorithm that fed the log (set by callers). */
+    void setAlgorithm(std::string name) { algorithm_ = std::move(name); }
+    const std::string &algorithm() const { return algorithm_; }
+
+    /** Cache geometry the decisions were made against. */
+    void setCache(const CacheConfig &cache) { cache_ = cache; }
+    const CacheConfig &cache() const { return cache_; }
+
+    /** Reset to empty, keeping options/algorithm/cache. */
+    void clear();
+
+    /**
+     * True when every assigned procedure of @p layout_procs appears in
+     * at least one kept record (any role). Fraction of covered
+     * procedures returned through @p coverage when non-null.
+     */
+    double coverage(const Program &program) const;
+
+    /**
+     * Serialize as a "topo_decisions" JSON artifact. Procedures are
+     * emitted by name so the file is self-describing and layout diffs
+     * can cross-reference it against either side.
+     */
+    JsonValue toJson(const Program &program) const;
+
+    /** Bump explain.* counters/gauges in the current registry. */
+    void publishMetrics(const Program &program) const;
+
+  private:
+    Options options_;
+    std::vector<DecisionRecord> records_;
+    std::uint64_t dropped_ = 0;
+    std::string algorithm_;
+    CacheConfig cache_;
+};
+
+/**
+ * A decisions file parsed back for cross-referencing: the subset of
+ * record fields a layout diff needs, keyed by procedure name.
+ */
+struct LoadedDecisions
+{
+    struct Row
+    {
+        std::uint64_t step = 0;
+        std::string kind;
+        std::string stage;
+        std::string proc_a;
+        std::string proc_b;
+        double weight = 0.0;
+        std::uint64_t chosen = 0;
+        std::string tie_break;
+    };
+
+    std::string algorithm;
+    std::uint64_t kept = 0;
+    std::uint64_t dropped = 0;
+    std::vector<Row> rows;
+
+    /** Indices into rows mentioning @p proc_name, in step order. */
+    std::vector<std::size_t> rowsFor(const std::string &proc_name) const;
+};
+
+/**
+ * Read and validate a decisions JSON file written by DecisionLog.
+ * Throws TopoError(kCorrupt) on malformed input.
+ */
+LoadedDecisions readDecisionFile(const std::string &path);
+
+/**
+ * Snapshot a live log into the name-keyed LoadedDecisions form that
+ * crossReferenceDecisions consumes — the same result as a round-trip
+ * through toJson/readDecisionFile, without touching a file.
+ */
+LoadedDecisions snapshotDecisions(const DecisionLog &log,
+                                  const Program &program);
+
+} // namespace topo
+
+#endif // TOPO_PLACEMENT_DECISION_LOG_HH

@@ -7,6 +7,7 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/placement/gap_fill.hh"
 #include "topo/placement/merge_graph.hh"
 #include "topo/util/error.hh"
@@ -118,6 +119,15 @@ Gbsc::mergeNodes(const PlacementContext &ctx, const GbscNode &n1,
     }
     if (out_best_metric)
         *out_best_metric = best_metric;
+    if (ctx.decisions) {
+        const ProcId rep1 =
+            n1.procs.empty() ? kInvalidProc : n1.procs.front().first;
+        const ProcId rep2 =
+            n2.procs.empty() ? kInvalidProc : n2.procs.front().first;
+        ctx.decisions->recordChoice(DecisionKind::kColor, "gbsc.align",
+                                    rep1, rep2, 0.0, best_offset, cost,
+                                    "first-smallest-offset");
+    }
 
     GbscNode merged;
     merged.procs = n1.procs;
@@ -214,6 +224,16 @@ Gbsc::place(const PlacementContext &ctx) const
     while (!working.done()) {
         const MergeGraph::Edge heaviest = working.maxEdge();
         require(heaviest.valid, "Gbsc: inconsistent working graph");
+        if (ctx.decisions) {
+            DecisionRecord rec;
+            rec.kind = DecisionKind::kMerge;
+            rec.stage = "gbsc.select";
+            rec.a = heaviest.u;
+            rec.b = heaviest.v;
+            rec.weight = heaviest.weight;
+            rec.tie_break = "heaviest-edge-first";
+            ctx.decisions->record(rec);
+        }
         nodes[heaviest.u] =
             doMerge(ctx, nodes[heaviest.u], nodes[heaviest.v]);
         ++merge_steps;
@@ -281,6 +301,12 @@ Gbsc::place(const PlacementContext &ctx) const
 
         cursor = entries[first].start;
         layout.setAddress(entries[first].proc, cursor * line_bytes);
+        if (ctx.decisions)
+            ctx.decisions->recordPlace(
+                "gbsc.emit", entries[first].proc,
+                layout.address(entries[first].proc),
+                ctx.heatOf(entries[first].proc),
+                "lowest-offset,hotter,lower-id");
         cursor += entries[first].len;
         std::uint32_t prev_end =
             (entries[first].start + entries[first].len) % cache_lines;
@@ -311,11 +337,23 @@ Gbsc::place(const PlacementContext &ctx) const
             }
             // Fill the gap with unpopular procedures (best fit).
             if (best_gap > 0) {
-                for (const auto &[f, rel] : filler.fill(best_gap))
+                for (const auto &[f, rel] : filler.fill(best_gap)) {
                     layout.setAddress(f, (cursor + rel) * line_bytes);
+                    if (ctx.decisions)
+                        ctx.decisions->recordPlace("gbsc.fill", f,
+                                                   layout.address(f),
+                                                   ctx.heatOf(f),
+                                                   "best-fit-filler");
+                }
             }
             cursor += best_gap;
             layout.setAddress(entries[best].proc, cursor * line_bytes);
+            if (ctx.decisions)
+                ctx.decisions->recordPlace(
+                    "gbsc.emit", entries[best].proc,
+                    layout.address(entries[best].proc),
+                    ctx.heatOf(entries[best].proc),
+                    "smallest-gap,hotter,lower-id");
             cursor += entries[best].len;
             prev_end = (entries[best].start + entries[best].len) %
                        cache_lines;
@@ -326,6 +364,11 @@ Gbsc::place(const PlacementContext &ctx) const
     // Append every remaining unpopular procedure.
     for (ProcId rest : filler.remaining()) {
         layout.setAddress(rest, cursor * line_bytes);
+        if (ctx.decisions)
+            ctx.decisions->recordPlace("gbsc.fill", rest,
+                                       layout.address(rest),
+                                       ctx.heatOf(rest),
+                                       "best-fit-filler");
         cursor += program.sizeInLines(rest, line_bytes);
     }
     layout.validate(program, line_bytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "topo/placement/decision_log.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -187,6 +188,15 @@ GbscSetAssoc::doMerge(const PlacementContext &ctx, const GbscNode &n1,
     for (std::uint32_t i = 1; i < sets; ++i) {
         if (better(i, best_offset))
             best_offset = i;
+    }
+    if (ctx.decisions) {
+        const ProcId rep1 =
+            n1.procs.empty() ? kInvalidProc : n1.procs.front().first;
+        const ProcId rep2 =
+            n2.procs.empty() ? kInvalidProc : n2.procs.front().first;
+        ctx.decisions->recordChoice(DecisionKind::kColor, "gbsc_sa.align",
+                                    rep1, rep2, 0.0, best_offset, cost,
+                                    "pair-D,chunk-cost,overlap");
     }
 
     GbscNode merged;

@@ -6,6 +6,7 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/placement/merge_graph.hh"
 #include "topo/util/error.hh"
 
@@ -155,6 +156,16 @@ PettisHansen::place(const PlacementContext &ctx) const
             if (opt.dist < best_opt->dist)
                 best_opt = &opt;
         }
+        if (ctx.decisions) {
+            std::vector<double> dists(4);
+            for (int i = 0; i < 4; ++i)
+                dists[i] = static_cast<double>(options[i].dist);
+            ctx.decisions->recordChoice(
+                DecisionKind::kMerge, "ph.merge", best_p, best_q,
+                heaviest.weight,
+                static_cast<std::uint64_t>(best_opt - options), dists,
+                "lowest-distance-first-option");
+        }
 
         // Build the merged chain in place (into chain a).
         std::vector<ProcId> merged;
@@ -220,6 +231,12 @@ PettisHansen::place(const PlacementContext &ctx) const
             order.push_back(p);
     }
     Layout layout = Layout::fromOrder(program, order, line_bytes);
+    if (ctx.decisions) {
+        for (ProcId p : order)
+            ctx.decisions->recordPlace("ph.emit", p, layout.address(p),
+                                       ctx.heatOf(p),
+                                       "hottest-chain,lower-chain-id");
+    }
     timer.stop();
     if (log_passes) {
         logDebug("ph", "placement done",

@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <numeric>
 
+#include "topo/placement/decision_log.hh"
 #include "topo/util/error.hh"
 #include "topo/util/rng.hh"
 
 namespace topo
 {
+
+namespace
+{
+
+/** Trivial per-procedure kPlace records for a finished layout. */
+void
+recordWholeLayout(const PlacementContext &ctx, const Layout &layout,
+                  const char *stage, const char *tie_break)
+{
+    if (!ctx.decisions)
+        return;
+    for (ProcId p : layout.orderByAddress())
+        ctx.decisions->recordPlace(stage, p, layout.address(p),
+                                   ctx.heatOf(p), tie_break);
+}
+
+} // namespace
 
 void
 PlacementContext::requireBasics(const std::string &who) const
@@ -28,7 +46,10 @@ Layout
 DefaultPlacement::place(const PlacementContext &ctx) const
 {
     ctx.requireBasics("DefaultPlacement");
-    return Layout::defaultOrder(*ctx.program, ctx.cache.line_bytes);
+    Layout layout = Layout::defaultOrder(*ctx.program,
+                                         ctx.cache.line_bytes);
+    recordWholeLayout(ctx, layout, "default.emit", "source-order");
+    return layout;
 }
 
 Layout
@@ -39,7 +60,10 @@ RandomPlacement::place(const PlacementContext &ctx) const
     std::iota(order.begin(), order.end(), 0);
     Rng rng(seed_);
     rng.shuffle(order);
-    return Layout::fromOrder(*ctx.program, order, ctx.cache.line_bytes);
+    Layout layout = Layout::fromOrder(*ctx.program, order,
+                                      ctx.cache.line_bytes);
+    recordWholeLayout(ctx, layout, "random.emit", "seeded-shuffle");
+    return layout;
 }
 
 std::vector<ProcId>

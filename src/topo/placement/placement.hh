@@ -25,6 +25,8 @@
 namespace topo
 {
 
+class DecisionLog;
+
 /**
  * Everything a placement algorithm may consume. Algorithms require()
  * the fields they need; unused fields may be left null.
@@ -47,6 +49,8 @@ struct PlacementContext
     std::vector<bool> popular;
     /** Dynamic bytes fetched per procedure (ordering heuristic). */
     std::vector<double> heat;
+    /** Optional decision-provenance sink; null disables recording. */
+    DecisionLog *decisions = nullptr;
 
     /** True when @p proc is popular (or no mask was provided). */
     bool

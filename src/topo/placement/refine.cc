@@ -6,6 +6,7 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/util/error.hh"
 
@@ -128,6 +129,11 @@ refineLayout(const PlacementContext &ctx, const Layout &base,
             }
             if (best != offsets[proc] &&
                 cost[best] < cost[offsets[proc]]) {
+                if (ctx.decisions)
+                    ctx.decisions->recordChoice(
+                        DecisionKind::kPlace, "refine.move", proc,
+                        kInvalidProc, cost[offsets[proc]], best, cost,
+                        "keep-current-offset");
                 offsets[proc] = best;
                 ++result.moves;
                 improved = true;

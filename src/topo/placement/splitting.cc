@@ -5,6 +5,7 @@
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/obs/phase_timer.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/util/error.hh"
 
 namespace topo
@@ -158,6 +159,18 @@ splitProcedures(const Program &program, const Trace &training,
         if (!hot_chunks.empty() && !pending_cold.empty() &&
             pending_cold.back().original == original) {
             ++split.split_count_;
+            if (options.decisions) {
+                DecisionRecord rec;
+                rec.kind = DecisionKind::kSplit;
+                rec.stage = "split.classify";
+                rec.a = original;
+                rec.weight = static_cast<double>(hot_bytes);
+                rec.chosen = cold_bytes;
+                rec.chosen_cost =
+                    static_cast<double>(options.min_fetched_bytes);
+                rec.tie_break = "chunk-heat-threshold";
+                options.decisions->record(rec);
+            }
         }
     }
     for (const PendingCold &cold : pending_cold) {

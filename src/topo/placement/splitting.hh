@@ -29,6 +29,8 @@
 namespace topo
 {
 
+class DecisionLog;
+
 /** Options of a splitting transformation. */
 struct SplitOptions
 {
@@ -39,6 +41,8 @@ struct SplitOptions
      * many bytes from it. 1 keeps everything that ever ran.
      */
     std::uint64_t min_fetched_bytes = 1;
+    /** Optional decision-provenance sink; null disables recording. */
+    DecisionLog *decisions = nullptr;
 };
 
 /**

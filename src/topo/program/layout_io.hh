@@ -2,10 +2,16 @@
  * @file
  * Text serialisation of a Layout.
  *
- * Format: header "topo-layout v1", then one line per procedure:
- * "<name> <address>". '#' starts a comment. Together with the program
- * format this lets the CLI tools pass placements between runs (e.g.
- * place once, simulate under many cache geometries).
+ * Format v1: header "topo-layout v1", then one line per procedure:
+ * "<name> <address>". '#' starts a comment.
+ *
+ * Format v2 adds provenance: header "topo-layout v2", then zero or
+ * more "!<key> <value>" metadata lines (algorithm, cache, git_sha,
+ * seed) before the procedure entries. Readers accept both versions;
+ * unknown '!' keys are rejected as corrupt so typos cannot silently
+ * drop provenance. Together with the program format this lets the CLI
+ * tools pass placements between runs, and lets `topo_report --diff`
+ * label each side with where its layout came from.
  */
 
 #ifndef TOPO_PROGRAM_LAYOUT_IO_HH
@@ -19,22 +25,61 @@
 namespace topo
 {
 
-/** Write a complete layout in the text format (address order). */
+/** Provenance embedded in (or parsed from) a v2 layout header. */
+struct LayoutProvenance
+{
+    /** Placement algorithm that produced the layout ("gbsc", ...). */
+    std::string algorithm;
+    /** Cache geometry description the placement targeted. */
+    std::string cache;
+    /** Git revision of the producing build. */
+    std::string git_sha;
+    /** Tie-break / shuffle seed, when one applied. */
+    std::string seed;
+
+    /** True when no field is set (v1 files parse to this). */
+    bool
+    empty() const
+    {
+        return algorithm.empty() && cache.empty() && git_sha.empty() &&
+               seed.empty();
+    }
+
+    /** One-line "algorithm=gbsc cache=... sha=..." summary ("" when
+     *  empty) for report labels. */
+    std::string describe() const;
+};
+
+/** Write a complete layout in the v1 text format (address order). */
 void writeLayout(std::ostream &os, const Program &program,
                  const Layout &layout);
 
+/** Write a layout in the v2 format with embedded provenance. */
+void writeLayout(std::ostream &os, const Program &program,
+                 const Layout &layout,
+                 const LayoutProvenance &provenance);
+
 /**
  * Read a layout for @p program; every procedure must appear exactly
- * once. Throws TopoError on malformed or incomplete input.
+ * once. Accepts v1 and v2 headers; v2 provenance is returned through
+ * @p provenance when non-null. Throws TopoError on malformed or
+ * incomplete input.
  */
-Layout readLayout(std::istream &is, const Program &program);
+Layout readLayout(std::istream &is, const Program &program,
+                  LayoutProvenance *provenance = nullptr);
 
-/** Write a layout to a file path. */
+/** Write a layout to a file path (v1 format). */
 void saveLayout(const std::string &path, const Program &program,
                 const Layout &layout);
 
-/** Read a layout from a file path. */
-Layout loadLayout(const std::string &path, const Program &program);
+/** Write a layout with provenance to a file path (v2 format). */
+void saveLayout(const std::string &path, const Program &program,
+                const Layout &layout,
+                const LayoutProvenance &provenance);
+
+/** Read a layout from a file path (either version). */
+Layout loadLayout(const std::string &path, const Program &program,
+                  LayoutProvenance *provenance = nullptr);
 
 } // namespace topo
 

@@ -12,6 +12,8 @@
 
 #include "topo/obs/log.hh"
 #include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/placement/cache_coloring.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/placement/pettis_hansen.hh"
@@ -275,7 +277,7 @@ trgDrift(const WeightedGraph &cur, const WeightedGraph &base)
 
 StorePlaceResult
 placeProfile(const StoreConfig &config, const StoredProfile &profile,
-             const std::string &algorithm)
+             const std::string &algorithm, DecisionLog *decisions)
 {
     TraceStats stats;
     stats.run_count = profile.run_count;
@@ -304,6 +306,11 @@ placeProfile(const StoreConfig &config, const StoredProfile &profile,
     ctx.heat.assign(config.program.procCount(), 0.0);
     for (std::size_t i = 0; i < config.program.procCount(); ++i)
         ctx.heat[i] = static_cast<double>(profile.bytes_fetched[i]);
+    if (decisions) {
+        decisions->setAlgorithm(algorithm);
+        decisions->setCache(config.cache);
+        ctx.decisions = decisions;
+    }
 
     const PlacementAlgorithm &algo = algorithmByName(algorithm);
     result.layout = algo.place(ctx);
@@ -384,6 +391,7 @@ ProfileStore::init(const std::string &dir, const StoreConfig &config)
 ProfileStore
 ProfileStore::open(const std::string &dir)
 {
+    PhaseTimer timer("store.open");
     ProfileStore store;
     store.dir_ = dir;
     require(fileExists(store.metaPath()),
@@ -512,6 +520,7 @@ ProfileStore::applyPlace(const std::vector<std::uint64_t> &addresses,
 void
 ProfileStore::ingest(const ShardDelta &delta)
 {
+    PhaseTimer timer("store.ingest");
     ShardDelta numbered = delta;
     numbered.info.seq = applied_seq_ + 1;
     appendRecord(StoreRecordKind::kShard,
@@ -540,8 +549,9 @@ ProfileStore::drift() const
 
 StorePlaceResult
 ProfileStore::place(const std::string &algorithm, double threshold,
-                    bool force)
+                    bool force, DecisionLog *decisions)
 {
+    PhaseTimer timer("store.place");
     const double current_drift = drift();
     const bool never_placed = profile_.layout_algorithm.empty();
     if (!force && !never_placed && current_drift < threshold) {
@@ -557,7 +567,7 @@ ProfileStore::place(const std::string &algorithm, double threshold,
         return result;
     }
     StorePlaceResult result =
-        placeProfile(config_, profile_, algorithm);
+        placeProfile(config_, profile_, algorithm, decisions);
     result.drift = current_drift;
     const std::vector<std::uint64_t> addresses =
         addressesFromLayout(result.layout);
@@ -579,6 +589,7 @@ ProfileStore::place(const std::string &algorithm, double threshold,
 void
 ProfileStore::compact()
 {
+    PhaseTimer timer("store.compact");
     const std::uint64_t new_generation = generation_ + 1;
     writeSnapshot(new_generation);
 

@@ -45,6 +45,8 @@
 namespace topo
 {
 
+class DecisionLog;
+
 /** What open() had to do to bring the store up. */
 struct StoreOpenStats
 {
@@ -108,7 +110,8 @@ double trgDrift(const WeightedGraph &cur, const WeightedGraph &base);
  */
 StorePlaceResult placeProfile(const StoreConfig &config,
                               const StoredProfile &profile,
-                              const std::string &algorithm);
+                              const std::string &algorithm,
+                              DecisionLog *decisions = nullptr);
 
 /** The journaled on-disk profile store. */
 class ProfileStore
@@ -167,7 +170,8 @@ class ProfileStore
      * new baseline. Otherwise the stored layout is returned.
      */
     StorePlaceResult place(const std::string &algorithm,
-                           double threshold, bool force = false);
+                           double threshold, bool force = false,
+                           DecisionLog *decisions = nullptr);
 
     /**
      * Checkpoint: write the profile as snapshot generation + 1

@@ -23,8 +23,10 @@ grep -q "topo-trace v1" "$WORK/m.trace" || {
     --out-layout="$WORK/m.layout" --out-script="$WORK/m.ld" \
     --evaluate 2> "$WORK/place.log"
 
-grep -q "topo-layout v1" "$WORK/m.layout" || {
+grep -q "topo-layout v" "$WORK/m.layout" || {
     echo "FAIL: layout file missing header"; exit 1; }
+grep -q "^!algorithm gbsc" "$WORK/m.layout" || {
+    echo "FAIL: layout file missing provenance"; exit 1; }
 grep -q "SECTIONS" "$WORK/m.ld" || {
     echo "FAIL: linker script missing SECTIONS"; exit 1; }
 grep -q "miss rate on this trace" "$WORK/place.log" || {
@@ -226,6 +228,62 @@ rc=$?
 set -e
 [ "$rc" = "2" ] || {
     echo "FAIL: corrupt checkpoint exited $rc, want 2"; exit 1; }
+
+# --- Explainability workflow ---------------------------------------
+
+# Decision provenance: --decisions-out writes a validating artifact,
+# and topo_report --diff joins it against a layout diff.
+"$TOOLS_DIR/topo_place" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" --algorithm=ph \
+    --out-layout="$WORK/ph.layout" 2> /dev/null
+"$TOOLS_DIR/topo_place" --program="$WORK/m.prog" \
+    --trace="$WORK/m.trace" --algorithm=gbsc \
+    --out-layout="$WORK/g.layout" \
+    --decisions-out="$WORK/g.decisions.json" 2> /dev/null
+"$TOOLS_DIR/topo_report" --check-json="$WORK/g.decisions.json" \
+    > /dev/null || {
+    echo "FAIL: decisions artifact failed validation"; exit 1; }
+
+"$TOOLS_DIR/topo_report" --diff="$WORK/ph.layout,$WORK/g.layout" \
+    --program="$WORK/m.prog" --trace="$WORK/m.trace" \
+    --decisions="$WORK/g.decisions.json" \
+    --json-out="$WORK/diff.json" --out="$WORK/diff.md" 2> /dev/null
+grep -q "Layout diff" "$WORK/diff.md" || {
+    echo "FAIL: diff report missing title"; exit 1; }
+grep -q "algorithm=gbsc" "$WORK/diff.md" || {
+    echo "FAIL: diff report missing provenance label"; exit 1; }
+"$TOOLS_DIR/topo_report" --check-json="$WORK/diff.json" \
+    > /dev/null || {
+    echo "FAIL: diff artifact failed validation"; exit 1; }
+
+# A damaged decisions file is corrupt input (exit 2), never a crash:
+# truncation and a deterministic bit flip both must be caught.
+"$TOOLS_DIR/topo_corrupt" --in="$WORK/g.decisions.json" \
+    --out="$WORK/trunc.decisions.json" --truncate-frac=0.5 \
+    2> /dev/null
+"$TOOLS_DIR/topo_corrupt" --in="$WORK/g.decisions.json" \
+    --out="$WORK/flip.decisions.json" --bitflip=20 --flip-bit=3 \
+    2> /dev/null
+for broken in "$WORK/trunc.decisions.json" "$WORK/flip.decisions.json"
+do
+    set +e
+    "$TOOLS_DIR/topo_report" \
+        --diff="$WORK/ph.layout,$WORK/g.layout" \
+        --program="$WORK/m.prog" --decisions="$broken" \
+        > /dev/null 2>&1
+    rc=$?
+    set -e
+    [ "$rc" = "2" ] || {
+        echo "FAIL: corrupt decisions $broken exited $rc, want 2"
+        exit 1; }
+    set +e
+    "$TOOLS_DIR/topo_report" --check-json="$broken" > /dev/null 2>&1
+    rc=$?
+    set -e
+    [ "$rc" = "2" ] || {
+        echo "FAIL: --check-json on $broken exited $rc, want 2"
+        exit 1; }
+done
 
 echo "PASS: cli workflow (default $def_mr% -> gbsc $gbsc_mr%," \
     "resume $resumed_misses misses)"

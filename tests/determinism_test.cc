@@ -20,6 +20,8 @@
 
 #include "topo/cache/simulate.hh"
 #include "topo/eval/experiment.hh"
+#include "topo/eval/layout_diff.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/trace/fetch_stream.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/trace/trace_mmap.hh"
@@ -390,6 +392,48 @@ TEST(Determinism, PooledProfileBuildsMatchSerial)
         EXPECT_EQ(sp[i].s, pp[i].s) << "pair entry " << i;
         EXPECT_EQ(sp[i].weight, pp[i].weight) << "pair entry " << i;
     }
+}
+
+TEST(Determinism, ExplainArtifactsAreJobsInvariant)
+{
+    // The decisions artifact and the attributed layout-diff artifact
+    // must be byte-identical for any --jobs value: decision recording
+    // is strictly sequential inside each algorithm, and the diff's
+    // double replay merges per-task metrics in fixed side order.
+    const EvalOptions eval;
+    const ProfileBundle bundle(paperBenchmark("gcc", 0.01), eval);
+    const Gbsc gbsc;
+    const PettisHansen ph;
+
+    auto render = [&]() {
+        DecisionLog log;
+        log.setAlgorithm("gbsc");
+        log.setCache(eval.cache);
+        PlacementContext ctx = bundle.makeContext();
+        ctx.decisions = &log;
+        const Layout gb = gbsc.place(ctx);
+        const Layout base = ph.place(bundle.makeContext());
+
+        LayoutDiff diff = buildLayoutDiff(bundle.program(), eval.cache,
+                                          base, gb, "ph", "gbsc");
+        attributeMissDelta(diff, bundle.program(), base, gb,
+                           bundle.testStream());
+        crossReferenceDecisions(diff, bundle.program(),
+                                snapshotDecisions(log,
+                                                  bundle.program()));
+        return std::make_pair(
+            log.toJson(bundle.program()).toString(),
+            diffToJson(diff, bundle.program()).toString());
+    };
+
+    setExecJobs(1);
+    const auto serial = render();
+    setExecJobs(4);
+    const auto pooled = render();
+    setExecJobs(1);
+
+    EXPECT_EQ(serial.first, pooled.first) << "decisions JSON";
+    EXPECT_EQ(serial.second, pooled.second) << "diff JSON";
 }
 
 } // namespace

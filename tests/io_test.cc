@@ -94,6 +94,102 @@ TEST(LayoutIo, RoundTrip)
         EXPECT_EQ(back.address(i), layout.address(i));
 }
 
+TEST(LayoutIo, V2RoundTripCarriesProvenance)
+{
+    const Program p = sampleProgram();
+    const Layout layout =
+        Layout::fromCacheOffsets(p, {2, 0, 1}, {5, 0, 3}, 32, 8);
+    LayoutProvenance prov;
+    prov.algorithm = "gbsc";
+    prov.cache = "8KB direct-mapped, 32B lines";
+    prov.git_sha = "0123abcd";
+    prov.seed = "42";
+    std::stringstream ss;
+    writeLayout(ss, p, layout, prov);
+    EXPECT_EQ(ss.str().substr(0, 14), "topo-layout v2");
+    LayoutProvenance back_prov;
+    const Layout back = readLayout(ss, p, &back_prov);
+    for (ProcId i = 0; i < p.procCount(); ++i)
+        EXPECT_EQ(back.address(i), layout.address(i));
+    EXPECT_EQ(back_prov.algorithm, prov.algorithm);
+    EXPECT_EQ(back_prov.cache, prov.cache);
+    EXPECT_EQ(back_prov.git_sha, prov.git_sha);
+    EXPECT_EQ(back_prov.seed, prov.seed);
+    EXPECT_FALSE(back_prov.empty());
+    EXPECT_EQ(back_prov.describe(),
+              "algorithm=gbsc cache=8KB direct-mapped, 32B lines "
+              "sha=0123abcd seed=42");
+}
+
+TEST(LayoutIo, V2OmitsEmptyFieldsAndV1StillReads)
+{
+    const Program p = sampleProgram();
+    const Layout layout =
+        Layout::fromCacheOffsets(p, {0, 1, 2}, {0, 0, 0}, 32, 8);
+    // Partially-filled provenance: unset keys must not be written.
+    LayoutProvenance prov;
+    prov.algorithm = "ph";
+    std::stringstream ss;
+    writeLayout(ss, p, layout, prov);
+    EXPECT_EQ(ss.str().find("!cache"), std::string::npos);
+    EXPECT_EQ(ss.str().find("!seed"), std::string::npos);
+    LayoutProvenance back_prov;
+    readLayout(ss, p, &back_prov);
+    EXPECT_EQ(back_prov.algorithm, "ph");
+    EXPECT_TRUE(back_prov.cache.empty());
+
+    // A v1 file keeps reading, and parses to empty provenance.
+    std::stringstream v1;
+    writeLayout(v1, p, layout);
+    EXPECT_EQ(v1.str().substr(0, 14), "topo-layout v1");
+    LayoutProvenance none;
+    none.algorithm = "stale"; // must be overwritten
+    const Layout back = readLayout(v1, p, &none);
+    EXPECT_TRUE(none.empty());
+    for (ProcId i = 0; i < p.procCount(); ++i)
+        EXPECT_EQ(back.address(i), layout.address(i));
+}
+
+TEST(LayoutIo, V2RejectsUnknownKeysAndV1RejectsMetadata)
+{
+    const Program p = sampleProgram();
+    {
+        // Unknown metadata key: corrupt, not silently dropped.
+        std::stringstream ss("topo-layout v2\n!flavor vanilla\n");
+        try {
+            readLayout(ss, p);
+            FAIL() << "unknown key accepted";
+        } catch (const TopoError &err) {
+            EXPECT_EQ(err.code(), ErrCode::kCorrupt);
+        }
+    }
+    {
+        // Metadata line in a v1 file: corrupt.
+        std::stringstream ss(
+            "topo-layout v1\n!algorithm gbsc\nmain 0\n");
+        EXPECT_THROW(readLayout(ss, p), TopoError);
+    }
+}
+
+TEST(LayoutIo, FileRoundTripWithProvenance)
+{
+    const Program p = sampleProgram();
+    const Layout layout =
+        Layout::fromCacheOffsets(p, {0, 1, 2}, {0, 0, 0}, 32, 8);
+    LayoutProvenance prov;
+    prov.algorithm = "hkc";
+    prov.git_sha = "feedbead";
+    const std::string path = "/tmp/topo_layout_io_v2_test.layout";
+    saveLayout(path, p, layout, prov);
+    LayoutProvenance back_prov;
+    const Layout back = loadLayout(path, p, &back_prov);
+    std::remove(path.c_str());
+    EXPECT_EQ(back_prov.algorithm, "hkc");
+    EXPECT_EQ(back_prov.git_sha, "feedbead");
+    for (ProcId i = 0; i < p.procCount(); ++i)
+        EXPECT_EQ(back.address(i), layout.address(i));
+}
+
 TEST(LayoutIo, RejectsBadInput)
 {
     const Program p = sampleProgram();

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Layout-diff tests: structural diffing on hand-built layouts (moved
+ * sets, occupancy deltas), the exact miss-attribution sum invariant
+ * (per-procedure and per-set deltas each sum to the total miss delta),
+ * decision cross-referencing, and the JSON artifact's completeness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "topo/eval/experiment.hh"
+#include "topo/eval/layout_diff.hh"
+#include "topo/eval/report_gen.hh"
+#include "topo/placement/decision_log.hh"
+#include "topo/placement/gbsc.hh"
+#include "topo/placement/pettis_hansen.hh"
+#include "topo/trace/fetch_stream.hh"
+#include "topo/util/error.hh"
+#include "topo/workload/paper_suite.hh"
+
+namespace topo
+{
+namespace
+{
+
+/** Three one-line procedures over a 2-frame direct-mapped cache. */
+struct TinyFixture
+{
+    Program program{"tiny"};
+    CacheConfig cache{64, 32, 1}; // 2 lines, 2 sets
+
+    TinyFixture()
+    {
+        program.addProcedure("A", 32);
+        program.addProcedure("B", 32);
+        program.addProcedure("C", 32);
+    }
+
+    Layout
+    at(std::uint64_t a, std::uint64_t b, std::uint64_t c) const
+    {
+        Layout layout(3);
+        layout.setAddress(0, a);
+        layout.setAddress(1, b);
+        layout.setAddress(2, c);
+        return layout;
+    }
+};
+
+TEST(LayoutDiff, StructuralMovesAndOccupancy)
+{
+    const TinyFixture fix;
+    // A: line 0 -> line 0 (unmoved). B: line 2 -> line 1 (set 0 -> 1).
+    // C: line 4 -> line 2 (set 0 -> 0, address change only).
+    const Layout a = fix.at(0, 64, 128);
+    const Layout b = fix.at(0, 32, 64);
+    const LayoutDiff diff =
+        buildLayoutDiff(fix.program, fix.cache, a, b, "old", "new");
+    EXPECT_EQ(diff.a.label, "old");
+    EXPECT_EQ(diff.b.label, "new");
+    ASSERT_EQ(diff.moves.size(), 2u);
+    EXPECT_EQ(diff.unmoved, 1u);
+    // Set occupancy: A {0->0}, B {0->1}, C {0->0}; set 0 loses one
+    // line, set 1 gains one.
+    ASSERT_EQ(diff.set_occupancy_delta.size(), 2u);
+    EXPECT_EQ(diff.set_occupancy_delta[0], -1);
+    EXPECT_EQ(diff.set_occupancy_delta[1], 1);
+    EXPECT_EQ(std::accumulate(diff.set_occupancy_delta.begin(),
+                              diff.set_occupancy_delta.end(),
+                              std::int64_t{0}),
+              0);
+    for (const LayoutDiff::Move &move : diff.moves) {
+        if (move.proc == 1) { // B
+            EXPECT_EQ(move.set_a, 0u);
+            EXPECT_EQ(move.set_b, 1u);
+        }
+        if (move.proc == 2) { // C
+            EXPECT_EQ(move.set_a, 0u);
+            EXPECT_EQ(move.set_b, 0u);
+        }
+    }
+    EXPECT_FALSE(diff.attributed);
+    EXPECT_EQ(diff.missDelta(), 0);
+}
+
+TEST(LayoutDiff, AttributionSumsExactlyOnTinyConflict)
+{
+    const TinyFixture fix;
+    // Layout A: A and B share frame 0 (lines 0 and 2) and alternate —
+    // every access conflicts. Layout B separates them (lines 0 and 1).
+    const Layout a = fix.at(0, 64, 96);
+    const Layout b = fix.at(0, 32, 96);
+    Trace trace(3);
+    for (int i = 0; i < 50; ++i) {
+        trace.appendWhole(0, 32);
+        trace.appendWhole(1, 32);
+    }
+    const FetchStream stream(fix.program, trace, fix.cache.line_bytes);
+
+    LayoutDiff diff =
+        buildLayoutDiff(fix.program, fix.cache, a, b, "conflict",
+                        "separated");
+    attributeMissDelta(diff, fix.program, a, b, stream);
+    ASSERT_TRUE(diff.attributed);
+    EXPECT_EQ(diff.a.accesses, diff.b.accesses);
+    // A thrashes on every access after the first pair; B only takes
+    // the two cold misses.
+    EXPECT_EQ(diff.a.misses, 100u);
+    EXPECT_EQ(diff.b.misses, 2u);
+    EXPECT_EQ(diff.missDelta(), -98);
+
+    const std::int64_t proc_sum = std::accumulate(
+        diff.miss_delta_by_proc.begin(), diff.miss_delta_by_proc.end(),
+        std::int64_t{0});
+    const std::int64_t set_sum =
+        std::accumulate(diff.set_miss_delta.begin(),
+                        diff.set_miss_delta.end(), std::int64_t{0});
+    EXPECT_EQ(proc_sum, diff.missDelta());
+    EXPECT_EQ(set_sum, diff.missDelta());
+    // The A<->B conflict pair existed only in layout A.
+    EXPECT_TRUE(diff.pairs_created.empty());
+    EXPECT_FALSE(diff.pairs_destroyed.empty());
+}
+
+TEST(LayoutDiff, RejectsIncompleteLayouts)
+{
+    const TinyFixture fix;
+    Layout partial(3);
+    partial.setAddress(0, 0);
+    const Layout full = fix.at(0, 32, 64);
+    EXPECT_THROW(buildLayoutDiff(fix.program, fix.cache, partial, full,
+                                 "a", "b"),
+                 TopoError);
+}
+
+/** Full-pipeline fixture: gbsc vs ph over the paper benchmark. */
+class LayoutDiffPipeline : public ::testing::Test
+{
+  protected:
+    static const ProfileBundle &
+    bundle()
+    {
+        static const ProfileBundle instance(paperBenchmark("gcc", 0.01),
+                                            EvalOptions{});
+        return instance;
+    }
+};
+
+TEST_F(LayoutDiffPipeline, ExactSumInvariantOnRealLayouts)
+{
+    const Gbsc gbsc;
+    const PettisHansen ph;
+    const Layout ga = gbsc.place(bundle().makeContext());
+    const Layout pa = ph.place(bundle().makeContext());
+
+    LayoutDiff diff = buildLayoutDiff(
+        bundle().program(), bundle().options().cache, ga, pa, "gbsc",
+        "ph");
+    attributeMissDelta(diff, bundle().program(), ga, pa,
+                       bundle().testStream());
+    ASSERT_TRUE(diff.attributed);
+    EXPECT_EQ(diff.moves.size() + diff.unmoved,
+              bundle().program().procCount());
+
+    const std::int64_t proc_sum = std::accumulate(
+        diff.miss_delta_by_proc.begin(), diff.miss_delta_by_proc.end(),
+        std::int64_t{0});
+    const std::int64_t set_sum =
+        std::accumulate(diff.set_miss_delta.begin(),
+                        diff.set_miss_delta.end(), std::int64_t{0});
+    EXPECT_EQ(proc_sum, diff.missDelta());
+    EXPECT_EQ(set_sum, diff.missDelta());
+
+    // Per-move deltas are a subset of the per-proc vector.
+    for (const LayoutDiff::Move &move : diff.moves)
+        EXPECT_EQ(move.miss_delta, diff.miss_delta_by_proc[move.proc]);
+
+    // The JSON artifact carries the same invariant and passes the
+    // shared validator.
+    const JsonValue doc = diffToJson(diff, bundle().program());
+    EXPECT_EQ(validateArtifactJson(doc), "topo_diff");
+    std::int64_t json_sum = 0;
+    for (const JsonValue &row :
+         doc.at("miss_delta_by_proc").elements())
+        json_sum += static_cast<std::int64_t>(row.at("delta").asNumber());
+    EXPECT_EQ(json_sum, diff.missDelta());
+}
+
+TEST_F(LayoutDiffPipeline, DecisionsExplainEveryMove)
+{
+    const Gbsc gbsc;
+    DecisionLog log;
+    log.setAlgorithm("gbsc");
+    PlacementContext ctx = bundle().makeContext();
+    ctx.decisions = &log;
+    const Layout gb = gbsc.place(ctx);
+    const PettisHansen ph;
+    const Layout base = ph.place(bundle().makeContext());
+
+    LayoutDiff diff = buildLayoutDiff(
+        bundle().program(), bundle().options().cache, base, gb, "ph",
+        "gbsc");
+    crossReferenceDecisions(diff, bundle().program(),
+                            snapshotDecisions(log, bundle().program()));
+    ASSERT_TRUE(diff.has_decisions);
+    EXPECT_EQ(diff.decisions_algorithm, "gbsc");
+    // The gbsc log covers every procedure, so every moved procedure
+    // cross-references to at least one record.
+    EXPECT_EQ(diff.moves_explained, diff.moves.size());
+    for (const LayoutDiff::Move &move : diff.moves)
+        EXPECT_FALSE(move.decision_steps.empty())
+            << bundle().program().proc(move.proc).name;
+
+    const std::string markdown =
+        renderDiffMarkdown(diff, bundle().program());
+    EXPECT_NE(markdown.find("Layout diff"), std::string::npos);
+}
+
+} // namespace
+} // namespace topo

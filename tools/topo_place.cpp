@@ -18,7 +18,9 @@
 #include "topo/cache/simulate.hh"
 #include "topo/eval/reports.hh"
 #include "topo/obs/obs.hh"
+#include "topo/obs/provenance.hh"
 #include "topo/placement/cache_coloring.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/placement/gbsc.hh"
 #include "topo/placement/pettis_hansen.hh"
 #include "topo/profile/trg_builder.hh"
@@ -98,12 +100,41 @@ run(const Options &opts)
     std::cerr << "placing " << program.procCount() << " procedures ("
               << popular.count << " popular) with " << algo->name()
               << " for " << eval.cache.describe() << "\n";
+    const std::string decisions_out =
+        opts.getString("decisions-out", "");
+    DecisionLog decisions;
+    if (!decisions_out.empty()) {
+        decisions.setAlgorithm(algorithm);
+        decisions.setCache(eval.cache);
+        ctx.decisions = &decisions;
+    }
     const Layout layout = algo->place(ctx);
+    ctx.decisions = nullptr;
     layout.validate(program, eval.cache.line_bytes);
+    if (!decisions_out.empty()) {
+        std::ofstream os(decisions_out);
+        require(os.good(), "topo_place: cannot open '" + decisions_out +
+                               "'");
+        decisions.toJson(program).write(os);
+        os << "\n";
+        require(os.good(), "topo_place: write failed for '" +
+                               decisions_out + "'");
+        decisions.publishMetrics(program);
+        std::cerr << "wrote " << decisions.kept() << " decision records"
+                  << (decisions.dropped()
+                          ? " (+" + std::to_string(decisions.dropped()) +
+                                " dropped past the bound)"
+                          : std::string())
+                  << " to " << decisions_out << "\n";
+    }
 
+    LayoutProvenance provenance;
+    provenance.algorithm = algorithm;
+    provenance.cache = eval.cache.describe();
+    provenance.git_sha = buildGitSha();
     const std::string out_layout = opts.getString("out-layout", "");
     if (!out_layout.empty()) {
-        saveLayout(out_layout, program, layout);
+        saveLayout(out_layout, program, layout, provenance);
         std::cerr << "wrote layout to " << out_layout << "\n";
     }
     const std::string out_script = opts.getString("out-script", "");
@@ -147,7 +178,8 @@ main(int argc, char **argv)
         "  --program=FILE     program description (topo-program v1)\n"
         "  --trace=FILE       profiling trace (topo-trace v1)\n"
         "  --algorithm=NAME   gbsc (default) | ph | hkc | default\n"
-        "  --out-layout=FILE  write the layout (topo-layout v1)\n"
+        "  --out-layout=FILE  write the layout (topo-layout v2)\n"
+        "  --decisions-out=FILE  write decision provenance JSON\n"
         "  --out-script=FILE  write a GNU-ld script fragment\n"
         "  --print-map        print a human-readable placement map\n"
         "  --evaluate         simulate miss rates before/after\n"
@@ -157,8 +189,9 @@ main(int argc, char **argv)
         "  --fault-spec=KIND@P[:seed]\n"
         "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
         {"program", "trace", "algorithm", "out-layout", "out-script",
-         "print-map", "evaluate", "recover", "cache-kb", "line-bytes",
-         "assoc", "chunk-bytes", "coverage", "q-factor"},
+         "decisions-out", "print-map", "evaluate", "recover",
+         "cache-kb", "line-bytes", "assoc", "chunk-bytes", "coverage",
+         "q-factor"},
         run,
     };
     return topo::toolMain(argc, argv, spec);

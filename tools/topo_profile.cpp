@@ -25,8 +25,10 @@
 #include <iostream>
 #include <vector>
 
+#include "topo/eval/layout_diff.hh"
 #include "topo/eval/reports.hh"
 #include "topo/obs/obs.hh"
+#include "topo/placement/decision_log.hh"
 #include "topo/obs/provenance.hh"
 #include "topo/program/layout_io.hh"
 #include "topo/program/program_io.hh"
@@ -237,8 +239,30 @@ runPlace(const Options &opts)
     require(threshold >= 0.0,
             "topo_profile place: --replace-threshold must be >= 0");
     const bool force = opts.getBool("force", false);
+    const Program &program = store.config().program;
+
+    // Explainability rides on --json-out: snapshot the outgoing
+    // layout and thread a decision log through the placement so a
+    // drift-triggered re-placement can be reported as a structural
+    // diff with per-decision provenance. Without --json-out the
+    // placement runs with a null log, exactly as before.
+    const bool want_explain = !opts.getString("json-out", "").empty();
+    const std::string prev_algorithm = store.profile().layout_algorithm;
+    Layout previous(0);
+    bool have_previous = false;
+    if (want_explain && !prev_algorithm.empty()) {
+        const std::vector<std::uint64_t> &addrs =
+            store.profile().layout_addresses;
+        previous = Layout(addrs.size());
+        for (std::size_t i = 0; i < addrs.size(); ++i)
+            previous.setAddress(static_cast<ProcId>(i), addrs[i]);
+        have_previous = true;
+    }
+
+    DecisionLog decisions;
     const StorePlaceResult result =
-        store.place(algorithm, threshold, force);
+        store.place(algorithm, threshold, force,
+                    want_explain ? &decisions : nullptr);
     announceGeneration(store);
     std::cerr << "drift " << result.drift << " vs threshold "
               << threshold << ": "
@@ -249,7 +273,11 @@ runPlace(const Options &opts)
               << "\n";
     const std::string out_layout = opts.getString("out-layout", "");
     if (!out_layout.empty()) {
-        saveLayout(out_layout, store.config().program, result.layout);
+        LayoutProvenance provenance;
+        provenance.algorithm = result.algorithm;
+        provenance.cache = store.config().cache.describe();
+        provenance.git_sha = buildGitSha();
+        saveLayout(out_layout, program, result.layout, provenance);
         std::cerr << "wrote layout to " << out_layout << "\n";
     }
     JsonValue doc = JsonValue::object();
@@ -261,6 +289,32 @@ runPlace(const Options &opts)
     doc.set("threshold", JsonValue::number(threshold));
     doc.set("replaced", JsonValue::boolean(result.placed));
     doc.set("store", storeStateJson(store));
+    if (want_explain && result.placed) {
+        decisions.publishMetrics(program);
+        JsonValue dec = JsonValue::object();
+        dec.set("kept", JsonValue::number(
+                            static_cast<double>(decisions.kept())));
+        dec.set("dropped", JsonValue::number(static_cast<double>(
+                               decisions.dropped())));
+        dec.set("coverage",
+                JsonValue::number(decisions.coverage(program)));
+        doc.set("decisions", std::move(dec));
+        if (have_previous) {
+            LayoutDiff diff = buildLayoutDiff(
+                program, store.config().cache, previous,
+                result.layout, "stored (" + prev_algorithm + ")",
+                "recomputed (" + result.algorithm + ")");
+            crossReferenceDecisions(
+                diff, program, snapshotDecisions(decisions, program));
+            publishDiffMetrics(diff);
+            doc.set("diff", diffToJson(diff, program));
+            std::cerr << "re-placement moved " << diff.moves.size()
+                      << " of "
+                      << diff.moves.size() + diff.unmoved
+                      << " procedure(s); " << diff.moves_explained
+                      << " move(s) explained by decision records\n";
+        }
+    }
     writeJsonIfRequested(opts, doc);
     return 0;
 }

@@ -33,6 +33,7 @@
 #include <sstream>
 
 #include "topo/eval/experiment.hh"
+#include "topo/eval/layout_diff.hh"
 #include "topo/exec/exec.hh"
 #include "topo/obs/metrics.hh"
 #include "topo/eval/report_gen.hh"
@@ -320,6 +321,86 @@ runFileReport(const Options &opts)
 }
 
 /**
+ * Diff two layout files: structural moves, and (when --trace is
+ * given) the exact per-procedure miss-delta attribution from a double
+ * replay. --decisions=FILE cross-references moved procedures against
+ * a decision-provenance log written by topo_place --decisions-out.
+ */
+int
+runDiffReport(const Options &opts)
+{
+    const std::string program_path = opts.getString("program", "");
+    const std::string diff_raw = opts.getString("diff", "");
+    require(!program_path.empty(),
+            "topo_report: --diff needs --program");
+    const std::vector<std::string> paths = split(diff_raw, ',');
+    require(paths.size() == 2,
+            "topo_report: --diff=A.layout,B.layout takes exactly two "
+            "files");
+    const Program program = loadProgram(program_path);
+    const EvalOptions eval = evalOptionsFrom(opts);
+
+    LayoutProvenance prov_a, prov_b;
+    const Layout layout_a = loadLayout(paths[0], program, &prov_a);
+    const Layout layout_b = loadLayout(paths[1], program, &prov_b);
+    auto label = [](const std::string &path,
+                    const LayoutProvenance &prov) {
+        return prov.empty() ? path : path + " (" + prov.describe() + ")";
+    };
+
+    LayoutDiffOptions dopts;
+    dopts.top_moves = static_cast<std::size_t>(
+        opts.getInt("top-moves",
+                    static_cast<std::int64_t>(dopts.top_moves)));
+    dopts.top_pairs = static_cast<std::size_t>(
+        opts.getInt("top-pairs",
+                    static_cast<std::int64_t>(dopts.top_pairs)));
+    LayoutDiff diff = buildLayoutDiff(program, eval.cache, layout_a,
+                                      layout_b, label(paths[0], prov_a),
+                                      label(paths[1], prov_b), dopts);
+
+    const std::string trace_path = opts.getString("trace", "");
+    if (!trace_path.empty()) {
+        Trace trace = loadAnyTrace(trace_path, TraceReadOptions{});
+        trace.validate(program);
+        const FetchStream stream(program, trace, eval.cache.line_bytes);
+        attributeMissDelta(diff, program, layout_a, layout_b, stream,
+                           dopts);
+    }
+    const std::string decisions_path = opts.getString("decisions", "");
+    if (!decisions_path.empty()) {
+        const LoadedDecisions decisions =
+            readDecisionFile(decisions_path);
+        crossReferenceDecisions(diff, program, decisions);
+    }
+    publishDiffMetrics(diff);
+
+    const std::string out_path = opts.getString("out", "");
+    const std::string markdown =
+        renderDiffMarkdown(diff, program, dopts);
+    if (out_path.empty()) {
+        std::cout << markdown;
+    } else {
+        std::ofstream os(out_path);
+        require(os.good(), "topo_report: cannot open --out file '" +
+                               out_path + "'");
+        os << markdown;
+        logInfo("report", "diff markdown written",
+                {{"file", out_path}});
+    }
+    const std::string json_path = opts.getString("json-out", "");
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        require(os.good(),
+                "topo_report: cannot open --json-out file '" +
+                    json_path + "'");
+        os << diffToJson(diff, program).toString() << '\n';
+        logInfo("report", "diff json written", {{"file", json_path}});
+    }
+    return 0;
+}
+
+/**
  * Parse FILE with the in-tree JSON parser and validate it as a known
  * artifact (schema + taxonomy invariants); exit 0 valid, 2 corrupt.
  */
@@ -347,6 +428,8 @@ run(const Options &opts)
 {
     if (!opts.getString("check-json", "").empty())
         return runCheckJson(opts);
+    if (!opts.getString("diff", "").empty())
+        return runDiffReport(opts);
     if (!opts.getString("benchmark", "").empty())
         return runBenchmarkReport(opts);
     if (opts.has("microsuite"))
@@ -365,6 +448,9 @@ main(int argc, char **argv)
         "  --benchmark=NAME (paper-suite pipeline) or\n"
         "  --microsuite[=CASE] (adversarial micro workloads) or\n"
         "  --program=FILE --trace=FILE --layouts=a.layout,b.layout\n"
+        "  --diff=A.layout,B.layout --program=FILE [--trace=FILE]\n"
+        "      [--decisions=FILE] [--top-moves=N] (layout diff with\n"
+        "      exact miss-delta attribution + decision provenance)\n"
         "  --algorithms=default,ph,hkc,gbsc (pipeline modes)\n"
         "  --out=FILE (Markdown; default stdout) --json-out=FILE\n"
         "  --top-pairs=N --hot-sets=N --timeline-window=BLOCKS\n"
@@ -375,9 +461,10 @@ main(int argc, char **argv)
         "  --log-level=L --log-file=FILE --metrics-out=FILE\n"
         "  --trace-out=FILE (Chrome trace events for Perfetto)\n",
         {"benchmark", "microsuite", "program", "trace", "layouts",
-         "algorithms", "out", "json-out", "top-pairs", "hot-sets",
-         "timeline-window", "trace-scale", "cache-kb", "line-bytes",
-         "assoc", "chunk-bytes", "coverage", "q-factor", "check-json"},
+         "diff", "decisions", "top-moves", "algorithms", "out",
+         "json-out", "top-pairs", "hot-sets", "timeline-window",
+         "trace-scale", "cache-kb", "line-bytes", "assoc",
+         "chunk-bytes", "coverage", "q-factor", "check-json"},
         run,
     };
     return topo::toolMain(argc, argv, spec);
