@@ -130,6 +130,29 @@ done
 grep -q "Miss taxonomy (3C)" "$WORK/tax_a1_j1.md" || {
     echo "FAIL: microsuite report missing the 3C section"; exit 1; }
 
+echo "== replacement-policy gate =="
+# Every replacement policy on the full microsuite x {ph,gbsc}: the
+# artefacts must validate, --policy=lru must be byte-identical to the
+# default (the policy zoo may not perturb the historical path), and
+# the black-box probe must uniquely identify every implemented policy
+# from hit/miss bits alone.
+"$BUILD/tools/topo_report" --microsuite --algorithms=ph,gbsc \
+    --assoc=4 --jobs=4 --json-out="$WORK/pol_default.json" > /dev/null
+for policy in lru plru srrip fifo random; do
+    "$BUILD/tools/topo_report" --microsuite --algorithms=ph,gbsc \
+        --assoc=4 --jobs=4 --policy="$policy" \
+        --json-out="$WORK/pol_$policy.json" > /dev/null
+    "$BUILD/tools/topo_report" --check-json="$WORK/pol_$policy.json" \
+        > /dev/null || {
+        echo "FAIL: policy $policy microsuite artefact invalid"
+        exit 1; }
+done
+cmp -s "$WORK/pol_default.json" "$WORK/pol_lru.json" || {
+    echo "FAIL: --policy=lru differs from the default policy"; exit 1; }
+"$BUILD/tools/topo_sim" --probe-policy > /dev/null || {
+    echo "FAIL: --probe-policy could not identify every policy"
+    exit 1; }
+
 echo "== bench smoke =="
 TOPO_BENCH_SCALE=0.02 TOPO_BENCH_NAMES=m88ksim \
     scripts/bench.sh "$WORK/BENCH_smoke.json" "$BUILD" > /dev/null
@@ -179,6 +202,15 @@ echo "== taxonomy smoke (sanitized) =="
 # ASan+UBSan on a real benchmark stream, not just the unit fixtures.
 "$SAN/tools/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
     --taxonomy > /dev/null
+
+echo "== replacement-policy smoke (sanitized) =="
+# The policy probe walks every policy's metadata (tree bits, RRPVs,
+# FIFO hands, RNG draws) through thousands of eviction decisions, and
+# a random-policy benchmark run exercises the PolicyCache replay loop
+# at scale — both must be clean under ASan+UBSan.
+"$SAN/tools/topo_sim" --probe-policy > /dev/null
+"$SAN/tools/topo_sim" --benchmark=m88ksim --trace-scale=0.02 \
+    --assoc=4 --policy=random > /dev/null
 
 echo "== explain smoke (sanitized) =="
 # Decision recording and the diff's double replay must be clean under

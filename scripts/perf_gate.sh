@@ -9,8 +9,12 @@
 #     an improvement beyond the tolerance prints a reminder to refresh
 #     the baseline so the gate keeps teeth.
 #
-# The baseline records one reference machine; after intentional perf
-# work or a hardware change, regenerate it with
+# The baseline records one reference machine running the default
+# configuration (direct-mapped, LRU-default policy), so this gate
+# also guards the branchless direct-mapped fast path against
+# regressions from the replacement-policy generalisation: the
+# baseline rows must keep matching bit-for-bit and at full speed.
+# After intentional perf work or a hardware change, regenerate with
 #   scripts/bench.sh BENCH_baseline.json
 # and commit the result.
 #

@@ -8,6 +8,14 @@ namespace topo
 {
 
 void
+failInvalidLineAddr(const char *model)
+{
+    fail(std::string(model) +
+         ": line address 2^64-1 is reserved as the invalid-frame "
+         "sentinel and cannot be accessed");
+}
+
+void
 CacheConfig::validate() const
 {
     require(line_bytes > 0, "CacheConfig: zero line size");
@@ -18,6 +26,12 @@ CacheConfig::validate() const
     require(lineCount() % associativity == 0,
             "CacheConfig: line count must be divisible by associativity");
     require(setCount() > 0, "CacheConfig: zero sets");
+    if (policy == ReplacementPolicy::kPlru) {
+        require(associativity <= 64 &&
+                    (associativity & (associativity - 1)) == 0,
+                "CacheConfig: plru needs a power-of-two associativity "
+                "of at most 64");
+    }
 }
 
 std::string
@@ -33,6 +47,10 @@ CacheConfig::describe() const
     else
         oss << associativity << "-way set-associative";
     oss << ", " << line_bytes << "B lines";
+    // The default policy is implied; spelling it out would change
+    // every committed baseline/report string for plain-LRU runs.
+    if (policy != ReplacementPolicy::kLru)
+        oss << ", " << replacementPolicyName(policy) << " replacement";
     return oss.str();
 }
 

@@ -11,8 +11,23 @@
 #include <cstdint>
 #include <string>
 
+#include "topo/cache/replacement_policy.hh"
+
 namespace topo
 {
+
+/**
+ * Line-address value both cache models reserve as the empty-frame /
+ * empty-way sentinel. A real access with this address would read as
+ * always-resident wherever an invalid frame remains and would never
+ * be reported as a valid victim, so the models reject it (a layout
+ * would need to end at the top of the 64-bit address space to
+ * produce it).
+ */
+inline constexpr std::uint64_t kInvalidLineAddr = ~std::uint64_t{0};
+
+/** Throw the user-error TopoError for an access to kInvalidLineAddr. */
+[[noreturn]] void failInvalidLineAddr(const char *model);
 
 /**
  * Geometry of an instruction cache.
@@ -26,6 +41,12 @@ struct CacheConfig
     std::uint32_t size_bytes = 8 * 1024;
     std::uint32_t line_bytes = 32;
     std::uint32_t associativity = 1;
+    /** Replacement policy for associative geometries (1-way caches
+     *  have no replacement choice and always take the direct-mapped
+     *  model regardless of this field). */
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+    /** Seed for ReplacementPolicy::kRandom victim draws. */
+    std::uint64_t policy_seed = kDefaultPolicySeed;
 
     /** Total number of lines (frames) in the cache. */
     std::uint32_t

@@ -35,6 +35,8 @@ class DirectMappedCache
     bool
     access(std::uint64_t line_addr)
     {
+        if (line_addr == kInvalidFrame)
+            failInvalidLineAddr("DirectMappedCache");
         const std::uint32_t index = mapIndex(line_addr);
         if (frames_[index] == line_addr)
             return true;
@@ -58,6 +60,8 @@ class DirectMappedCache
     accessTracked(std::uint64_t line_addr, std::uint32_t &set,
                   std::uint64_t &victim, bool &victim_valid)
     {
+        if (line_addr == kInvalidFrame)
+            failInvalidLineAddr("DirectMappedCache");
         const std::uint32_t index = mapIndex(line_addr);
         set = index;
         if (frames_[index] == line_addr)
@@ -96,6 +100,12 @@ class DirectMappedCache
      * iteration. @p run is invoked exactly once per run, in order,
      * with the run index [0, run_count), and returns {first line
      * address, line count, repeat count} with repeat count >= 1.
+     *
+     * Unlike access(), this loop does not guard against the
+     * kInvalidLineAddr sentinel: the simulator's replay feeds it
+     * 32-bit placed line addresses (simulate.cc bounds the layout
+     * span to 2^32 lines), so the sentinel cannot occur here and the
+     * probe stays branchless.
      */
     template <typename RunFn>
     std::uint64_t
@@ -185,7 +195,7 @@ class DirectMappedCache
 
   private:
     /** Tag value marking an empty frame. */
-    static constexpr std::uint64_t kInvalidFrame = ~std::uint64_t{0};
+    static constexpr std::uint64_t kInvalidFrame = kInvalidLineAddr;
 
     CacheConfig config_;
     std::vector<std::uint64_t> frames_;

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Black-box replacement-policy inference, after CacheQuery (Vila et
+ * al., PAPERS.md): drive a fixed battery of membership/eviction query
+ * sequences against a cache that exposes only access() hit/miss bits
+ * and a cold reset, and identify the replacement policy by matching
+ * the observed hit/miss signature against reference signatures
+ * computed from the simulator's own policy implementations.
+ *
+ * The harness doubles as a correctness gate for the simulator: every
+ * implemented policy must be uniquely identified when probed through
+ * PolicyCache — the reference signatures are recomputed from the same
+ * code under test, so a collision or mismatch means two policies
+ * became behaviourally indistinguishable (or one changed behaviour),
+ * which is a simulator bug by construction. topo_sim --probe-policy
+ * runs exactly this check from the CLI; policy_probe_test pins it in
+ * ctest.
+ *
+ * Probe-sequence construction (per geometry, ways W, one battery):
+ *
+ *  - cold fill + re-probe: fill W distinct lines, touch them again —
+ *    sanity bits (all policies fill invalid ways first).
+ *  - hit refresh: fill, re-touch the first line, insert a fresh line,
+ *    then probe every original line. LRU-like policies protect the
+ *    re-touched line (FIFO does not), and the victim pattern of the
+ *    cascading probe misses fingerprints the eviction order.
+ *  - insertion priority: fill, promote all but the last line, insert
+ *    two fresh lines, probe both. SRRIP inserts at distant RRPV, so
+ *    its second insert evicts the first (a recency policy keeps it).
+ *  - eviction sweep: fill, then insert W fresh lines and probe the
+ *    first fresh line after each insert — exposes aging dynamics.
+ *  - variability trials: repeated evict-and-probe rounds without a
+ *    reset in between; deterministic policies repeat a fixed pattern
+ *    while the random policy's RNG cursor keeps advancing.
+ *
+ * Every access outcome (not just designated probes) enters the
+ * signature, and the battery runs on several geometries, so two
+ * policies match only if they are access-for-access indistinguishable
+ * across all of it.
+ */
+
+#ifndef TOPO_CACHE_POLICY_PROBE_HH
+#define TOPO_CACHE_POLICY_PROBE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+
+namespace topo
+{
+
+/** The black box a probe drives: hit/miss bits and a cold reset. */
+class PolicyProbeTarget
+{
+  public:
+    virtual ~PolicyProbeTarget() = default;
+
+    /** Access a global line address; true on hit. */
+    virtual bool access(std::uint64_t line_addr) = 0;
+
+    /** Return to the cold state (empty cache, reseeded policy). */
+    virtual void reset() = 0;
+};
+
+/**
+ * Build the standard target: a PolicyCache (or DirectMappedCache for
+ * 1-way geometries) configured by @p config, including its policy
+ * and policy_seed fields.
+ */
+std::unique_ptr<PolicyProbeTarget>
+makeCacheTarget(const CacheConfig &config);
+
+/**
+ * Constructs a target for one probe geometry. The factory is called
+ * once per geometry in the battery; the config's policy/policy_seed
+ * fields are whatever the caller closed over (an external black box
+ * would ignore them).
+ */
+using ProbeTargetFactory =
+    std::function<std::unique_ptr<PolicyProbeTarget>(const CacheConfig &)>;
+
+/** Hit/miss outcome bits of the full battery, in access order. */
+struct ProbeSignature
+{
+    std::vector<bool> bits;
+
+    bool
+    operator==(const ProbeSignature &other) const
+    {
+        return bits == other.bits;
+    }
+
+    /** Compact rendering ("1011…", one char per access). */
+    std::string describe() const;
+};
+
+/** Outcome of one black-box identification. */
+struct PolicyProbeResult
+{
+    /** Policies whose reference signature matched the observation. */
+    std::vector<ReplacementPolicy> matches;
+    /** The observed signature (for reporting mismatches). */
+    ProbeSignature observed;
+
+    bool unique() const { return matches.size() == 1; }
+
+    /** The identified policy; requires unique(). */
+    ReplacementPolicy identified() const { return matches.front(); }
+};
+
+/** Run the battery against @p factory and collect the signature. */
+ProbeSignature probeSignature(const ProbeTargetFactory &factory);
+
+/**
+ * Identify the replacement policy behind @p factory: compare its
+ * signature against reference signatures of every implemented policy
+ * (computed through the simulator's own caches with @p seed for the
+ * random policy). The reference signatures are required to be
+ * pairwise distinct — a collision throws an internal TopoError, since
+ * it means the battery can no longer tell two implemented policies
+ * apart.
+ */
+PolicyProbeResult
+inferPolicy(const ProbeTargetFactory &factory,
+            std::uint64_t seed = kDefaultPolicySeed);
+
+} // namespace topo
+
+#endif // TOPO_CACHE_POLICY_PROBE_HH

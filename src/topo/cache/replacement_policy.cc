@@ -1,0 +1,37 @@
+#include "topo/cache/replacement_policy.hh"
+
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::kLru:
+        return TrueLruPolicy::kName;
+      case ReplacementPolicy::kPlru:
+        return TreePlruPolicy::kName;
+      case ReplacementPolicy::kSrrip:
+        return SrripPolicy::kName;
+      case ReplacementPolicy::kFifo:
+        return FifoPolicy::kName;
+      case ReplacementPolicy::kRandom:
+        return RandomPolicy::kName;
+    }
+    failInternal("replacementPolicyName: unknown policy enumerator");
+}
+
+ReplacementPolicy
+parseReplacementPolicy(const std::string &name)
+{
+    for (const ReplacementPolicy policy : kAllReplacementPolicies) {
+        if (name == replacementPolicyName(policy))
+            return policy;
+    }
+    fail("unknown replacement policy '" + name +
+         "' (use lru, plru, srrip, fifo, or random)");
+}
+
+} // namespace topo

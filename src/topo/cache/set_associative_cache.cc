@@ -1,107 +1,14 @@
 #include "topo/cache/set_associative_cache.hh"
 
-#include <limits>
-
-#include "topo/util/error.hh"
-
 namespace topo
 {
 
-namespace
-{
-
-bool
-isPowerOfTwo(std::uint64_t x)
-{
-    return x != 0 && (x & (x - 1)) == 0;
-}
-
-constexpr std::uint64_t kInvalidTag =
-    std::numeric_limits<std::uint64_t>::max();
-
-} // namespace
-
-SetAssociativeCache::SetAssociativeCache(const CacheConfig &config)
-    : config_(config)
-{
-    config_.validate();
-    sets_ = config_.setCount();
-    ways_ = config_.associativity;
-    mask_ = isPowerOfTwo(sets_) ? sets_ - 1 : 0;
-    tags_.assign(static_cast<std::size_t>(sets_) * ways_, kInvalidTag);
-}
-
-bool
-SetAssociativeCache::access(std::uint64_t line_addr)
-{
-    const std::uint32_t set = mapSet(line_addr);
-    std::uint64_t *base = &tags_[static_cast<std::size_t>(set) * ways_];
-    // MRU-ordered search. On hit at position w, rotate [0, w] right by
-    // one so the hit line becomes MRU; on miss, the rotation over the
-    // whole set drops the LRU line.
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w] == line_addr) {
-            for (std::uint32_t k = w; k > 0; --k)
-                base[k] = base[k - 1];
-            base[0] = line_addr;
-            return true;
-        }
-    }
-    for (std::uint32_t k = ways_ - 1; k > 0; --k)
-        base[k] = base[k - 1];
-    base[0] = line_addr;
-    return false;
-}
-
-bool
-SetAssociativeCache::accessTracked(std::uint64_t line_addr,
-                                   std::uint32_t &set,
-                                   std::uint64_t &victim,
-                                   bool &victim_valid)
-{
-    set = mapSet(line_addr);
-    std::uint64_t *base = &tags_[static_cast<std::size_t>(set) * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w] == line_addr) {
-            for (std::uint32_t k = w; k > 0; --k)
-                base[k] = base[k - 1];
-            base[0] = line_addr;
-            return true;
-        }
-    }
-    victim = base[ways_ - 1];
-    victim_valid = victim != kInvalidTag;
-    for (std::uint32_t k = ways_ - 1; k > 0; --k)
-        base[k] = base[k - 1];
-    base[0] = line_addr;
-    return false;
-}
-
-void
-SetAssociativeCache::reset()
-{
-    tags_.assign(tags_.size(), kInvalidTag);
-}
-
-void
-SetAssociativeCache::restoreStateWords(
-    const std::vector<std::uint64_t> &words)
-{
-    requireData(words.size() == tags_.size(),
-                "SetAssociativeCache: checkpoint state size mismatch "
-                "(different cache geometry?)");
-    tags_ = words;
-}
-
-std::uint64_t
-SetAssociativeCache::validLineCount() const
-{
-    std::uint64_t valid = 0;
-    for (const std::uint64_t tag : tags_) {
-        if (tag != kInvalidTag)
-            ++valid;
-    }
-    return valid;
-}
+// One instantiation per implemented policy; every consumer links
+// against these instead of re-instantiating the cache per TU.
+template class PolicyCache<TrueLruPolicy>;
+template class PolicyCache<TreePlruPolicy>;
+template class PolicyCache<SrripPolicy>;
+template class PolicyCache<FifoPolicy>;
+template class PolicyCache<RandomPolicy>;
 
 } // namespace topo

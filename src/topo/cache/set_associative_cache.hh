@@ -1,8 +1,11 @@
 /**
  * @file
- * N-way set-associative instruction cache with true LRU replacement,
- * used by the Section 6 extension experiments. A 1-way instance
- * behaves identically to DirectMappedCache (verified by test).
+ * N-way set-associative instruction cache templated over the
+ * replacement policy (replacement_policy.hh), used by the Section 6
+ * extension experiments and the policy-robustness reports. A 1-way
+ * instance of every policy behaves identically to DirectMappedCache
+ * (verified by test); SetAssociativeCache keeps its historical
+ * meaning as the true-LRU instantiation.
  */
 
 #ifndef TOPO_CACHE_SET_ASSOCIATIVE_CACHE_HH
@@ -12,30 +15,62 @@
 #include <vector>
 
 #include "topo/cache/cache_config.hh"
+#include "topo/cache/replacement_policy.hh"
+#include "topo/util/error.hh"
 
 namespace topo
 {
 
-/** Set-associative cache over global line addresses (true LRU). */
-class SetAssociativeCache
+/** Set-associative cache over global line addresses. */
+template <typename Policy>
+class PolicyCache
 {
   public:
+    /** Tag value marking an empty way. */
+    static constexpr std::uint64_t kInvalidTag = kInvalidLineAddr;
+
     /** Construct for a validated configuration. */
-    explicit SetAssociativeCache(const CacheConfig &config);
+    explicit PolicyCache(const CacheConfig &config)
+        : config_(config), sets_(0), ways_(0), mask_(0),
+          policy_(makePolicy(config_))
+    {
+        sets_ = config_.setCount();
+        ways_ = config_.associativity;
+        mask_ = isPowerOfTwo(sets_) ? sets_ - 1 : 0;
+        tags_.assign(static_cast<std::size_t>(sets_) * ways_,
+                     kInvalidTag);
+    }
 
     /**
      * Access a global line address.
      *
      * @param line_addr Byte address divided by the line size.
-     * @return True on hit, false on miss (line then filled, LRU victim
-     *         evicted).
+     * @return True on hit, false on miss (line then filled; the
+     *         lowest invalid way if one exists, else the policy's
+     *         victim).
      */
-    bool access(std::uint64_t line_addr);
+    bool
+    access(std::uint64_t line_addr)
+    {
+        if (line_addr == kInvalidTag)
+            failInvalidLineAddr("SetAssociativeCache");
+        const std::uint32_t set = mapSet(line_addr);
+        std::uint64_t *base =
+            &tags_[static_cast<std::size_t>(set) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w] == line_addr) {
+                policy_.onHit(set, w);
+                return true;
+            }
+        }
+        base[fillWay(set, base)] = line_addr;
+        return false;
+    }
 
     /**
      * Access with eviction reporting, for the attribution replay path.
      * Identical cache behaviour to access(); additionally reports the
-     * set index and, on a miss that displaced a valid (LRU) line, that
+     * set index and, on a miss that displaced a valid line, that
      * line's address.
      *
      * @param line_addr    Byte address divided by the line size.
@@ -44,26 +79,42 @@ class SetAssociativeCache
      * @param victim_valid Out: true when a valid line was displaced.
      * @return True on hit, false on miss.
      */
-    bool accessTracked(std::uint64_t line_addr, std::uint32_t &set,
-                       std::uint64_t &victim, bool &victim_valid);
+    bool
+    accessTracked(std::uint64_t line_addr, std::uint32_t &set,
+                  std::uint64_t &victim, bool &victim_valid)
+    {
+        if (line_addr == kInvalidTag)
+            failInvalidLineAddr("SetAssociativeCache");
+        set = mapSet(line_addr);
+        std::uint64_t *base =
+            &tags_[static_cast<std::size_t>(set) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w] == line_addr) {
+                policy_.onHit(set, w);
+                return true;
+            }
+        }
+        const std::uint32_t way = fillWay(set, base);
+        victim = base[way];
+        victim_valid = victim != kInvalidTag;
+        base[way] = line_addr;
+        return false;
+    }
 
     /**
      * Replay a batch of repeat-compressed runs and return how many
      * accesses missed; results are bit-identical to feeding every
      * expanded access through access(). Counterpart of
      * DirectMappedCache::accessRunBatch so the simulator's batched
-     * replay path compiles for either cache model; LRU updates keep
-     * the per-access branch here.
+     * replay path compiles for any cache model; replacement updates
+     * keep the per-access branch here.
      *
-     * The repeat shortcut holds under true LRU as well: a run of at
-     * most lineCount() consecutive lines lands at most ways() lines
-     * in any set, so one pass leaves every line of the run resident
-     * (a set never evicts one of the newest ways() entries), and an
-     * immediately repeated execution hits on every access while
-     * re-touching the run's lines in the same order — the final
-     * recency ordering is identical, so the state is unchanged and
-     * the repeat need not be replayed. Longer runs self-evict and
-     * their repeats are replayed in full.
+     * The repeat-elision shortcut (one pass stands in for all repeats
+     * of a run no longer than the cache) is applied only when the
+     * policy declares it exact via Policy::kRepeatElisionSound; see
+     * replacement_policy.hh for the true-LRU proof and the
+     * counterexamples that make every other policy replay repeats in
+     * full.
      *
      * @p run is invoked exactly once per run, in order, with the run
      * index [0, run_count), and returns {first line address, line
@@ -78,7 +129,10 @@ class SetAssociativeCache
         std::uint64_t misses = 0;
         for (std::size_t r = 0; r < run_count; ++r) {
             const auto [base, len, repeats] = run(r);
-            const std::uint32_t passes = len <= line_count ? 1 : repeats;
+            const std::uint32_t passes =
+                Policy::kRepeatElisionSound && len <= line_count
+                    ? 1
+                    : repeats;
             for (std::uint32_t pass = 0; pass < passes; ++pass) {
                 for (std::uint32_t j = 0; j < len; ++j) {
                     misses +=
@@ -89,27 +143,63 @@ class SetAssociativeCache
         return misses;
     }
 
-    /** Invalidate all frames. */
-    void reset();
-
-    /** Raw set-major tag words for checkpointing (opaque). */
-    const std::vector<std::uint64_t> &stateWords() const
+    /** Invalidate all ways and reset the replacement metadata. */
+    void
+    reset()
     {
-        return tags_;
+        tags_.assign(tags_.size(), kInvalidTag);
+        policy_.reset();
     }
 
     /**
-     * Restore tag words captured by stateWords() on an identically
-     * configured cache; throws TopoError on a size mismatch.
+     * Raw state for checkpointing (opaque): set-major tag words
+     * followed by the policy's replacement metadata.
      */
-    void restoreStateWords(const std::vector<std::uint64_t> &words);
+    std::vector<std::uint64_t>
+    stateWords() const
+    {
+        std::vector<std::uint64_t> words;
+        words.reserve(tags_.size() + policy_.stateWordCount());
+        words.insert(words.end(), tags_.begin(), tags_.end());
+        policy_.appendStateWords(words);
+        return words;
+    }
 
     /**
-     * Frames currently holding a line. Misses minus this count equals
-     * the number of evictions since construction/reset (each miss
-     * fills exactly one frame and frames never empty again).
+     * Restore state captured by stateWords() on an identically
+     * configured cache; throws TopoError on a size mismatch.
      */
-    std::uint64_t validLineCount() const;
+    void
+    restoreStateWords(const std::vector<std::uint64_t> &words)
+    {
+        requireData(words.size() ==
+                        tags_.size() + policy_.stateWordCount(),
+                    "SetAssociativeCache: checkpoint state size "
+                    "mismatch (different cache geometry or policy?)");
+        tags_.assign(words.begin(),
+                     words.begin() +
+                         static_cast<std::ptrdiff_t>(tags_.size()));
+        policy_.restoreStateWords(words.data() + tags_.size());
+    }
+
+    /**
+     * Ways currently holding a line. Misses minus this count equals
+     * the number of evictions since construction/reset for every
+     * policy: a miss fills the lowest invalid way while one exists
+     * (never consulting the policy), so each miss either claims an
+     * empty way or displaces exactly one valid line, and ways never
+     * empty again.
+     */
+    std::uint64_t
+    validLineCount() const
+    {
+        std::uint64_t valid = 0;
+        for (const std::uint64_t tag : tags_) {
+            if (tag != kInvalidTag)
+                ++valid;
+        }
+        return valid;
+    }
 
     /** Cache geometry. */
     const CacheConfig &config() const { return config_; }
@@ -124,16 +214,59 @@ class SetAssociativeCache
     }
 
   private:
-    CacheConfig config_;
-    std::uint32_t sets_ = 0;
-    std::uint32_t ways_ = 0;
-    std::uint64_t mask_ = 0;
+    static bool
+    isPowerOfTwo(std::uint64_t x)
+    {
+        return x != 0 && (x & (x - 1)) == 0;
+    }
+
+    static Policy
+    makePolicy(const CacheConfig &config)
+    {
+        config.validate();
+        return Policy(config.setCount(), config.associativity,
+                      config.policy_seed);
+    }
+
     /**
-     * Tags laid out set-major: ways_[set * ways + w]. Within a set,
-     * index 0 is most recently used; replacement shifts entries down.
+     * Choose the way a miss fills: invalid-first (preserving the
+     * "misses - validLineCount() == evictions" accounting for every
+     * policy, random included), else the policy's victim. Updates the
+     * policy metadata for the fill.
      */
+    std::uint32_t
+    fillWay(std::uint32_t set, const std::uint64_t *base)
+    {
+        std::uint32_t way = ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w] == kInvalidTag) {
+                way = w;
+                break;
+            }
+        }
+        if (way == ways_)
+            way = policy_.victimWay(set);
+        policy_.onFill(set, way);
+        return way;
+    }
+
+    CacheConfig config_;
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint64_t mask_;
+    /** Tags laid out set-major: tags_[set * ways + w]. */
     std::vector<std::uint64_t> tags_;
+    Policy policy_;
 };
+
+/** The historical (true-LRU) set-associative cache. */
+using SetAssociativeCache = PolicyCache<TrueLruPolicy>;
+
+extern template class PolicyCache<TrueLruPolicy>;
+extern template class PolicyCache<TreePlruPolicy>;
+extern template class PolicyCache<SrripPolicy>;
+extern template class PolicyCache<FifoPolicy>;
+extern template class PolicyCache<RandomPolicy>;
 
 } // namespace topo
 

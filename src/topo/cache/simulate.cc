@@ -33,8 +33,8 @@ constexpr std::uint64_t kHeartbeatMask = (1ULL << 23) - 1; // ~8.4M
 constexpr std::uint64_t kFaultMask = (1ULL << 12) - 1; // 4096
 
 /**
- * Shared replay loop; Cache is DirectMappedCache or
- * SetAssociativeCache, both exposing bool access(uint64). The
+ * Shared replay loop; Cache is DirectMappedCache or a PolicyCache
+ * instantiation, all exposing bool access(uint64). The
  * heartbeat, controlled (checkpoint/resume/fault), and observed
  * (attribution/timeline) variants are compiled separately so the
  * default path pays nothing for progress reporting, resilience hooks,
@@ -276,6 +276,9 @@ simFingerprint(const Program &program, const Layout &layout,
     std::uint64_t fp = fingerprintMix(0, config.size_bytes);
     fp = fingerprintMix(fp, config.line_bytes);
     fp = fingerprintMix(fp, config.associativity);
+    fp = fingerprintMix(fp,
+                        static_cast<std::uint64_t>(config.policy));
+    fp = fingerprintMix(fp, config.policy_seed);
     fp = fingerprintMix(fp, stream.size());
     fp = fingerprintMix(fp, stream.lineBytes());
     fp = fingerprintMix(fp, attribute ? 1 : 0);
@@ -302,16 +305,45 @@ simulateLayout(const Program &program, const Layout &layout,
         simFingerprint(program, layout, stream, config, attribute);
     PhaseTimer timer("simulate");
     SimResult result;
+    auto run = [&](auto &cache) {
+        result = replayDispatch(program, layout, stream, cache,
+                                attribute, control, fingerprint,
+                                observers);
+    };
     if (config.associativity == 1) {
+        // One way leaves no replacement choice: every policy
+        // degenerates to the direct-mapped model (verified by test),
+        // so the branchless fast path serves them all.
         DirectMappedCache cache(config);
-        result = replayDispatch(program, layout, stream, cache,
-                                attribute, control, fingerprint,
-                                observers);
+        run(cache);
     } else {
-        SetAssociativeCache cache(config);
-        result = replayDispatch(program, layout, stream, cache,
-                                attribute, control, fingerprint,
-                                observers);
+        switch (config.policy) {
+          case ReplacementPolicy::kLru: {
+            PolicyCache<TrueLruPolicy> cache(config);
+            run(cache);
+            break;
+          }
+          case ReplacementPolicy::kPlru: {
+            PolicyCache<TreePlruPolicy> cache(config);
+            run(cache);
+            break;
+          }
+          case ReplacementPolicy::kSrrip: {
+            PolicyCache<SrripPolicy> cache(config);
+            run(cache);
+            break;
+          }
+          case ReplacementPolicy::kFifo: {
+            PolicyCache<FifoPolicy> cache(config);
+            run(cache);
+            break;
+          }
+          case ReplacementPolicy::kRandom: {
+            PolicyCache<RandomPolicy> cache(config);
+            run(cache);
+            break;
+          }
+        }
     }
     if (observed && observers->timeline != nullptr)
         observers->timeline->finish();

@@ -607,8 +607,8 @@ checkBenchDoc(const JsonValue &doc, const std::string &where)
 {
     checkKeys(doc,
               {"topo_bench", "date", "benchmarks", "trace_scale",
-               "cache", "jobs", "threads", "peak_rss_kb", "provenance",
-               "runs"},
+               "cache", "policy", "jobs", "threads", "peak_rss_kb",
+               "provenance", "runs"},
               where);
     checkRequired(doc,
                   {"topo_bench", "date", "benchmarks", "trace_scale",

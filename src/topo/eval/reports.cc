@@ -94,6 +94,11 @@ evalOptionsFrom(const Options &opts)
         static_cast<std::uint32_t>(opts.getInt("line-bytes", 32));
     eval.cache.associativity =
         static_cast<std::uint32_t>(opts.getInt("assoc", 1));
+    eval.cache.policy = parseReplacementPolicy(
+        opts.getString("policy", replacementPolicyName(
+                                     ReplacementPolicy::kLru)));
+    eval.cache.policy_seed = static_cast<std::uint64_t>(opts.getInt(
+        "policy-seed", static_cast<std::int64_t>(kDefaultPolicySeed)));
     eval.chunk_bytes =
         static_cast<std::uint32_t>(opts.getInt("chunk-bytes", 256));
     eval.q_budget_factor = opts.getDouble("q-factor", 2.0);

@@ -108,6 +108,18 @@ Layout::validate(const Program &program, std::uint32_t line_bytes) const
         require(address_[i] % line_bytes == 0,
                 "Layout::validate: procedure '" + program.proc(id).name +
                     "' is not line-aligned");
+        // The cache models reserve line address 2^64-1 as their
+        // invalid-frame sentinel; a procedure ending at the very top
+        // of the address space would fetch it and alias every empty
+        // frame as resident.
+        const std::uint64_t size = program.proc(id).size_bytes;
+        require(size <= ~std::uint64_t{0} - address_[i] &&
+                    (size == 0 ||
+                     (address_[i] + size - 1) / line_bytes !=
+                         ~std::uint64_t{0}),
+                "Layout::validate: procedure '" + program.proc(id).name +
+                    "' reaches the reserved top-of-address-space "
+                    "cache line");
     }
     const std::vector<ProcId> order = orderByAddress();
     for (std::size_t i = 1; i < order.size(); ++i) {

@@ -394,6 +394,38 @@ TEST(Determinism, PooledProfileBuildsMatchSerial)
     }
 }
 
+TEST(Determinism, SeededRandomPolicyIsJobsInvariantAndRepeatable)
+{
+    // The random replacement policy draws from a per-cache-instance
+    // counter RNG seeded by CacheConfig::policy_seed, so full pipeline
+    // runs must be bit-identical across --jobs values and across
+    // reruns — no global RNG state leaks between grid cells.
+    EvalOptions eval;
+    eval.cache.associativity = 4;
+    eval.cache.policy = ReplacementPolicy::kRandom;
+    const Gbsc gbsc;
+
+    auto run = [&](int jobs) {
+        setExecJobs(jobs);
+        const ProfileBundle bundle(paperBenchmark("gcc", 0.01), eval);
+        const Layout layout = gbsc.place(bundle.makeContext());
+        const double miss_rate = bundle.testMissRate(layout);
+        setExecJobs(1);
+        return std::make_pair(layout, miss_rate);
+    };
+
+    const auto serial = run(1);
+    const auto rerun = run(1);
+    const auto pooled = run(4);
+    const ProfileBundle bundle(paperBenchmark("gcc", 0.01), eval);
+    expectLayoutsEqual(bundle.program(), serial.first, rerun.first,
+                       "rerun");
+    expectLayoutsEqual(bundle.program(), serial.first, pooled.first,
+                       "jobs=4");
+    EXPECT_DOUBLE_EQ(serial.second, rerun.second);
+    EXPECT_DOUBLE_EQ(serial.second, pooled.second);
+}
+
 TEST(Determinism, ExplainArtifactsAreJobsInvariant)
 {
     // The decisions artifact and the attributed layout-diff artifact

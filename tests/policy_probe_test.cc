@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Black-box replacement-policy inference harness tests: the probe
+ * battery must uniquely identify every implemented policy from
+ * hit/miss bits alone (a collision or mis-identification is a
+ * simulator bug by construction — see policy_probe.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/cache/policy_probe.hh"
+#include "topo/cache/set_associative_cache.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+namespace
+{
+
+ProbeTargetFactory
+factoryFor(ReplacementPolicy policy,
+           std::uint64_t seed = kDefaultPolicySeed)
+{
+    return [policy, seed](const CacheConfig &geometry) {
+        CacheConfig config = geometry;
+        config.policy = policy;
+        config.policy_seed = seed;
+        return makeCacheTarget(config);
+    };
+}
+
+TEST(PolicyProbe, UniquelyIdentifiesEveryPolicy)
+{
+    for (const ReplacementPolicy policy : kAllReplacementPolicies) {
+        SCOPED_TRACE(replacementPolicyName(policy));
+        const PolicyProbeResult result =
+            inferPolicy(factoryFor(policy));
+        ASSERT_TRUE(result.unique())
+            << result.matches.size() << " matches";
+        EXPECT_EQ(result.identified(), policy);
+    }
+}
+
+TEST(PolicyProbe, SignaturesArePairwiseDistinct)
+{
+    std::vector<ProbeSignature> signatures;
+    for (const ReplacementPolicy policy : kAllReplacementPolicies)
+        signatures.push_back(probeSignature(factoryFor(policy)));
+    for (std::size_t a = 0; a < signatures.size(); ++a) {
+        for (std::size_t b = a + 1; b < signatures.size(); ++b) {
+            EXPECT_FALSE(signatures[a] == signatures[b])
+                << replacementPolicyName(kAllReplacementPolicies[a])
+                << " vs "
+                << replacementPolicyName(kAllReplacementPolicies[b]);
+        }
+    }
+}
+
+TEST(PolicyProbe, SignatureIsStableAcrossRuns)
+{
+    // reset() reseeds the random policy, so even its signature is a
+    // pure function of (policy, seed).
+    for (const ReplacementPolicy policy : kAllReplacementPolicies) {
+        SCOPED_TRACE(replacementPolicyName(policy));
+        const ProbeSignature first = probeSignature(factoryFor(policy));
+        const ProbeSignature second =
+            probeSignature(factoryFor(policy));
+        EXPECT_TRUE(first == second);
+    }
+}
+
+TEST(PolicyProbe, SeedChangesRandomSignatureOnly)
+{
+    for (const ReplacementPolicy policy : kAllReplacementPolicies) {
+        SCOPED_TRACE(replacementPolicyName(policy));
+        const ProbeSignature default_seed =
+            probeSignature(factoryFor(policy));
+        const ProbeSignature other_seed =
+            probeSignature(factoryFor(policy, 4242));
+        if (policy == ReplacementPolicy::kRandom)
+            EXPECT_FALSE(default_seed == other_seed);
+        else
+            EXPECT_TRUE(default_seed == other_seed);
+    }
+}
+
+TEST(PolicyProbe, InferencePinsSeed)
+{
+    // Inference of a reseeded random cache must match when told the
+    // seed, and find no match under the default seed.
+    const PolicyProbeResult right = inferPolicy(
+        factoryFor(ReplacementPolicy::kRandom, 4242), 4242);
+    ASSERT_TRUE(right.unique());
+    EXPECT_EQ(right.identified(), ReplacementPolicy::kRandom);
+    const PolicyProbeResult wrong =
+        inferPolicy(factoryFor(ReplacementPolicy::kRandom, 4242));
+    EXPECT_TRUE(wrong.matches.empty());
+}
+
+TEST(PolicyProbe, DescribeRendersOneCharPerAccess)
+{
+    ProbeSignature signature;
+    signature.bits = {true, false, true};
+    EXPECT_EQ(signature.describe(), "101");
+    const ProbeSignature real =
+        probeSignature(factoryFor(ReplacementPolicy::kLru));
+    EXPECT_EQ(real.describe().size(), real.bits.size());
+}
+
+/** An off-zoo policy should be recognised as matching nothing. */
+class MruTarget final : public PolicyProbeTarget
+{
+  public:
+    explicit MruTarget(const CacheConfig &config)
+        : ways_(config.associativity),
+          sets_(config.setCount()),
+          tags_(static_cast<std::size_t>(ways_) * sets_,
+                kInvalidLineAddr),
+          last_(static_cast<std::size_t>(sets_), 0)
+    {
+    }
+
+    bool
+    access(std::uint64_t line_addr) override
+    {
+        const std::uint32_t set =
+            static_cast<std::uint32_t>(line_addr % sets_);
+        std::uint64_t *base =
+            &tags_[static_cast<std::size_t>(set) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w] == line_addr) {
+                last_[set] = w;
+                return true;
+            }
+        }
+        std::uint32_t way = ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w] == kInvalidLineAddr) {
+                way = w;
+                break;
+            }
+        }
+        if (way == ways_)
+            way = last_[set]; // evict the most recently used line
+        base[way] = line_addr;
+        last_[set] = way;
+        return false;
+    }
+
+    void
+    reset() override
+    {
+        tags_.assign(tags_.size(), kInvalidLineAddr);
+        last_.assign(last_.size(), 0);
+    }
+
+  private:
+    std::uint32_t ways_;
+    std::uint32_t sets_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint32_t> last_;
+};
+
+TEST(PolicyProbe, ForeignPolicyMatchesNothing)
+{
+    const PolicyProbeResult result =
+        inferPolicy([](const CacheConfig &geometry) {
+            return std::unique_ptr<PolicyProbeTarget>(
+                new MruTarget(geometry));
+        });
+    EXPECT_TRUE(result.matches.empty());
+}
+
+} // namespace
+} // namespace topo

@@ -135,7 +135,8 @@ main(int argc, char **argv)
         "  --fault-spec=KIND@P[:seed]\n"
         "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
         {"program", "trace", "test-trace", "refine", "recover",
-         "cache-kb", "line-bytes", "assoc", "chunk-bytes", "coverage",
+         "cache-kb", "line-bytes", "assoc", "policy", "policy-seed",
+         "chunk-bytes", "coverage",
          "q-factor"},
         run,
     };

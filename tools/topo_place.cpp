@@ -190,7 +190,8 @@ main(int argc, char **argv)
         "  --log-level=L --log-file=FILE --metrics-out=FILE\n",
         {"program", "trace", "algorithm", "out-layout", "out-script",
          "decisions-out", "print-map", "evaluate", "recover",
-         "cache-kb", "line-bytes", "assoc", "chunk-bytes", "coverage",
+         "cache-kb", "line-bytes", "assoc", "policy", "policy-seed",
+         "chunk-bytes", "coverage",
          "q-factor"},
         run,
     };

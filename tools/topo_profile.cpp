@@ -355,7 +355,8 @@ main(int argc, char **argv)
     if (command == "init") {
         spec.options.insert(spec.options.end(),
                             {"program", "build-pairs", "cache-kb",
-                             "line-bytes", "assoc", "chunk-bytes",
+                             "line-bytes", "assoc", "policy",
+                             "policy-seed", "chunk-bytes",
                              "coverage", "q-factor"});
         spec.run = runInit;
     } else if (command == "ingest") {

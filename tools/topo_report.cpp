@@ -262,6 +262,21 @@ runMicrosuiteReport(const Options &opts)
             mc.cache.validate();
         }
     }
+    // --policy likewise overrides the replacement policy suite-wide,
+    // so placement robustness can be compared across policies.
+    if (opts.has("policy") || opts.has("policy-seed")) {
+        const ReplacementPolicy policy = parseReplacementPolicy(
+            opts.getString("policy", replacementPolicyName(
+                                         ReplacementPolicy::kLru)));
+        const std::uint64_t seed = static_cast<std::uint64_t>(
+            opts.getInt("policy-seed",
+                        static_cast<std::int64_t>(kDefaultPolicySeed)));
+        for (MicroCase &mc : cases) {
+            mc.cache.policy = policy;
+            mc.cache.policy_seed = seed;
+            mc.cache.validate();
+        }
+    }
 
     // Cases are independent pipelines; fan them out on the shared
     // pool. Per-case metrics registries merge in case order, so the
@@ -455,6 +470,9 @@ main(int argc, char **argv)
         "  --out=FILE (Markdown; default stdout) --json-out=FILE\n"
         "  --top-pairs=N --hot-sets=N --timeline-window=BLOCKS\n"
         "  --cache-kb=N --line-bytes=N --assoc=N --trace-scale=S\n"
+        "  --policy=lru|plru|srrip|fifo|random [--policy-seed=N]\n"
+        "      (set-associative replacement policy; with --microsuite\n"
+        "      it overrides every case's geometry)\n"
         "  --jobs=N (parallel cases/candidates; output is\n"
         "      bit-identical for every N)\n"
         "  --check-json=FILE (validate a JSON artefact; exit 0/2)\n"
@@ -464,6 +482,7 @@ main(int argc, char **argv)
          "diff", "decisions", "top-moves", "algorithms", "out",
          "json-out", "top-pairs", "hot-sets", "timeline-window",
          "trace-scale", "cache-kb", "line-bytes", "assoc",
+         "policy", "policy-seed",
          "chunk-bytes", "coverage", "q-factor", "check-json"},
         run,
     };

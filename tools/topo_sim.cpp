@@ -37,6 +37,7 @@
 #include "topo/exec/exec.hh"
 
 #include "topo/cache/attribution.hh"
+#include "topo/cache/policy_probe.hh"
 #include "topo/cache/simulate.hh"
 #include "topo/cache/taxonomy.hh"
 #include "topo/eval/page_metric.hh"
@@ -304,6 +305,13 @@ writeBenchJson(const std::string &path, const std::string &benchmarks,
     root.set("benchmarks", JsonValue::string(benchmarks));
     root.set("trace_scale", JsonValue::number(trace_scale));
     root.set("cache", JsonValue::string(cache.describe()));
+    // The replacement policy already rides in the cache description;
+    // the explicit key is emitted only for non-default policies so
+    // pre-policy bench records stay byte-identical.
+    if (cache.policy != ReplacementPolicy::kLru) {
+        root.set("policy", JsonValue::string(
+                               replacementPolicyName(cache.policy)));
+    }
     // Parallelism provenance: the configured lane count and the OS
     // threads that participate (pool workers + the calling thread).
     root.set("jobs", JsonValue::number(execJobs()));
@@ -397,6 +405,10 @@ runBenchmark(const Options &opts)
     const double scale = traceScaleFrom(opts);
     const EvalOptions eval = evalOptionsFrom(opts);
     setProvenance("cache", eval.cache.describe());
+    if (eval.cache.policy != ReplacementPolicy::kLru) {
+        setProvenance("policy",
+                      replacementPolicyName(eval.cache.policy));
+    }
     setProvenance("trace_scale", std::to_string(scale));
 
     std::vector<std::string> algorithms;
@@ -505,9 +517,63 @@ runBenchmark(const Options &opts)
     return 0;
 }
 
+/**
+ * --probe-policy: CacheQuery-style black-box self-check. Every
+ * implemented replacement policy is probed through the real cache
+ * models, observing only hit/miss bits, and must be uniquely
+ * identified by the inference battery. A failure means two policies
+ * became behaviourally indistinguishable (or one changed behaviour) —
+ * a simulator bug by construction, reported as an internal error.
+ */
+int
+runProbePolicy(const Options &opts)
+{
+    const std::uint64_t seed = static_cast<std::uint64_t>(opts.getInt(
+        "policy-seed", static_cast<std::int64_t>(kDefaultPolicySeed)));
+    TextTable table({"policy", "identified as", "signature bits"});
+    bool ok = true;
+    for (const ReplacementPolicy policy : kAllReplacementPolicies) {
+        const PolicyProbeResult result = inferPolicy(
+            [policy, seed](const CacheConfig &geometry) {
+                CacheConfig config = geometry;
+                config.policy = policy;
+                config.policy_seed = seed;
+                return makeCacheTarget(config);
+            },
+            seed);
+        std::string verdict;
+        if (result.unique()) {
+            verdict = replacementPolicyName(result.identified());
+            ok = ok && result.identified() == policy;
+        } else if (result.matches.empty()) {
+            verdict = "(no match)";
+            ok = false;
+        } else {
+            verdict = "(ambiguous:";
+            for (const ReplacementPolicy match : result.matches) {
+                verdict += ' ';
+                verdict += replacementPolicyName(match);
+            }
+            verdict += ')';
+            ok = false;
+        }
+        table.addRow({replacementPolicyName(policy), verdict,
+                      std::to_string(result.observed.bits.size())});
+    }
+    table.render(std::cout, "Black-box policy identification");
+    if (!ok) {
+        failInternal("topo_sim: --probe-policy could not uniquely "
+                     "identify every replacement policy");
+    }
+    std::cout << "all replacement policies uniquely identified\n";
+    return 0;
+}
+
 int
 run(const Options &opts)
 {
+    if (opts.getBool("probe-policy", false))
+        return runProbePolicy(opts);
     if (!opts.getString("benchmark", "").empty())
         return runBenchmark(opts);
     const std::string program_path = opts.getString("program", "");
@@ -521,6 +587,10 @@ run(const Options &opts)
     trace.validate(program);
     const EvalOptions eval = evalOptionsFrom(opts);
     setProvenance("cache", eval.cache.describe());
+    if (eval.cache.policy != ReplacementPolicy::kLru) {
+        setProvenance("policy",
+                      replacementPolicyName(eval.cache.policy));
+    }
 
     const std::string layout_path = opts.getString("layout", "");
     const Layout layout =
@@ -613,6 +683,9 @@ main(int argc, char **argv)
         "  --jobs=N (parallel grid/profiling lanes; results are\n"
         "      bit-identical for every N)\n"
         "  --cache-kb=N --line-bytes=N --assoc=N\n"
+        "  --policy=lru|plru|srrip|fifo|random (set-associative\n"
+        "      replacement policy; --policy-seed=N seeds 'random')\n"
+        "  --probe-policy (black-box policy identification self-check)\n"
         "  --attribute (per-procedure misses) --pages\n"
         "  --attribution (conflict-pair attribution sink)\n"
         "  --taxonomy (3C miss classes + reuse-distance profile)\n"
@@ -626,6 +699,7 @@ main(int argc, char **argv)
         "  --trace-out=FILE (Chrome trace events for Perfetto)\n",
         {"program", "trace", "layout", "benchmark", "algorithm",
          "algorithms", "trace-scale", "cache-kb", "line-bytes", "assoc",
+         "policy", "policy-seed", "probe-policy",
          "chunk-bytes", "coverage", "q-factor", "attribute",
          "attribution", "taxonomy", "timeline-window", "bench-out",
          "pages",
