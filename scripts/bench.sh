@@ -22,7 +22,12 @@
 #        results are jobs-invariant, only the wall times change),
 #        TOPO_BENCH_TAXONOMY (1 = attach the 3C miss taxonomy to every
 #        run; off by default so wall times stay comparable with
-#        BENCH_baseline.json, which records the plain batched replay)
+#        BENCH_baseline.json, which records the plain batched replay),
+#        TOPO_BENCH_SAMPLE (1 = representative-interval sampling with
+#        --sample-verify: every run carries a sampling block with the
+#        estimated AND exact miss rates plus the measured error; off
+#        by default — sampled snapshots are a different measurement,
+#        not comparable to exact baselines row-for-row)
 set -e
 
 cd "$(dirname "$0")/.."
@@ -33,6 +38,9 @@ NAMES="${TOPO_BENCH_NAMES:-m88ksim,vortex}"
 JOBS="${TOPO_BENCH_JOBS:-$(nproc 2> /dev/null || echo 1)}"
 TAXONOMY_FLAG=""
 [ "${TOPO_BENCH_TAXONOMY:-0}" = "1" ] && TAXONOMY_FLAG="--taxonomy"
+SAMPLE_FLAGS=""
+[ "${TOPO_BENCH_SAMPLE:-0}" = "1" ] &&
+    SAMPLE_FLAGS="--sample=simpoint --sample-verify"
 
 echo "== build ($BUILD) =="
 cmake -B "$BUILD" -S . > /dev/null
@@ -41,7 +49,7 @@ cmake --build "$BUILD" -j --target topo_sim topo_report > /dev/null
 echo "== bench ($NAMES, scale $SCALE, jobs $JOBS) =="
 "$BUILD/tools/topo_sim" --benchmark="$NAMES" \
     --algorithms=default,ph,hkc,gbsc --trace-scale="$SCALE" \
-    --jobs="$JOBS" $TAXONOMY_FLAG --bench-out="$OUT"
+    --jobs="$JOBS" $TAXONOMY_FLAG $SAMPLE_FLAGS --bench-out="$OUT"
 
 "$BUILD/tools/topo_report" --check-json="$OUT" > /dev/null || {
     echo "FAIL: $OUT is not valid JSON"; exit 1; }

@@ -164,6 +164,43 @@ grep -q '"topo_bench": 1' "$WORK/BENCH_smoke.json" || {
     > /dev/null || {
     echo "FAIL: BENCH json does not parse"; exit 1; }
 
+echo "== sampling gate =="
+# Representative-interval sampling (DESIGN.md §15): across the full
+# suite x {ph,gbsc}, the sampled estimate must stay within 2% absolute
+# miss rate of the exact replay (--sample-max-error aborts the run
+# otherwise), the stdout must be byte-identical for jobs=1 vs jobs=4,
+# and the bench artefact's sampling block must pass schema validation.
+for jobs in 1 4; do
+    "$BUILD/tools/topo_sim" --benchmark='*' --algorithms=ph,gbsc \
+        --trace-scale=0.05 --jobs="$jobs" --sample=simpoint \
+        --sample-verify --sample-max-error=0.02 \
+        --bench-out="$WORK/sample_j${jobs}.json" \
+        > "$WORK/sample_j${jobs}.txt" || {
+        echo "FAIL: sampled suite run (jobs=$jobs)"; exit 1; }
+    "$BUILD/tools/topo_report" --check-json="$WORK/sample_j${jobs}.json" \
+        > /dev/null || {
+        echo "FAIL: sampled bench artefact invalid (jobs=$jobs)"
+        exit 1; }
+    grep -q '"sampling"' "$WORK/sample_j${jobs}.json" || {
+        echo "FAIL: sampled bench artefact missing the sampling block"
+        exit 1; }
+done
+cmp -s "$WORK/sample_j1.txt" "$WORK/sample_j4.txt" || {
+    echo "FAIL: sampled output differs jobs=1 vs jobs=4"; exit 1; }
+# Misuse must be rejected with the stable usage exit code (1), not a
+# crash or a silent fallback to the exact path.
+for bad in "--trace-scale=0" "--trace-scale=nan" \
+    "--trace-scale=0.02 --sample=bogus" \
+    "--trace-scale=0.02 --sample-verify" \
+    "--trace-scale=0.02 --sample=simpoint --sample-max-error=0.01"; do
+    rc=0
+    # shellcheck disable=SC2086
+    "$BUILD/tools/topo_sim" --benchmark=m88ksim \
+        $bad > /dev/null 2>&1 || rc=$?
+    [ "$rc" = 1 ] || {
+        echo "FAIL: '$bad' exited $rc, want usage error 1"; exit 1; }
+done
+
 echo "== perf smoke =="
 # The microbenchmarks must run (a filter keeps the smoke fast), and
 # the perf gate must hold against the committed baseline. The smoke

@@ -22,8 +22,17 @@
 #   candidate.json  existing snapshot to judge; when omitted, a fresh
 #                   one is produced via scripts/bench.sh (build-dir,
 #                   default: build)
+# Sampled rows (a "sampling" block from TOPO_BENCH_SAMPLE=1 /
+# --sample=simpoint): miss counts are weighted estimates, so the exact
+# accesses/misses equality is skipped for any row where either side is
+# sampled; instead, a sampled row that carries a measured abs_error
+# (from --sample-verify) must stay within TOPO_SAMPLE_TOL (absolute
+# miss rate, default 0.02). Throughput is compared as usual.
+#
 # Knobs: TOPO_PERF_BASELINE (default BENCH_baseline.json),
 #        TOPO_PERF_TOL (fractional throughput tolerance, default 0.15),
+#        TOPO_SAMPLE_TOL (absolute sampled miss-rate error bound,
+#        default 0.02),
 #        plus the scripts/bench.sh knobs for the fresh-snapshot case
 #        (TOPO_BENCH_SCALE must match the baseline's trace_scale or
 #        the exact-miss comparison is skipped with a warning).
@@ -34,6 +43,7 @@ CANDIDATE="${1:-}"
 BUILD="${2:-build}"
 BASELINE="${TOPO_PERF_BASELINE:-BENCH_baseline.json}"
 TOL="${TOPO_PERF_TOL:-0.15}"
+SAMPLE_TOL="${TOPO_SAMPLE_TOL:-0.02}"
 
 [ -f "$BASELINE" ] || {
     echo "FAIL: baseline '$BASELINE' not found (generate with" \
@@ -46,12 +56,13 @@ if [ -z "$CANDIDATE" ]; then
     scripts/bench.sh "$CANDIDATE" "$BUILD" > /dev/null
 fi
 
-python3 - "$BASELINE" "$CANDIDATE" "$TOL" << 'PYEOF'
+python3 - "$BASELINE" "$CANDIDATE" "$TOL" "$SAMPLE_TOL" << 'PYEOF'
 import json
 import sys
 
-baseline_path, candidate_path, tol_text = sys.argv[1:4]
+baseline_path, candidate_path, tol_text, sample_tol_text = sys.argv[1:5]
 tol = float(tol_text)
+sample_tol = float(sample_tol_text)
 with open(baseline_path) as f:
     baseline = json.load(f)
 with open(candidate_path) as f:
@@ -79,12 +90,18 @@ for key in sorted(base_rows):
         failures.append(f"{bench}/{algo}: missing from candidate")
         continue
     base, cand = base_rows[key], cand_rows[key]
-    if same_scale:
+    sampled = "sampling" in base or "sampling" in cand
+    if same_scale and not sampled:
         for field in ("accesses", "misses"):
             if base[field] != cand[field]:
                 failures.append(
                     f"{bench}/{algo}: {field} {cand[field]} != baseline"
                     f" {base[field]} (determinism regression)")
+    err = cand.get("sampling", {}).get("abs_error")
+    if err is not None and err > sample_tol:
+        failures.append(
+            f"{bench}/{algo}: sampled miss-rate error {err:.4f} exceeds"
+            f" the {sample_tol:.4f} bound")
     ratio = cand["blocks_per_sec"] / base["blocks_per_sec"]
     verdict = "ok"
     if ratio < 1.0 - tol:

@@ -6,6 +6,7 @@
 #include "topo/obs/metrics.hh"
 #include "topo/profile/perturb.hh"
 #include "topo/profile/wcg_builder.hh"
+#include "topo/sampling/sampled_profile.hh"
 #include "topo/util/error.hh"
 #include "topo/util/rng.hh"
 #include "topo/workload/trace_synthesizer.hh"
@@ -16,17 +17,38 @@ namespace topo
 namespace
 {
 
-TrgBuildResult
-runTrgBuild(const Program &program, const ChunkMap &chunks,
-            const Trace &trace, const EvalOptions &options,
-            const std::vector<bool> &popular)
+TrgBuildOptions
+trgOptionsOf(const EvalOptions &options, const std::vector<bool> &popular)
 {
     TrgBuildOptions build;
     build.byte_budget = static_cast<std::uint64_t>(
         options.q_budget_factor * options.cache.size_bytes);
     require(build.byte_budget > 0, "ProfileBundle: zero Q budget");
     build.popular = &popular;
-    return buildTrgs(program, chunks, trace, build);
+    return build;
+}
+
+TrgBuildResult
+runTrgBuild(const Program &program, const ChunkMap &chunks,
+            const Trace &trace, const EvalOptions &options,
+            const std::vector<bool> &popular)
+{
+    return buildTrgs(program, chunks, trace,
+                     trgOptionsOf(options, popular));
+}
+
+/**
+ * Expand the fetch stream only on the exact path. A sampled bundle
+ * never replays the whole trace, and at large --trace-scale the full
+ * stream is the dominant memory term, so it is simply not built.
+ */
+FetchStream
+makeEvalStream(const Program &program, const Trace &trace,
+               std::uint32_t line_bytes, bool sampled)
+{
+    if (!sampled)
+        return FetchStream(program, trace, line_bytes);
+    return FetchStream(program, Trace(program.procCount()), line_bytes);
 }
 
 } // namespace
@@ -41,16 +63,39 @@ ProfileBundle::ProfileBundle(const BenchmarkCase &bench,
       train_stats_(computeTraceStats(program_, train_trace_)),
       popular_(selectPopular(program_, train_stats_, options.popularity)),
       chunks_(program_, options.chunk_bytes),
-      train_stream_(program_, train_trace_, options.cache.line_bytes),
-      test_stream_(program_, test_trace_, options.cache.line_bytes)
+      train_stream_(makeEvalStream(program_, train_trace_,
+                                   options.cache.line_bytes,
+                                   options.sampling.active())),
+      test_stream_(makeEvalStream(program_, test_trace_,
+                                  options.cache.line_bytes,
+                                  options.sampling.active()))
 {
     options_.cache.validate();
-    wcg_ = buildWcg(program_, train_trace_);
-    TrgBuildResult trgs = runTrgBuild(program_, chunks_, train_trace_,
-                                      options_, popular_.mask);
-    trg_select_ = std::move(trgs.select);
-    trg_place_ = std::move(trgs.place);
-    avg_queue_procs_ = trgs.avg_queue_procs;
+    if (sampled()) {
+        require(!options_.build_pairs,
+                "ProfileBundle: the pair database has no sampled "
+                "build; drop --pairs or --sample");
+        train_plan_ = std::make_unique<SamplePlan>(buildSamplePlan(
+            program_, train_trace_, options_.cache.line_bytes,
+            options_.sampling));
+        test_plan_ = std::make_unique<SamplePlan>(buildSamplePlan(
+            program_, test_trace_, options_.cache.line_bytes,
+            options_.sampling));
+        SampledProfileResult profile = buildSampledProfile(
+            program_, chunks_, train_trace_, *train_plan_,
+            trgOptionsOf(options_, popular_.mask));
+        wcg_ = std::move(profile.wcg);
+        trg_select_ = std::move(profile.trg_select);
+        trg_place_ = std::move(profile.trg_place);
+        avg_queue_procs_ = profile.avg_queue_procs;
+    } else {
+        wcg_ = buildWcg(program_, train_trace_);
+        TrgBuildResult trgs = runTrgBuild(program_, chunks_, train_trace_,
+                                          options_, popular_.mask);
+        trg_select_ = std::move(trgs.select);
+        trg_place_ = std::move(trgs.place);
+        avg_queue_procs_ = trgs.avg_queue_procs;
+    }
     if (options_.build_pairs) {
         PairBuildOptions pair_opts;
         pair_opts.byte_budget = static_cast<std::uint64_t>(
@@ -95,13 +140,49 @@ ProfileBundle::makeContext(const WeightedGraph *wcg,
 double
 ProfileBundle::testMissRate(const Layout &layout) const
 {
+    require(!sampled(), "ProfileBundle: testMissRate on a sampled "
+                        "bundle; use sampledTestResult");
     return layoutMissRate(program_, layout, test_stream_, options_.cache);
 }
 
 double
 ProfileBundle::trainMissRate(const Layout &layout) const
 {
+    require(!sampled(), "ProfileBundle: trainMissRate on a sampled "
+                        "bundle; use sampledTestResult");
     return layoutMissRate(program_, layout, train_stream_, options_.cache);
+}
+
+const SamplePlan &
+ProfileBundle::testPlan() const
+{
+    require(sampled() && test_plan_,
+            "ProfileBundle: testPlan on an exact bundle");
+    return *test_plan_;
+}
+
+const SamplePlan &
+ProfileBundle::trainPlan() const
+{
+    require(sampled() && train_plan_,
+            "ProfileBundle: trainPlan on an exact bundle");
+    return *train_plan_;
+}
+
+SampledSimResult
+ProfileBundle::sampledTestResult(const Layout &layout, bool attribute) const
+{
+    return estimateLayout(program_, layout, test_trace_, testPlan(),
+                          options_.cache, attribute);
+}
+
+SimResult
+ProfileBundle::exactTestResult(const Layout &layout, bool attribute) const
+{
+    const FetchStream stream(program_, test_trace_,
+                             options_.cache.line_bytes);
+    return simulateLayout(program_, layout, stream, options_.cache,
+                          attribute);
 }
 
 std::vector<AlgorithmResult>

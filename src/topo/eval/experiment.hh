@@ -20,6 +20,8 @@
 #include "topo/profile/chunk_map.hh"
 #include "topo/profile/pair_database.hh"
 #include "topo/profile/trg_builder.hh"
+#include "topo/sampling/estimator.hh"
+#include "topo/sampling/sample_plan.hh"
 #include "topo/trace/fetch_stream.hh"
 #include "topo/trace/trace_stats.hh"
 #include "topo/workload/paper_suite.hh"
@@ -43,6 +45,13 @@ struct EvalOptions
     std::uint32_t pair_window = 16;
     /** Prune pair-database entries below this weight. */
     double pair_prune = 2.0;
+    /**
+     * Representative-interval sampling (DESIGN.md §15). When active,
+     * profiles and miss rates are weighted estimates over sampled
+     * trace segments, the full fetch streams are never expanded, and
+     * testMissRate/trainMissRate are replaced by sampledTestResult.
+     */
+    SamplingOptions sampling;
 };
 
 /**
@@ -89,6 +98,31 @@ class ProfileBundle
     /** Miss rate of a layout on the training trace. */
     double trainMissRate(const Layout &layout) const;
 
+    /** Whether this bundle was built with sampling active. */
+    bool sampled() const { return options_.sampling.active(); }
+
+    /** The testing trace's sample plan (sampled bundles only). */
+    const SamplePlan &testPlan() const;
+
+    /** The training trace's sample plan (sampled bundles only). */
+    const SamplePlan &trainPlan() const;
+
+    /**
+     * Weighted miss estimate of a layout on the testing trace
+     * (sampled bundles only; the sampled analogue of testMissRate).
+     */
+    SampledSimResult sampledTestResult(const Layout &layout,
+                                       bool attribute = false) const;
+
+    /**
+     * Exact replay of a layout on the testing trace, expanding the
+     * fetch stream on the fly — the --sample-verify reference path of
+     * a sampled bundle (exact bundles already hold the stream; use
+     * testMissRate there).
+     */
+    SimResult exactTestResult(const Layout &layout,
+                              bool attribute = false) const;
+
   private:
     std::string name_;
     EvalOptions options_;
@@ -105,6 +139,9 @@ class ProfileBundle
     double avg_queue_procs_ = 0.0;
     FetchStream train_stream_;
     FetchStream test_stream_;
+    /** Sample plans (null unless sampling is active). */
+    std::unique_ptr<SamplePlan> train_plan_;
+    std::unique_ptr<SamplePlan> test_plan_;
 };
 
 /** Results of one algorithm in a Figure 5-style comparison. */

@@ -602,6 +602,62 @@ checkReportDoc(const JsonValue &doc, const std::string &where)
     }
 }
 
+/** Sampled-run provenance attached to a bench row (DESIGN.md §15). */
+void
+checkSamplingBlock(const JsonValue &sampling, double row_miss_rate,
+                   const std::string &where)
+{
+    checkKeys(sampling,
+              {"mode", "window_runs", "windows", "clusters",
+               "selected_windows", "replayed_fraction",
+               "est_miss_rate", "exact_miss_rate", "abs_error"},
+              where);
+    checkRequired(sampling,
+                  {"mode", "window_runs", "windows", "clusters",
+                   "selected_windows", "replayed_fraction",
+                   "est_miss_rate"},
+                  where);
+    requireData(sampling.at("mode").kind() ==
+                        JsonValue::Kind::kString &&
+                    sampling.at("mode").asString() == "simpoint",
+                "sampling mode must be 'simpoint'", where);
+    const std::uint64_t windows =
+        asCount(sampling.at("windows"), where);
+    const std::uint64_t clusters =
+        asCount(sampling.at("clusters"), where);
+    const std::uint64_t selected =
+        asCount(sampling.at("selected_windows"), where);
+    asCount(sampling.at("window_runs"), where);
+    requireData(clusters <= windows || windows == 0,
+                "more clusters than windows", where);
+    requireData(selected <= clusters,
+                "more selected windows than clusters", where);
+    const double replayed =
+        sampling.at("replayed_fraction").asNumber();
+    requireData(replayed >= 0.0 && replayed <= 1.0,
+                "replayed_fraction must be in [0, 1]", where);
+    const double est = sampling.at("est_miss_rate").asNumber();
+    requireData(est >= 0.0 && est <= 1.0,
+                "est_miss_rate must be in [0, 1]", where);
+    requireData(std::fabs(est - row_miss_rate) < 1e-9,
+                "est_miss_rate disagrees with the row's miss_rate",
+                where);
+    const JsonValue *exact = sampling.find("exact_miss_rate");
+    const JsonValue *abs_error = sampling.find("abs_error");
+    requireData((exact == nullptr) == (abs_error == nullptr),
+                "exact_miss_rate and abs_error come together "
+                "(--sample-verify writes both)",
+                where);
+    if (exact != nullptr) {
+        const double exact_rate = exact->asNumber();
+        requireData(exact_rate >= 0.0 && exact_rate <= 1.0,
+                    "exact_miss_rate must be in [0, 1]", where);
+        requireData(std::fabs(abs_error->asNumber() -
+                              std::fabs(est - exact_rate)) < 1e-9,
+                    "abs_error is not |est - exact|", where);
+    }
+}
+
 void
 checkBenchDoc(const JsonValue &doc, const std::string &where)
 {
@@ -625,7 +681,7 @@ checkBenchDoc(const JsonValue &doc, const std::string &where)
         checkKeys(row,
                   {"benchmark", "algorithm", "accesses", "misses",
                    "miss_rate", "wall_ms", "blocks_per_sec",
-                   "taxonomy"},
+                   "taxonomy", "sampling"},
                   run_where);
         checkRequired(row,
                       {"benchmark", "algorithm", "accesses", "misses",
@@ -636,6 +692,10 @@ checkBenchDoc(const JsonValue &doc, const std::string &where)
                                 asCount(row.at("misses"), run_where),
                                 asCount(row.at("accesses"), run_where),
                                 run_where + ".taxonomy");
+        if (const JsonValue *sampling = row.find("sampling"))
+            checkSamplingBlock(*sampling,
+                               row.at("miss_rate").asNumber(),
+                               run_where + ".sampling");
     }
 }
 

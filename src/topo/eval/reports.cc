@@ -1,9 +1,11 @@
 #include "topo/eval/reports.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "topo/placement/placement.hh"
+#include "topo/util/error.hh"
 #include "topo/util/stats.hh"
 #include "topo/util/table.hh"
 
@@ -110,7 +112,12 @@ evalOptionsFrom(const Options &opts)
 double
 traceScaleFrom(const Options &opts)
 {
-    return opts.getDouble("trace-scale", 1.0);
+    const double scale = opts.getDouble("trace-scale", 1.0);
+    require(std::isfinite(scale) && scale > 0.0,
+            "--trace-scale must be a positive, finite number (got " +
+                opts.getString("trace-scale", "1.0") +
+                "; did you mean --trace-scale=1.0?)");
+    return scale;
 }
 
 } // namespace topo

@@ -7,11 +7,10 @@ namespace topo
 
 TimelineRecorder::TimelineRecorder(std::uint64_t window_blocks,
                                    std::size_t proc_count)
-    : window_blocks_(window_blocks)
+    : window_blocks_(window_blocks), distinct_(proc_count)
 {
     require(window_blocks > 0,
             "TimelineRecorder: window size must be positive");
-    proc_epoch_.assign(proc_count, 0);
 }
 
 void
@@ -21,7 +20,7 @@ TimelineRecorder::flushWindow()
     next_start_ += current_.accesses;
     samples_.push_back(current_);
     current_ = TimelineSample{};
-    ++epoch_;
+    distinct_.reset();
 }
 
 void

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "topo/obs/epoch_counter.hh"
 #include "topo/obs/json.hh"
 #include "topo/obs/trace_events.hh"
 #include "topo/program/procedure.hh"
@@ -123,10 +124,8 @@ class TimelineRecorder
     void
     record(ProcId proc, bool miss)
     {
-        if (proc_epoch_[proc] != epoch_) {
-            proc_epoch_[proc] = epoch_;
+        if (distinct_.touch(proc))
             ++current_.distinct_procs;
-        }
         ++current_.accesses;
         current_.misses += miss ? 1 : 0;
         if (current_.accesses == window_blocks_)
@@ -162,9 +161,8 @@ class TimelineRecorder
     std::uint64_t window_blocks_;
     std::uint64_t next_start_ = 0;
     TimelineSample current_;
-    /** Epoch stamp per procedure; matches epoch_ if seen this window. */
-    std::vector<std::uint64_t> proc_epoch_;
-    std::uint64_t epoch_ = 1;
+    /** Distinct procedures seen in the current window. */
+    EpochCounter distinct_;
     bool saw_taxonomy_ = false;
     std::vector<TimelineSample> samples_;
 };

@@ -39,6 +39,53 @@ chunkSizesOf(const ChunkMap &chunks)
 
 } // namespace
 
+TrgStateWalker::TrgStateWalker(const Program &program,
+                               const ChunkMap &chunks,
+                               const TrgBuildOptions &options)
+    : program_(program),
+      chunks_(chunks),
+      popular_(options.popular),
+      proc_q_(procSizesOf(program), options.byte_budget),
+      chunk_q_(chunkSizesOf(chunks), options.byte_budget),
+      need_proc_pass_(options.build_select ||
+                      static_cast<bool>(options.observer)),
+      build_place_(options.build_place),
+      chunk_bytes_(chunks.chunkBytes())
+{
+    if (popular_) {
+        require(popular_->size() == program.procCount(),
+                "TrgStateWalker: popularity mask size mismatch");
+    }
+}
+
+void
+TrgStateWalker::advance(const TraceEvent &ev)
+{
+    require(ev.proc < program_.procCount(),
+            "TrgStateWalker: invalid proc");
+    require(ev.length > 0, "TrgStateWalker: zero-length run");
+    require(static_cast<std::uint64_t>(ev.offset) + ev.length <=
+                program_.proc(ev.proc).size_bytes,
+            "TrgStateWalker: run exceeds procedure bounds");
+    if (popular_ && !(*popular_)[ev.proc])
+        return;
+    if (need_proc_pass_ && ev.proc != last_proc_)
+        proc_q_.touch(ev.proc);
+    last_proc_ = ev.proc;
+    if (build_place_) {
+        const std::uint32_t first = ev.offset / chunk_bytes_;
+        const std::uint32_t last =
+            (ev.offset + ev.length - 1) / chunk_bytes_;
+        for (std::uint32_t idx = first; idx <= last; ++idx) {
+            const ChunkId chunk = chunks_.chunkId(ev.proc, idx);
+            if (chunk == last_chunk_)
+                continue;
+            chunk_q_.touch(chunk);
+            last_chunk_ = chunk;
+        }
+    }
+}
+
 std::vector<TraceShard>
 planTraceShards(const Program &program, const ChunkMap &chunks,
                 const Trace &trace, const TrgBuildOptions &options,
@@ -47,22 +94,12 @@ planTraceShards(const Program &program, const ChunkMap &chunks,
     require(shard_count >= 1, "planTraceShards: zero shard count");
     require(trace.procCount() == program.procCount(),
             "planTraceShards: program/trace mismatch");
-    if (options.popular) {
-        require(options.popular->size() == program.procCount(),
-                "planTraceShards: popularity mask size mismatch");
-    }
     PhaseTimer timer("trg_shard_plan");
     const std::vector<TraceEvent> &events = trace.events();
     const std::size_t n = events.size();
 
     std::vector<TraceShard> shards(shard_count);
-    TemporalQueue proc_q(procSizesOf(program), options.byte_budget);
-    TemporalQueue chunk_q(chunkSizesOf(chunks), options.byte_budget);
-    const bool need_proc_pass =
-        options.build_select || static_cast<bool>(options.observer);
-    const std::uint32_t chunk_bytes = chunks.chunkBytes();
-    ProcId last_proc = kInvalidProc;
-    ChunkId last_chunk = static_cast<ChunkId>(~0u);
+    TrgStateWalker walker(program, chunks, options);
     std::size_t next_shard = 0;
 
     for (std::size_t i = 0; i <= n; ++i) {
@@ -71,41 +108,15 @@ planTraceShards(const Program &program, const ChunkMap &chunks,
             TraceShard &shard = shards[next_shard];
             shard.begin = i;
             shard.end = (next_shard + 1) * n / shard_count;
-            shard.proc_queue = proc_q.contents();
-            shard.chunk_queue = chunk_q.contents();
-            shard.last_proc = last_proc;
-            shard.last_chunk = last_chunk;
+            shard.proc_queue = walker.procQueue();
+            shard.chunk_queue = walker.chunkQueue();
+            shard.last_proc = walker.lastProc();
+            shard.last_chunk = walker.lastChunk();
             ++next_shard;
         }
         if (i == n)
             break;
-        const TraceEvent &ev = events[i];
-        // Mirror TrgAccumulator::onRun's validation so a malformed
-        // trace fails here with the same error class it would fail
-        // with serially.
-        require(ev.proc < program.procCount(),
-                "planTraceShards: invalid proc");
-        require(ev.length > 0, "planTraceShards: zero-length run");
-        require(static_cast<std::uint64_t>(ev.offset) + ev.length <=
-                    program.proc(ev.proc).size_bytes,
-                "planTraceShards: run exceeds procedure bounds");
-        if (options.popular && !(*options.popular)[ev.proc])
-            continue;
-        if (need_proc_pass && ev.proc != last_proc)
-            proc_q.touch(ev.proc);
-        last_proc = ev.proc;
-        if (options.build_place) {
-            const std::uint32_t first = ev.offset / chunk_bytes;
-            const std::uint32_t last =
-                (ev.offset + ev.length - 1) / chunk_bytes;
-            for (std::uint32_t idx = first; idx <= last; ++idx) {
-                const ChunkId chunk = chunks.chunkId(ev.proc, idx);
-                if (chunk == last_chunk)
-                    continue;
-                chunk_q.touch(chunk);
-                last_chunk = chunk;
-            }
-        }
+        walker.advance(events[i]);
     }
     return shards;
 }

@@ -98,6 +98,50 @@ struct TraceShard
 };
 
 /**
+ * State-only replay of the TRG walk: advances the procedure and chunk
+ * TemporalQueues and the run-deduplication state (last proc / last
+ * chunk) through trace events WITHOUT collecting between-lists or
+ * emitting edges — O(1) amortised per event. This is the warm-up
+ * machinery shared by planTraceShards (queue state at shard
+ * boundaries) and the representative-interval sampler (queue state at
+ * the start of each measured window); a TrgAccumulator seeded with a
+ * walker's state continues the serial walk bit-exactly.
+ *
+ * Validation mirrors TrgAccumulator::onRun, so a malformed trace
+ * fails here with the same error class it would fail with serially.
+ */
+class TrgStateWalker
+{
+  public:
+    TrgStateWalker(const Program &program, const ChunkMap &chunks,
+                   const TrgBuildOptions &options);
+
+    /** Advance the state through one trace event. */
+    void advance(const TraceEvent &event);
+
+    /** Procedure queue contents, oldest first. */
+    std::vector<BlockId> procQueue() const { return proc_q_.contents(); }
+    /** Chunk queue contents, oldest first. */
+    std::vector<BlockId> chunkQueue() const { return chunk_q_.contents(); }
+    /** Procedure of the last popular run seen (kInvalidProc = none). */
+    ProcId lastProc() const { return last_proc_; }
+    /** Last chunk referenced (~0u = none). */
+    ChunkId lastChunk() const { return last_chunk_; }
+
+  private:
+    const Program &program_;
+    const ChunkMap &chunks_;
+    const std::vector<bool> *popular_;
+    TemporalQueue proc_q_;
+    TemporalQueue chunk_q_;
+    bool need_proc_pass_;
+    bool build_place_;
+    std::uint32_t chunk_bytes_;
+    ProcId last_proc_ = kInvalidProc;
+    ChunkId last_chunk_ = static_cast<ChunkId>(~0u);
+};
+
+/**
  * Split @p trace into @p shard_count contiguous event ranges and
  * capture, via one fast state-only replay (TemporalQueue::touch, no
  * between-list collection or edge emission), the exact queue and

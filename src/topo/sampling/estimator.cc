@@ -1,0 +1,116 @@
+#include "topo/sampling/estimator.hh"
+
+#include "topo/cache/simulate.hh"
+#include "topo/exec/exec.hh"
+#include "topo/obs/metrics.hh"
+#include "topo/obs/phase_timer.hh"
+#include "topo/trace/fetch_stream.hh"
+#include "topo/util/error.hh"
+
+namespace topo
+{
+
+namespace
+{
+
+/** Copy trace events [begin, end) into a fresh sub-trace. */
+Trace
+subTrace(const Trace &trace, std::size_t begin, std::size_t end)
+{
+    const std::vector<TraceEvent> &events = trace.events();
+    Trace sub(trace.procCount());
+    sub.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i)
+        sub.append(events[i].proc, events[i].offset, events[i].length);
+    return sub;
+}
+
+/** Per-segment simulation deltas (measured range only). */
+struct SegmentDelta
+{
+    double scale = 0.0;
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::vector<std::uint64_t> misses_by_proc;
+    std::uint64_t replayed_blocks = 0;
+};
+
+} // namespace
+
+SampledSimResult
+estimateLayout(const Program &program, const Layout &layout,
+               const Trace &trace, const SamplePlan &plan,
+               const CacheConfig &cache, bool attribute)
+{
+    require(plan.active(), "estimateLayout: inactive sample plan");
+    require(plan.total_events == trace.size(),
+            "estimateLayout: plan was built for a different trace");
+    PhaseTimer timer("sample_estimate");
+
+    const std::vector<SampleSegment> &segments = plan.segments;
+    std::vector<SegmentDelta> deltas =
+        parallelMap(segments.size(), [&](std::size_t s) {
+            const SampleSegment &seg = segments[s];
+            SegmentDelta delta;
+            delta.scale = seg.scale;
+            // Simulate [warm_begin, begin) and [warm_begin, end)
+            // both from cold; prefix determinism makes the
+            // difference exactly the measured range's contribution
+            // under a warmed-up cache.
+            const Trace full = subTrace(trace, seg.warm_begin, seg.end);
+            const FetchStream full_stream(program, full,
+                                          cache.line_bytes);
+            const SimResult with_warm = simulateLayout(
+                program, layout, full_stream, cache, attribute);
+            delta.replayed_blocks = with_warm.accesses;
+            if (seg.warm_begin < seg.begin) {
+                const Trace warm =
+                    subTrace(trace, seg.warm_begin, seg.begin);
+                const FetchStream warm_stream(program, warm,
+                                              cache.line_bytes);
+                const SimResult warm_only = simulateLayout(
+                    program, layout, warm_stream, cache, attribute);
+                delta.accesses = with_warm.accesses - warm_only.accesses;
+                delta.misses = with_warm.misses - warm_only.misses;
+                if (attribute) {
+                    delta.misses_by_proc = with_warm.misses_by_proc;
+                    for (std::size_t p = 0;
+                         p < delta.misses_by_proc.size(); ++p)
+                        delta.misses_by_proc[p] -=
+                            warm_only.misses_by_proc[p];
+                }
+            } else {
+                delta.accesses = with_warm.accesses;
+                delta.misses = with_warm.misses;
+                delta.misses_by_proc = with_warm.misses_by_proc;
+            }
+            return delta;
+        });
+
+    SampledSimResult result;
+    result.accesses = plan.total_blocks;
+    result.segments = segments.size();
+    if (attribute)
+        result.est_misses_by_proc.assign(program.procCount(), 0.0);
+    for (const SegmentDelta &delta : deltas) {
+        result.est_misses +=
+            delta.scale * static_cast<double>(delta.misses);
+        result.replayed_blocks += delta.replayed_blocks;
+        if (attribute) {
+            for (std::size_t p = 0; p < delta.misses_by_proc.size();
+                 ++p)
+                result.est_misses_by_proc[p] +=
+                    delta.scale *
+                    static_cast<double>(delta.misses_by_proc[p]);
+        }
+    }
+
+    MetricsRegistry &metrics = MetricsRegistry::current();
+    metrics.counter("sampling.estimates").add();
+    metrics.counter("sampling.replayed_blocks")
+        .add(result.replayed_blocks);
+    metrics.counter("sampling.estimated_blocks").add(result.accesses);
+    return result;
+}
+
+} // namespace topo

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Weighted miss estimation over a SamplePlan (DESIGN.md §15).
+ *
+ * Each plan segment is simulated twice from a cold cache via the
+ * ordinary simulateLayout: once over its warm-up prefix alone and once
+ * over warm-up plus measured range. Because the replay is a
+ * deterministic function of its input prefix, the difference of the
+ * two runs is exactly what the measured range would have contributed
+ * had the replay been carried through the warm-up — the "subtract
+ * trick" that reuses the production simulator unchanged instead of
+ * threading resumable cache state through it. The measured deltas are
+ * then scaled by each segment's cluster weight and folded serially in
+ * segment order, so estimates are bit-identical for any --jobs value.
+ */
+
+#ifndef TOPO_SAMPLING_ESTIMATOR_HH
+#define TOPO_SAMPLING_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/cache/cache_config.hh"
+#include "topo/program/layout.hh"
+#include "topo/sampling/sample_plan.hh"
+
+namespace topo
+{
+
+/** Weighted estimate of a full-trace simulation. */
+struct SampledSimResult
+{
+    /** Exact full-trace access count (from the plan, not estimated). */
+    std::uint64_t accesses = 0;
+    /** Estimated miss count (weighted sum of segment deltas). */
+    double est_misses = 0.0;
+    /** Per-procedure estimated misses (empty unless requested). */
+    std::vector<double> est_misses_by_proc;
+    /** Line fetches actually replayed (warm-up + measured). */
+    std::uint64_t replayed_blocks = 0;
+    /** Segments simulated. */
+    std::size_t segments = 0;
+
+    /** Estimated miss rate in [0, 1]. */
+    double
+    estMissRate() const
+    {
+        return accesses ? est_misses / static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Estimate the full-trace miss behaviour of @p layout from the plan's
+ * representative segments. Segments simulate concurrently on the
+ * execution pool; the weighted fold is serial in segment order. The
+ * cache-line size of @p cache must equal the line size the plan was
+ * built at (the plan's block accounting is reused as the exact access
+ * count).
+ *
+ * @param attribute When true, fill est_misses_by_proc.
+ */
+SampledSimResult estimateLayout(const Program &program,
+                                const Layout &layout, const Trace &trace,
+                                const SamplePlan &plan,
+                                const CacheConfig &cache, bool attribute);
+
+} // namespace topo
+
+#endif // TOPO_SAMPLING_ESTIMATOR_HH

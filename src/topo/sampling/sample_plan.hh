@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Representative-interval sample plans (DESIGN.md §15).
+ *
+ * A SamplePlan is the full recipe for simulating (or profiling) a
+ * trace at a fraction of its cost: the trace is sliced into windows
+ * (window_features), the windows are clustered by behaviour (kmeans),
+ * one representative window per cluster is selected, and each
+ * representative is assigned the weight of the trace blocks its
+ * cluster stands for. Consumers replay only the representatives —
+ * preceded by a short state-only warm-up prefix — and scale each
+ * one's contribution by its weight.
+ *
+ * Contiguous representatives with identical weights merge into single
+ * segments. This makes the degenerate plan (every window its own
+ * cluster, all weights 1.0) collapse to one whole-trace segment with
+ * no warm-up, so its replay is bit-identical to the exact path — the
+ * anchor for the sampler's correctness tests.
+ */
+
+#ifndef TOPO_SAMPLING_SAMPLE_PLAN_HH
+#define TOPO_SAMPLING_SAMPLE_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/program/program.hh"
+#include "topo/trace/trace.hh"
+
+namespace topo
+{
+
+class Options;
+
+/** Sampling regime. */
+enum class SampleMode
+{
+    /** Exact replay of the whole trace (sampling machinery bypassed). */
+    kOff,
+    /** SimPoint-style cluster-and-weigh representative intervals. */
+    kSimpoint,
+};
+
+/** Knobs of the representative-interval sampler. */
+struct SamplingOptions
+{
+    SampleMode mode = SampleMode::kOff;
+    /** Runs per window; 0 = auto (max(512, ceil(runs / 2048))). */
+    std::uint64_t window_runs = 0;
+    /** Cluster count; 0 = auto via the BIC elbow (capped at max_k). */
+    std::size_t k = 0;
+    /** Upper bound of the automatic k sweep. */
+    std::size_t max_k = 16;
+    /** Warm-up runs replayed state-only before each segment; 0 = one
+     *  window. */
+    std::uint64_t warmup_runs = 0;
+    /** Seed of the k-means++ initialisation. */
+    std::uint64_t seed = 12345;
+    /** Also run the exact path and report the estimation error. */
+    bool verify = false;
+    /** With verify: fail when any |est - exact| miss-rate error
+     *  exceeds this bound (0 = report only). */
+    double max_error = 0.0;
+
+    bool active() const { return mode != SampleMode::kOff; }
+};
+
+/** One replayed stretch of the trace. */
+struct SampleSegment
+{
+    /** Warm-up start: events [warm_begin, begin) are replayed
+     *  state-only (never counted). */
+    std::size_t warm_begin = 0;
+    /** Measured event range [begin, end). */
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /** Weight applied to the segment's measured counts. */
+    double scale = 1.0;
+};
+
+/** The complete sampling recipe for one trace. */
+struct SamplePlan
+{
+    SampleMode mode = SampleMode::kOff;
+    /** Runs per window actually used (after auto-sizing). */
+    std::uint64_t window_runs = 0;
+    /** Number of windows the trace was sliced into. */
+    std::size_t window_count = 0;
+    /** Number of behaviour clusters (== representatives). */
+    std::size_t cluster_count = 0;
+    /** Selected representative window indices, ascending. */
+    std::vector<std::size_t> selected;
+    /** Replay segments, ascending and non-overlapping. */
+    std::vector<SampleSegment> segments;
+    /** Trace length in events. */
+    std::uint64_t total_events = 0;
+    /** Exact full-trace line-fetch count at the plan's line size. */
+    std::uint64_t total_blocks = 0;
+    /** Events replayed (warm-up + measured) across all segments. */
+    std::uint64_t replayed_events = 0;
+
+    bool active() const { return mode != SampleMode::kOff; }
+
+    /** Replayed fraction of the trace, in [0, 1]. */
+    double
+    replayedFraction() const
+    {
+        if (total_events == 0)
+            return 0.0;
+        const double f = static_cast<double>(replayed_events) /
+                         static_cast<double>(total_events);
+        return f > 1.0 ? 1.0 : f;
+    }
+};
+
+/**
+ * Build a sample plan for @p trace at cache-line size @p line_bytes.
+ * Deterministic and jobs-invariant for fixed inputs. Traces of at
+ * most one window yield a single exact segment (scale 1.0, no
+ * warm-up). Requires options.active().
+ */
+SamplePlan buildSamplePlan(const Program &program, const Trace &trace,
+                           std::uint32_t line_bytes,
+                           const SamplingOptions &options);
+
+/**
+ * Parse the sampler's CLI surface: --sample=off|simpoint,
+ * --sample-window, --sample-k, --sample-max-k, --sample-warmup,
+ * --sample-seed, --sample-verify, --sample-max-error. Rejects
+ * malformed values with actionable messages.
+ */
+SamplingOptions samplingFrom(const Options &options);
+
+} // namespace topo
+
+#endif // TOPO_SAMPLING_SAMPLE_PLAN_HH

@@ -21,6 +21,7 @@
 #include "topo/profile/pair_database.hh"
 #include "topo/profile/trg_builder.hh"
 #include "topo/profile/wcg_builder.hh"
+#include "topo/sampling/sampled_profile.hh"
 #include "topo/resilience/checkpoint.hh"
 #include "topo/resilience/crc32.hh"
 #include "topo/resilience/durable_io.hh"
@@ -166,6 +167,13 @@ ShardDelta
 buildShardDelta(const StoreConfig &config, const std::string &label,
                 const Trace &trace)
 {
+    return buildShardDelta(config, label, trace, SamplingOptions{});
+}
+
+ShardDelta
+buildShardDelta(const StoreConfig &config, const std::string &label,
+                const Trace &trace, const SamplingOptions &sampling)
+{
     require(trace.procCount() == config.program.procCount(),
             "shard trace and store program disagree on the procedure "
             "count");
@@ -181,12 +189,32 @@ buildShardDelta(const StoreConfig &config, const std::string &label,
     delta.total_runs = stats.total_runs;
     delta.total_bytes = stats.total_bytes;
 
-    delta.wcg = buildWcg(config.program, trace);
     const ChunkMap chunks(config.program, config.chunk_bytes);
     TrgBuildOptions topts;
     topts.byte_budget = config.byte_budget;
     // No popularity mask: the popular set depends on all shards and
     // is therefore applied at placement time, not at ingest time.
+    if (sampling.active()) {
+        require(!config.build_pairs,
+                "sampled ingest: the pair database has no sampled "
+                "build; drop pairs or sampling");
+        const SamplePlan plan = buildSamplePlan(
+            config.program, trace, config.cache.line_bytes, sampling);
+        const SampledProfileResult profile = buildSampledProfile(
+            config.program, chunks, trace, plan, topts);
+        delta.wcg = profile.wcg;
+        delta.trg_select = profile.trg_select;
+        delta.trg_place = profile.trg_place;
+        delta.queue_procs_sum =
+            profile.avg_queue_procs *
+            static_cast<double>(profile.proc_steps);
+        delta.proc_steps = profile.proc_steps;
+        delta.proc_evictions = profile.proc_evictions;
+        delta.chunk_evictions = profile.chunk_evictions;
+        return delta;
+    }
+
+    delta.wcg = buildWcg(config.program, trace);
     const TrgBuildResult trgs =
         buildTrgs(config.program, chunks, trace, topts);
     delta.trg_select = trgs.select;

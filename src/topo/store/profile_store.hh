@@ -39,6 +39,7 @@
 
 #include "topo/placement/popularity.hh"
 #include "topo/program/layout.hh"
+#include "topo/sampling/sample_plan.hh"
 #include "topo/store/store_codec.hh"
 #include "topo/trace/trace.hh"
 
@@ -90,6 +91,19 @@ StoredProfile emptyProfile(const StoreConfig &config);
  */
 ShardDelta buildShardDelta(const StoreConfig &config,
                            const std::string &label, const Trace &trace);
+
+/**
+ * Sampled variant: with an active @p sampling, the WCG and TRGs are
+ * weighted estimates over the trace's representative segments
+ * (buildSampledProfile) — the per-procedure statistics stay exact
+ * (computeTraceStats is a cheap linear pass). Ingesting a sampled
+ * delta is indistinguishable from ingesting an exact one; only the
+ * edge weights carry estimation error. Falls through to the exact
+ * build when sampling is off.
+ */
+ShardDelta buildShardDelta(const StoreConfig &config,
+                           const std::string &label, const Trace &trace,
+                           const SamplingOptions &sampling);
 
 /** Fold a delta into a profile (order-sensitive, bit-deterministic). */
 void applyShardDelta(StoredProfile &profile, const ShardDelta &delta);

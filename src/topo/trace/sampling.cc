@@ -8,23 +8,35 @@
 namespace topo
 {
 
-Trace
-burstSample(const Trace &trace, const BurstSamplingOptions &options)
+std::vector<RunWindow>
+burstWindows(std::uint64_t run_count, const BurstSamplingOptions &options)
 {
     require(options.burst_runs > 0, "burstSample: zero burst length");
     require(options.period_runs >= options.burst_runs,
             "burstSample: period must be at least the burst length");
     require(options.phase + options.burst_runs <= options.period_runs,
             "burstSample: phase pushes the burst outside the period");
+    std::vector<RunWindow> windows;
+    for (std::uint64_t start = options.phase; start < run_count;
+         start += options.period_runs) {
+        windows.emplace_back(
+            start, std::min(run_count, start + options.burst_runs));
+    }
+    return windows;
+}
+
+Trace
+burstSample(const Trace &trace, const BurstSamplingOptions &options)
+{
+    const std::vector<RunWindow> windows =
+        burstWindows(trace.size(), options);
     Trace sampled(trace.procCount());
     sampled.reserve(static_cast<std::size_t>(
         static_cast<double>(trace.size()) * options.fraction() + 16));
-    const std::uint64_t period = options.period_runs;
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        const std::uint64_t pos = i % period;
-        if (pos >= options.phase &&
-            pos < options.phase + options.burst_runs) {
-            const TraceEvent &ev = trace.events()[i];
+    for (const RunWindow &window : windows) {
+        for (std::uint64_t i = window.first; i < window.second; ++i) {
+            const TraceEvent &ev =
+                trace.events()[static_cast<std::size_t>(i)];
             sampled.append(ev.proc, ev.offset, ev.length);
         }
     }

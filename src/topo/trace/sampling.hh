@@ -16,6 +16,8 @@
 #define TOPO_TRACE_SAMPLING_HH
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "topo/trace/trace.hh"
 
@@ -43,9 +45,24 @@ struct BurstSamplingOptions
     }
 };
 
+/** Half-open run-index range [begin, end) retained by a burst. */
+using RunWindow = std::pair<std::uint64_t, std::uint64_t>;
+
+/**
+ * The run-index windows burstSample keeps, in trace order: one
+ * half-open [begin, end) range per burst, clipped to the trace length.
+ * Exposed so callers (the SimPoint-style selector, tests, reports) can
+ * recover *which* runs survived instead of only the flattened sample.
+ * Validates the options exactly as burstSample does (TopoError on a
+ * zero burst, period < burst, or a phase outside the period).
+ */
+std::vector<RunWindow> burstWindows(std::uint64_t run_count,
+                                    const BurstSamplingOptions &options);
+
 /**
  * Keep contiguous bursts of runs at a regular period; everything
- * between bursts is dropped. Deterministic.
+ * between bursts is dropped. Deterministic; the retained runs are
+ * exactly the concatenation of burstWindows(trace.size(), options).
  */
 Trace burstSample(const Trace &trace, const BurstSamplingOptions &options);
 

@@ -581,8 +581,9 @@ TEST(PolicySimulate, AllPoliciesProduceSaneMissCounts)
         EXPECT_EQ(result.evictions,
                   result.misses - std::min<std::uint64_t>(
                                       result.misses, 8u));
-        if (policy == ReplacementPolicy::kLru)
+        if (policy == ReplacementPolicy::kLru) {
             EXPECT_EQ(result.misses, 8u); // working set fits 8 ways
+        }
     }
 }
 

@@ -73,6 +73,46 @@ TEST(BurstSample, RejectsBadOptions)
     EXPECT_THROW(burstSample(t, bad_phase), TopoError);
 }
 
+TEST(BurstWindows, MatchesSampledRuns)
+{
+    BurstSamplingOptions opts;
+    opts.burst_runs = 3;
+    opts.period_runs = 10;
+    const auto windows = burstWindows(100, opts);
+    ASSERT_EQ(windows.size(), 10u);
+    EXPECT_EQ(windows[0], RunWindow(0, 3));
+    EXPECT_EQ(windows[1], RunWindow(10, 13));
+    EXPECT_EQ(windows[9], RunWindow(90, 93));
+    // The flattened sample is exactly the concatenation of the
+    // windows.
+    const Trace t = numberedTrace(100);
+    const Trace sampled = burstSample(t, opts);
+    std::size_t cursor = 0;
+    for (const RunWindow &w : windows)
+        for (std::uint64_t run = w.first; run < w.second; ++run, ++cursor)
+            EXPECT_EQ(sampled.events()[cursor].proc, t.events()[run].proc);
+    EXPECT_EQ(cursor, sampled.size());
+}
+
+TEST(BurstWindows, ClipsFinalWindowAndValidates)
+{
+    BurstSamplingOptions opts;
+    opts.burst_runs = 4;
+    opts.period_runs = 10;
+    // Last period starts at run 20 of 22: window clipped to [20, 22).
+    const auto windows = burstWindows(22, opts);
+    ASSERT_EQ(windows.size(), 3u);
+    EXPECT_EQ(windows[2], RunWindow(20, 22));
+    // Same validation as burstSample.
+    BurstSamplingOptions inverted;
+    inverted.burst_runs = 10;
+    inverted.period_runs = 5;
+    EXPECT_THROW(burstWindows(100, inverted), TopoError);
+    BurstSamplingOptions zero;
+    zero.burst_runs = 0;
+    EXPECT_THROW(burstWindows(100, zero), TopoError);
+}
+
 TEST(BurstSampleFraction, ApproximatesRequestedFraction)
 {
     const Trace t = numberedTrace(200000);

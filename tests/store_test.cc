@@ -242,10 +242,12 @@ TEST_F(StoreTest, IngestCrashMatrixYieldsPreOrPostExactly)
         const std::string state = reopenState(dir);
         EXPECT_TRUE(state == pre || state == post)
             << "third state after crash at " << row.site;
-        if (row.expect < 0)
+        if (row.expect < 0) {
             EXPECT_EQ(state, pre) << row.site;
-        if (row.expect > 0)
+        }
+        if (row.expect > 0) {
             EXPECT_EQ(state, post) << row.site;
+        }
 
         // The store must accept work after the crash: re-ingest the
         // (possibly lost) shard and land on the post state.

@@ -33,10 +33,13 @@
 #include "topo/program/layout_io.hh"
 #include "topo/program/program_io.hh"
 #include "topo/resilience/resilience.hh"
+#include "topo/sampling/sample_plan.hh"
 #include "topo/store/profile_store.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
 #include "topo/util/string_utils.hh"
+#include "topo/workload/paper_suite.hh"
+#include "topo/workload/trace_synthesizer.hh"
 
 namespace
 {
@@ -145,26 +148,63 @@ int
 runIngest(const Options &opts)
 {
     const std::string traces = opts.getString("trace", "");
-    require(!traces.empty(),
-            "topo_profile ingest: --trace=FILE[,FILE...] is required");
+    const std::string synth = opts.getString("synth", "");
+    require(!traces.empty() || !synth.empty(),
+            "topo_profile ingest: --trace=FILE[,FILE...] or "
+            "--synth=BENCH[,BENCH...] is required");
+    require(traces.empty() || synth.empty(),
+            "topo_profile ingest: --trace and --synth are mutually "
+            "exclusive");
     ProfileStore store = ProfileStore::open(storeDir(opts));
-    TraceReadOptions ropts;
-    ropts.recover = opts.getBool("recover", false);
+    const SamplingOptions sampling = samplingFrom(opts);
+    require(!sampling.verify,
+            "topo_profile ingest: --sample-verify only applies to "
+            "topo_sim (ingest has no exact replay to compare against)");
+    if (sampling.active())
+        setProvenance("sampling", "simpoint");
     const std::string label_override = opts.getString("label", "");
     std::uint64_t ingested = 0;
-    for (const std::string &raw : split(traces, ',')) {
-        const std::string path = trim(raw);
-        if (path.empty())
-            continue;
-        const Trace trace = loadAnyTrace(path, ropts);
+    auto ingestOne = [&](const std::string &source, const Trace &trace) {
         std::string label =
-            label_override.empty() ? baseName(path) : label_override;
+            label_override.empty() ? source : label_override;
         if (!label_override.empty() && ingested > 0)
             label += "#" + std::to_string(ingested);
-        store.ingestTrace(label, trace);
+        if (sampling.active()) {
+            store.ingest(buildShardDelta(store.config(), label, trace,
+                                         sampling));
+        } else {
+            store.ingestTrace(label, trace);
+        }
         ++ingested;
-        std::cerr << "ingested " << path << " as shard '" << label
+        std::cerr << "ingested " << source << " as shard '" << label
                   << "' (seq " << store.appliedSeq() << ")\n";
+    };
+    if (!synth.empty()) {
+        // In-process synthesis of paper-suite training traces: the
+        // store-ingest analogue of topo_sim --benchmark, and the path
+        // where --trace-scale applies (file ingest replays the trace
+        // exactly as recorded).
+        const double scale = traceScaleFrom(opts);
+        for (const std::string &raw : split(synth, ',')) {
+            const std::string name = trim(raw);
+            if (name.empty())
+                continue;
+            const BenchmarkCase bench = paperBenchmark(name, scale);
+            ingestOne(name + "-train",
+                      synthesizeTrace(bench.model, bench.train));
+        }
+    } else {
+        require(!opts.has("trace-scale"),
+                "topo_profile ingest: --trace-scale only applies to "
+                "--synth benchmarks (file traces replay as recorded)");
+        TraceReadOptions ropts;
+        ropts.recover = opts.getBool("recover", false);
+        for (const std::string &raw : split(traces, ',')) {
+            const std::string path = trim(raw);
+            if (path.empty())
+                continue;
+            ingestOne(baseName(path), loadAnyTrace(path, ropts));
+        }
     }
     require(ingested > 0,
             "topo_profile ingest: no trace files given");
@@ -173,6 +213,8 @@ runIngest(const Options &opts)
     doc.set("command", JsonValue::string("ingest"));
     doc.set("ingested", JsonValue::number(
                             static_cast<double>(ingested)));
+    if (sampling.active())
+        doc.set("sampling", JsonValue::string("simpoint"));
     doc.set("store", storeStateJson(store));
     writeJsonIfRequested(opts, doc);
     return 0;
@@ -327,6 +369,10 @@ constexpr const char *kUsage =
     "                       [--chunk-bytes=N] [--coverage=F]\n"
     "                       [--q-factor=F]\n"
     "  topo_profile ingest  --store=DIR --trace=FILE[,FILE...]\n"
+    "                       | --synth=BENCH[,BENCH...]\n"
+    "                       [--trace-scale=F (with --synth)]\n"
+    "                       [--sample=simpoint [--sample-window=N]\n"
+    "                        [--sample-k=N] [--sample-warmup=N]]\n"
     "                       [--label=NAME] [--recover]\n"
     "  topo_profile status  --store=DIR [--json-out=FILE]\n"
     "  topo_profile compact --store=DIR\n"
@@ -361,7 +407,11 @@ main(int argc, char **argv)
         spec.run = runInit;
     } else if (command == "ingest") {
         spec.options.insert(spec.options.end(),
-                            {"trace", "label", "recover"});
+                            {"trace", "label", "recover", "synth",
+                             "trace-scale", "sample", "sample-window",
+                             "sample-k", "sample-max-k",
+                             "sample-warmup", "sample-seed",
+                             "sample-verify", "sample-max-error"});
         spec.run = runIngest;
     } else if (command == "status") {
         spec.run = runStatus;

@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -51,6 +52,8 @@
 #include "topo/program/layout_io.hh"
 #include "topo/program/program_io.hh"
 #include "topo/resilience/resilience.hh"
+#include "topo/sampling/estimator.hh"
+#include "topo/sampling/sample_plan.hh"
 #include "topo/trace/trace_binary.hh"
 #include "topo/util/error.hh"
 #include "topo/util/string_utils.hh"
@@ -271,6 +274,18 @@ struct RunRecord
     std::uint64_t capacity = 0;
     std::uint64_t conflict = 0;
     std::vector<std::uint64_t> reuse_hist;
+    /** Sampled-run provenance; meaningful only when has_sampling. */
+    bool has_sampling = false;
+    std::uint64_t sample_window_runs = 0;
+    std::uint64_t sample_windows = 0;
+    std::uint64_t sample_clusters = 0;
+    std::uint64_t sample_selected = 0;
+    double sample_replayed_fraction = 0.0;
+    double sample_est_miss_rate = 0.0;
+    /** --sample-verify extras; meaningful only when has_exact. */
+    bool has_exact = false;
+    double sample_exact_miss_rate = 0.0;
+    double sample_abs_error = 0.0;
 
     double
     blocksPerSec() const
@@ -280,6 +295,55 @@ struct RunRecord
                              : 0.0;
     }
 };
+
+/** Copy a sample plan + estimate into a run record. */
+void
+recordSampling(RunRecord &record, const SamplePlan &plan,
+               const SampledSimResult &est)
+{
+    record.has_sampling = true;
+    record.sample_window_runs = plan.window_runs;
+    record.sample_windows = plan.window_count;
+    record.sample_clusters = plan.cluster_count;
+    record.sample_selected = plan.selected.size();
+    record.sample_replayed_fraction = plan.replayedFraction();
+    record.sample_est_miss_rate = est.estMissRate();
+    record.accesses = est.accesses;
+    record.misses = static_cast<std::uint64_t>(
+        std::llround(est.est_misses));
+    record.miss_rate = est.estMissRate();
+}
+
+/** Print the sampled-estimate block shared by both run paths. */
+void
+printSampledResult(std::ostream &os, const SamplePlan &plan,
+                   const SampledSimResult &est)
+{
+    os << "accesses:   " << est.accesses << " line fetches\n";
+    os << "est misses: " << est.est_misses << "\n";
+    os << "est miss rate: " << est.estMissRate() * 100.0 << "%\n";
+    os << "sampling:   simpoint window=" << plan.window_runs
+       << " windows=" << plan.window_count << " clusters="
+       << plan.cluster_count << " segments=" << plan.segments.size()
+       << " replayed=" << plan.replayedFraction() * 100.0 << "%\n";
+}
+
+/** Reject observation/checkpoint surfaces that need every reference. */
+void
+requireExactOnly(const Options &opts, bool ctl_active)
+{
+    require(!ctl_active, "topo_sim: --sample does not combine with "
+                         "checkpoint/resume (sampled replays skip "
+                         "references)");
+    require(!opts.getBool("attribution", false) &&
+                !opts.getBool("taxonomy", false) &&
+                opts.getInt("timeline-window", 0) == 0 &&
+                !opts.getBool("attribute", false) &&
+                !opts.getBool("pages", false),
+            "topo_sim: --sample does not combine with "
+            "--attribute/--attribution/--taxonomy/--timeline-window/"
+            "--pages (they observe every reference; run them exact)");
+}
 
 /** Copy a taxonomy sink's tallies into a run record. */
 void
@@ -349,6 +413,35 @@ writeBenchJson(const std::string &path, const std::string &benchmarks,
             taxonomy.set("reuse_hist", std::move(hist));
             row.set("taxonomy", std::move(taxonomy));
         }
+        if (run.has_sampling) {
+            JsonValue sampling = JsonValue::object();
+            sampling.set("mode", JsonValue::string("simpoint"));
+            sampling.set("window_runs",
+                         JsonValue::number(static_cast<double>(
+                             run.sample_window_runs)));
+            sampling.set("windows",
+                         JsonValue::number(static_cast<double>(
+                             run.sample_windows)));
+            sampling.set("clusters",
+                         JsonValue::number(static_cast<double>(
+                             run.sample_clusters)));
+            sampling.set("selected_windows",
+                         JsonValue::number(static_cast<double>(
+                             run.sample_selected)));
+            sampling.set("replayed_fraction",
+                         JsonValue::number(
+                             run.sample_replayed_fraction));
+            sampling.set("est_miss_rate",
+                         JsonValue::number(run.sample_est_miss_rate));
+            if (run.has_exact) {
+                sampling.set("exact_miss_rate",
+                             JsonValue::number(
+                                 run.sample_exact_miss_rate));
+                sampling.set("abs_error",
+                             JsonValue::number(run.sample_abs_error));
+            }
+            row.set("sampling", std::move(sampling));
+        }
         list.push(std::move(row));
     }
     root.set("runs", std::move(list));
@@ -403,7 +496,8 @@ runBenchmark(const Options &opts)
 {
     const std::string bench_names = opts.getString("benchmark", "");
     const double scale = traceScaleFrom(opts);
-    const EvalOptions eval = evalOptionsFrom(opts);
+    EvalOptions eval = evalOptionsFrom(opts);
+    eval.sampling = samplingFrom(opts);
     setProvenance("cache", eval.cache.describe());
     if (eval.cache.policy != ReplacementPolicy::kLru) {
         setProvenance("policy",
@@ -428,6 +522,10 @@ runBenchmark(const Options &opts)
     require(!ctl.active || single,
             "topo_sim: checkpoint/resume needs a single benchmark and "
             "algorithm");
+    if (eval.sampling.active()) {
+        requireExactOnly(opts, ctl.active);
+        setProvenance("sampling", "simpoint");
+    }
 
     // Phase 1: profile every benchmark (synthesis + TRG/WCG builds —
     // the expensive part; the builds additionally shard internally).
@@ -473,6 +571,39 @@ runBenchmark(const Options &opts)
             const Layout layout = algo.place(ctx);
             layout.validate(bundle.program(), eval.cache.line_bytes);
 
+            if (bundle.sampled()) {
+                const auto start = std::chrono::steady_clock::now();
+                const SampledSimResult est =
+                    bundle.sampledTestResult(layout);
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                out << "algorithm:  " << algo.name() << "\n";
+                printSampledResult(out, bundle.testPlan(), est);
+                cell.record.benchmark = bundle.name();
+                cell.record.algorithm = algo_name;
+                cell.record.wall_ms = wall_ms;
+                recordSampling(cell.record, bundle.testPlan(), est);
+                if (eval.sampling.verify) {
+                    const SimResult exact =
+                        bundle.exactTestResult(layout);
+                    cell.record.has_exact = true;
+                    cell.record.sample_exact_miss_rate =
+                        exact.missRate();
+                    cell.record.sample_abs_error =
+                        std::fabs(est.estMissRate() - exact.missRate());
+                    out << "exact miss rate: "
+                        << exact.missRate() * 100.0 << "%\n";
+                    out << "est error:  "
+                        << cell.record.sample_abs_error * 100.0
+                        << "% (abs miss rate)\n";
+                }
+                out << "\n";
+                cell.output = out.str();
+                return cell;
+            }
+
             Observation obs = observationFrom(
                 opts, bundle.program(), layout, eval.cache,
                 bundle.testStream());
@@ -514,6 +645,27 @@ runBenchmark(const Options &opts)
     const std::string bench_out = opts.getString("bench-out", "");
     if (!bench_out.empty())
         writeBenchJson(bench_out, bench_names, scale, eval.cache, runs);
+
+    // The measured error bound: with --sample-verify and
+    // --sample-max-error, any cell whose estimate strays beyond the
+    // bound fails the run (after the bench record is written, so the
+    // offending numbers are on disk for inspection).
+    if (eval.sampling.max_error > 0.0) {
+        std::string violations;
+        for (const RunRecord &run : runs) {
+            if (run.has_exact &&
+                run.sample_abs_error > eval.sampling.max_error) {
+                violations += " " + run.benchmark + "/" +
+                              run.algorithm + "=" +
+                              std::to_string(run.sample_abs_error);
+            }
+        }
+        require(violations.empty(),
+                "topo_sim: sampling miss-rate error exceeds "
+                "--sample-max-error=" +
+                    std::to_string(eval.sampling.max_error) + ":" +
+                    violations);
+    }
     return 0;
 }
 
@@ -598,6 +750,58 @@ run(const Options &opts)
             ? Layout::defaultOrder(program, eval.cache.line_bytes)
             : loadLayout(layout_path, program);
     layout.validate(program, eval.cache.line_bytes);
+
+    const SamplingOptions sampling = samplingFrom(opts);
+    if (sampling.active()) {
+        requireExactOnly(opts, controlFrom(opts).active);
+        setProvenance("sampling", "simpoint");
+        const SamplePlan plan = buildSamplePlan(
+            program, trace, eval.cache.line_bytes, sampling);
+        const auto start = std::chrono::steady_clock::now();
+        const SampledSimResult est = estimateLayout(
+            program, layout, trace, plan, eval.cache, false);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        std::cout << "cache:      " << eval.cache.describe() << "\n";
+        std::cout << "layout:     "
+                  << (layout_path.empty() ? "default (source order)"
+                                          : layout_path)
+                  << "\n";
+        printSampledResult(std::cout, plan, est);
+        RunRecord record;
+        record.benchmark = trace_path;
+        record.algorithm = layout_path.empty() ? "default" : layout_path;
+        record.wall_ms = wall_ms;
+        recordSampling(record, plan, est);
+        if (sampling.verify) {
+            const FetchStream stream(program, trace,
+                                     eval.cache.line_bytes);
+            const SimResult exact =
+                simulateLayout(program, layout, stream, eval.cache);
+            record.has_exact = true;
+            record.sample_exact_miss_rate = exact.missRate();
+            record.sample_abs_error =
+                std::fabs(est.estMissRate() - exact.missRate());
+            std::cout << "exact miss rate: "
+                      << exact.missRate() * 100.0 << "%\n";
+            std::cout << "est error:  "
+                      << record.sample_abs_error * 100.0
+                      << "% (abs miss rate)\n";
+        }
+        const std::string bench_out = opts.getString("bench-out", "");
+        if (!bench_out.empty())
+            writeBenchJson(bench_out, trace_path, 1.0, eval.cache,
+                           {record});
+        require(sampling.max_error == 0.0 || !record.has_exact ||
+                    record.sample_abs_error <= sampling.max_error,
+                "topo_sim: sampling miss-rate error " +
+                    std::to_string(record.sample_abs_error) +
+                    " exceeds --sample-max-error=" +
+                    std::to_string(sampling.max_error));
+        return 0;
+    }
 
     const FetchStream stream(program, trace, eval.cache.line_bytes);
     const bool attribute = opts.getBool("attribute", false);
@@ -690,6 +894,15 @@ main(int argc, char **argv)
         "  --attribution (conflict-pair attribution sink)\n"
         "  --taxonomy (3C miss classes + reuse-distance profile)\n"
         "  --timeline-window=N (windowed miss-rate samples)\n"
+        "  --sample=simpoint (representative-interval sampling:\n"
+        "      cluster trace windows, replay one weighted\n"
+        "      representative per cluster)\n"
+        "  --sample-window=N (runs per window; 0 = auto)\n"
+        "  --sample-k=N (clusters; 0 = auto BIC elbow)\n"
+        "  --sample-max-k=N --sample-warmup=N --sample-seed=N\n"
+        "  --sample-verify (also run exact; report the error)\n"
+        "  --sample-max-error=F (fail when |est-exact| miss-rate\n"
+        "      error exceeds F; requires --sample-verify)\n"
         "  --bench-out=FILE (BENCH_*.json run record)\n"
         "  --recover (salvage a damaged trace and continue)\n"
         "  --checkpoint=FILE --checkpoint-every=N (periodic state)\n"
@@ -703,6 +916,9 @@ main(int argc, char **argv)
          "chunk-bytes", "coverage", "q-factor", "attribute",
          "attribution", "taxonomy", "timeline-window", "bench-out",
          "pages",
+         "sample", "sample-window", "sample-k", "sample-max-k",
+         "sample-warmup", "sample-seed", "sample-verify",
+         "sample-max-error",
          "recover", "checkpoint", "checkpoint-every", "resume",
          "stop-after"},
         run,
